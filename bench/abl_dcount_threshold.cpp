@@ -1,0 +1,50 @@
+/// \file abl_dcount_threshold.cpp
+/// Ablation (design choice called out in DESIGN.md): sensitivity of the
+/// Conv baseline to its DCOUNT imbalance threshold.  Low thresholds force
+/// balance (more communications); high thresholds approach pure
+/// dependence-based steering (imbalance grows).  The paper's baseline sits
+/// at the performance knee.
+
+#include "common.h"
+
+int main() {
+  using namespace ringclu;
+  ExperimentRunner runner;
+  const std::vector<std::string> benchmarks =
+      bench::ablation_benchmarks();
+
+  std::vector<ArchConfig> configs;
+  for (const int threshold : {2, 4, 8, 16, 32, 64}) {
+    ArchConfig config = ArchConfig::preset("Conv_8clus_1bus_2IW");
+    config.dcount_threshold = threshold;
+    config.name = str_format("Conv_8clus_1bus_2IW#dth%d", threshold);
+    configs.push_back(config);
+  }
+  const std::vector<SimResult> all = runner.run_matrix(configs, benchmarks);
+
+  std::printf("Ablation: Conv DCOUNT threshold sweep "
+              "(8 representative benchmarks)\n");
+  TextTable table({"threshold", "mean IPC", "comms/instr", "NREADY"});
+  const std::size_t per_config = benchmarks.size();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const std::span<const SimResult> slice(all.data() + i * per_config,
+                                           per_config);
+    table.begin_row();
+    table.add_cell(static_cast<long long>(
+        configs[i].dcount_threshold));
+    table.add_cell(group_mean(slice, BenchGroup::All,
+                              [](const SimResult& r) { return r.ipc(); }),
+                   3);
+    table.add_cell(
+        group_mean(slice, BenchGroup::All,
+                   [](const SimResult& r) { return r.comms_per_instr(); }),
+        3);
+    table.add_cell(group_mean(slice, BenchGroup::All,
+                              [](const SimResult& r) {
+                                return r.nready_avg();
+                              }),
+                   3);
+  }
+  std::printf("%s\n", table.render_aligned().c_str());
+  return 0;
+}

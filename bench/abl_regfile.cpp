@@ -1,0 +1,60 @@
+/// \file abl_regfile.cpp
+/// Ablation: Ring sensitivity to per-cluster register-file size and to the
+/// copy-eviction deadlock-avoidance extension (DESIGN.md).  Smaller files
+/// increase dispatch stalls (steering picks clusters by free registers);
+/// disabling eviction shows how often the machine leans on it.
+
+#include "common.h"
+
+int main() {
+  using namespace ringclu;
+  ExperimentRunner runner;
+  const std::vector<std::string> benchmarks = bench::ablation_benchmarks();
+
+  std::vector<ArchConfig> configs;
+  for (const int regs : {40, 48, 64, 96}) {
+    for (const bool eviction : {true, false}) {
+      ArchConfig config = ArchConfig::preset("Ring_8clus_1bus_2IW");
+      config.regs_per_class = regs;
+      config.copy_eviction = eviction;
+      config.name = str_format("Ring_8clus_1bus_2IW#r%d%s", regs,
+                               eviction ? "" : "-noevict");
+      configs.push_back(config);
+    }
+  }
+  const std::vector<SimResult> all = runner.run_matrix(configs, benchmarks);
+
+  std::printf("Ablation: Ring register-file size and copy eviction "
+              "(8 representative benchmarks)\n");
+  TextTable table({"regs/class", "eviction", "mean IPC", "steer stalls/cycle",
+                   "evictions/kinstr"});
+  const std::size_t per_config = benchmarks.size();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const std::span<const SimResult> slice(all.data() + i * per_config,
+                                           per_config);
+    table.begin_row();
+    table.add_cell(static_cast<long long>(configs[i].regs_per_class));
+    table.add_cell(configs[i].copy_eviction ? "on" : "off");
+    table.add_cell(group_mean(slice, BenchGroup::All,
+                              [](const SimResult& r) { return r.ipc(); }),
+                   3);
+    table.add_cell(
+        group_mean(slice, BenchGroup::All,
+                   [](const SimResult& r) {
+                     return static_cast<double>(
+                                r.counters.steer_stall_cycles) /
+                            static_cast<double>(r.counters.cycles);
+                   }),
+        3);
+    table.add_cell(
+        group_mean(slice, BenchGroup::All,
+                   [](const SimResult& r) {
+                     return 1000.0 *
+                            static_cast<double>(r.counters.copy_evictions) /
+                            static_cast<double>(r.counters.committed);
+                   }),
+        2);
+  }
+  std::printf("%s\n", table.render_aligned().c_str());
+  return 0;
+}

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file common.h
+/// Shared plumbing for the figure/table bench binaries: the paper's
+/// configuration lists (Table 3 / Figure 6 legend order) and the generic
+/// "metric per config x {AVERAGE, INT, FP}" figure printer.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "stats/table.h"
+#include "util/format.h"
+
+namespace ringclu::bench {
+
+/// (Ring, Conv) preset pairs in the order of Figure 6's legend.
+inline std::vector<std::pair<std::string, std::string>> paper_pairs() {
+  return {{"Ring_4clus_1bus_2IW", "Conv_4clus_1bus_2IW"},
+          {"Ring_8clus_2bus_1IW", "Conv_8clus_2bus_1IW"},
+          {"Ring_8clus_1bus_1IW", "Conv_8clus_1bus_1IW"},
+          {"Ring_8clus_2bus_2IW", "Conv_8clus_2bus_2IW"},
+          {"Ring_8clus_1bus_2IW", "Conv_8clus_1bus_2IW"}};
+}
+
+/// All ten presets in the order of the Figure 7-10 legends
+/// (Conv/Ring interleaved).
+inline std::vector<std::string> paper_configs_interleaved() {
+  std::vector<std::string> out;
+  for (const auto& [ring, conv] : paper_pairs()) {
+    out.push_back(conv);
+    out.push_back(ring);
+  }
+  return out;
+}
+
+/// Representative subset for ablation sweeps (keeps bench wall-time sane).
+inline std::vector<std::string> ablation_benchmarks() {
+  return {"swim", "mgrid", "applu", "art", "gcc", "gzip", "mcf", "crafty"};
+}
+
+/// Runs the base matrix and prints one "metric by config and group" figure
+/// (the common shape of Figures 7, 8, 9, 10 and 14).
+inline void run_metric_figure(
+    const char* title, const std::vector<std::string>& configs,
+    const std::function<double(const SimResult&)>& metric,
+    int decimals = 3) {
+  ExperimentRunner runner;
+  const std::vector<std::string> benchmarks =
+      ExperimentRunner::default_benchmarks();
+  const std::vector<SimResult> all = runner.run_matrix(configs, benchmarks);
+
+  std::printf("%s\n", title);
+  TextTable table({"config", "AVERAGE", "INT", "FP"});
+  const std::size_t per_config = benchmarks.size();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const std::span<const SimResult> slice(all.data() + i * per_config,
+                                           per_config);
+    table.begin_row();
+    table.add_cell(configs[i]);
+    for (const BenchGroup group :
+         {BenchGroup::All, BenchGroup::Int, BenchGroup::Fp}) {
+      table.add_cell(group_mean(slice, group, metric), decimals);
+    }
+  }
+  std::printf("%s\n", table.render_aligned().c_str());
+}
+
+/// Runs the matrix for a list of (Ring, Conv) pairs and prints the speedup
+/// figure (the shape of Figures 6, 12 and 13).
+inline void run_speedup_figure(
+    const char* title,
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    const std::vector<std::string>& row_labels = {}) {
+  ExperimentRunner runner;
+  const std::vector<std::string> benchmarks =
+      ExperimentRunner::default_benchmarks();
+
+  std::vector<std::string> configs;
+  for (const auto& [ring, conv] : pairs) {
+    configs.push_back(ring);
+    configs.push_back(conv);
+  }
+  const std::vector<SimResult> all = runner.run_matrix(configs, benchmarks);
+  const std::size_t per_config = benchmarks.size();
+
+  std::printf("%s\n", title);
+  TextTable table({"pair", "AVERAGE", "INT", "FP"});
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const std::span<const SimResult> ring(all.data() + (2 * i) * per_config,
+                                          per_config);
+    const std::span<const SimResult> conv(
+        all.data() + (2 * i + 1) * per_config, per_config);
+    table.begin_row();
+    table.add_cell(i < row_labels.size() ? row_labels[i] : pairs[i].first);
+    for (const BenchGroup group :
+         {BenchGroup::All, BenchGroup::Int, BenchGroup::Fp}) {
+      const double speedup = group_speedup(ring, conv, group);
+      table.add_cell(ringclu::str_format("%+.1f%%", speedup * 100.0));
+    }
+  }
+  std::printf("%s\n", table.render_aligned().c_str());
+}
+
+}  // namespace ringclu::bench

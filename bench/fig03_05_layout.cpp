@@ -1,0 +1,62 @@
+/// \file fig03_05_layout.cpp
+/// Figures 3-5: cluster placement for the 8-cluster ring, the high-level
+/// floorplans of the straight/corner cluster modules, and the wire-length
+/// study for the unified ring vs. split INT/FP rings.
+///
+/// Paper numbers for reference: unified ring worst-case 17,400 lambda for
+/// integer data and 23,300 lambda when a corner module is involved (FP);
+/// split rings bring the worst case down to ~11,200 lambda.  The check
+/// that matters: neighbor-to-neighbor wires are of the same order as a
+/// conventional cluster's *internal* bypass (bounded by the largest
+/// block's edge), so the ring bypass can run at intra-cluster speed.
+
+#include <cstdio>
+
+#include "area/floorplan.h"
+#include "util/format.h"
+
+int main() {
+  using namespace ringclu;
+
+  std::printf("Figure 3: 8-cluster ring placement (module shapes)\n  ");
+  for (const ModuleShape shape : ring_placement(8)) {
+    std::printf("%s ", shape == ModuleShape::Straight ? "[straight]"
+                                                      : "[corner]");
+  }
+  std::printf("\n\nFigure 4: unified cluster module floorplans\n");
+  std::printf("%s\n",
+              floorplan_module(ModuleShape::Straight).render().c_str());
+  std::printf("%s\n", floorplan_module(ModuleShape::Corner).render().c_str());
+
+  std::printf("Figure 5: split-ring cluster module floorplans\n");
+  std::printf("%s\n", floorplan_module(ModuleShape::Straight,
+                                       ModuleDatapath::IntOnly)
+                          .render()
+                          .c_str());
+  std::printf("%s\n", floorplan_module(ModuleShape::Straight,
+                                       ModuleDatapath::FpOnly)
+                          .render()
+                          .c_str());
+
+  const WireLengthStudy study = run_wire_length_study();
+  std::printf("Wire-length study (worst-case output->input, lambda):\n");
+  std::printf("  unified ring, straight->straight : %8.0f\n",
+              study.unified_straight_to_straight);
+  std::printf("  unified ring, involving a corner : %8.0f\n",
+              study.unified_worst_with_corner);
+  std::printf("  split rings, integer             : %8.0f\n",
+              study.split_int_worst);
+  std::printf("  split rings, FP                  : %8.0f\n",
+              study.split_fp_worst);
+  std::printf("  conventional intra-cluster ref.  : %8.0f (largest block "
+              "edge)\n",
+              study.conventional_reference);
+
+  const bool feasible =
+      study.unified_straight_to_straight <= 2.0 * study.conventional_reference;
+  std::printf("\nconclusion: neighbor bypass %s the same order as a "
+              "conventional intra-cluster bypass -> ring bypass at "
+              "intra-cluster speed is %s\n",
+              feasible ? "IS" : "IS NOT", feasible ? "feasible" : "doubtful");
+  return 0;
+}

@@ -1,0 +1,16 @@
+/// \file fig06_speedup.cpp
+/// Figure 6: speedup of Ring over Conv for the five paper configuration
+/// pairs, reported for AVERAGE / INT / FP program groups.
+///
+/// Paper shape: Ring wins everywhere on average; FP speedups exceed INT
+/// (which may be slightly negative for one configuration); the single-bus
+/// 8-cluster configurations benefit most (paper: ~15% FP).
+
+#include "common.h"
+
+int main() {
+  ringclu::bench::run_speedup_figure(
+      "Figure 6: speedup of Ring over Conv (geometric mean of IPC ratios)",
+      ringclu::bench::paper_pairs());
+  return 0;
+}

@@ -1,0 +1,15 @@
+/// \file fig07_comms.cpp
+/// Figure 7: average number of communications per committed instruction.
+///
+/// Paper shape: Ring requires fewer communications than Conv in every
+/// configuration; FP programs communicate more than INT programs.
+
+#include "common.h"
+
+int main() {
+  ringclu::bench::run_metric_figure(
+      "Figure 7: communications per instruction",
+      ringclu::bench::paper_configs_interleaved(),
+      [](const ringclu::SimResult& r) { return r.comms_per_instr(); });
+  return 0;
+}

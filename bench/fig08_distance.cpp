@@ -1,0 +1,16 @@
+/// \file fig08_distance.cpp
+/// Figure 8: average distance (bus hops) per communication.
+///
+/// Paper shape: with two buses Conv and Ring are comparable; with one bus
+/// Ring's communications are much shorter.
+
+#include "common.h"
+
+int main() {
+  ringclu::bench::run_metric_figure(
+      "Figure 8: average distance per communication (hops)",
+      ringclu::bench::paper_configs_interleaved(),
+      [](const ringclu::SimResult& r) { return r.avg_comm_distance(); },
+      /*decimals=*/2);
+  return 0;
+}

@@ -1,0 +1,16 @@
+/// \file fig09_contention.cpp
+/// Figure 9: average cycles a ready communication waits for the bus.
+///
+/// Paper shape: Conv suffers far more contention than Ring, especially
+/// with one bus (paper: >5 cycles for FP on the 8-cluster 1-bus Conv).
+
+#include "common.h"
+
+int main() {
+  ringclu::bench::run_metric_figure(
+      "Figure 9: average bus-contention delay per communication (cycles)",
+      ringclu::bench::paper_configs_interleaved(),
+      [](const ringclu::SimResult& r) { return r.avg_comm_contention(); },
+      /*decimals=*/2);
+  return 0;
+}

@@ -1,0 +1,19 @@
+/// \file fig10_imbalance.cpp
+/// Figure 10: workload imbalance measured with the NREADY figure (ready
+/// instructions not issued in their cluster that idle slots elsewhere
+/// could have absorbed, per cycle).
+///
+/// Paper shape: Conv balances slightly better than Ring (that is what its
+/// DCOUNT mechanism buys, at the cost of extra communications); both are
+/// small for the 8-cluster 2IW configurations.
+
+#include "common.h"
+
+int main() {
+  ringclu::bench::run_metric_figure(
+      "Figure 10: workload imbalance (NREADY, per cycle)",
+      ringclu::bench::paper_configs_interleaved(),
+      [](const ringclu::SimResult& r) { return r.nready_avg(); },
+      /*decimals=*/3);
+  return 0;
+}

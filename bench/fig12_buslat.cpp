@@ -1,0 +1,22 @@
+/// \file fig12_buslat.cpp
+/// Figure 12 (Section 4.6, scaling wires): speedup of Ring over Conv for
+/// the 8-cluster 2IW configurations with 1- and 2-cycle-per-hop buses.
+///
+/// Paper shape: speedup grows when buses slow down (paper: 8.1% -> 11.8%
+/// average for one bus; FP reaches ~19%) because Conv has more and longer
+/// communications to expose to the slower wires.
+
+#include "common.h"
+
+int main() {
+  ringclu::bench::run_speedup_figure(
+      "Figure 12: speedup of Ring over Conv vs. bus latency "
+      "(8 clusters, 2 INT + 2 FP issue width)",
+      {{"Ring_8clus_2bus_2IW", "Conv_8clus_2bus_2IW"},
+       {"Ring_8clus_2bus_2IW@2cyc", "Conv_8clus_2bus_2IW@2cyc"},
+       {"Ring_8clus_1bus_2IW", "Conv_8clus_1bus_2IW"},
+       {"Ring_8clus_1bus_2IW@2cyc", "Conv_8clus_1bus_2IW@2cyc"}},
+      {"2bus_1cyclehop", "2bus_2cyclehop", "1bus_1cyclehop",
+       "1bus_2cyclehop"});
+  return 0;
+}

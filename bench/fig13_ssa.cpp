@@ -1,0 +1,67 @@
+/// \file fig13_ssa.cpp
+/// Figure 13 (Section 4.7): speedup of Ring+SSA over Conv+SSA when both
+/// machines use the simple steering algorithm, plus the per-machine cost
+/// of SSA relative to the enhanced steering.
+///
+/// Paper shape: huge Ring advantage (paper: up to ~50% average, ~80% FP);
+/// Ring loses only 5-14% from SSA while Conv loses 23-42%.
+
+#include "common.h"
+
+namespace {
+
+using ringclu::BenchGroup;
+using ringclu::ExperimentRunner;
+using ringclu::SimResult;
+using ringclu::TextTable;
+
+void print_ssa_cost(const char* title,
+                    const std::vector<std::string>& configs) {
+  ExperimentRunner runner;
+  const std::vector<std::string> benchmarks =
+      ExperimentRunner::default_benchmarks();
+  std::vector<std::string> all_configs;
+  for (const std::string& config : configs) {
+    all_configs.push_back(config);          // enhanced steering
+    all_configs.push_back(config + "+SSA");  // simple steering
+  }
+  const std::vector<SimResult> all =
+      runner.run_matrix(all_configs, benchmarks);
+  const std::size_t per_config = benchmarks.size();
+
+  std::printf("%s\n", title);
+  TextTable table({"config", "AVERAGE", "INT", "FP"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const std::span<const SimResult> enhanced(
+        all.data() + (2 * i) * per_config, per_config);
+    const std::span<const SimResult> ssa(
+        all.data() + (2 * i + 1) * per_config, per_config);
+    table.begin_row();
+    table.add_cell(configs[i] + " +SSA vs enhanced");
+    for (const BenchGroup group :
+         {BenchGroup::All, BenchGroup::Int, BenchGroup::Fp}) {
+      // Negative = SSA is slower than the enhanced steering.
+      const double delta = ringclu::group_speedup(ssa, enhanced, group);
+      table.add_cell(ringclu::str_format("%+.1f%%", delta * 100.0));
+    }
+  }
+  std::printf("%s\n", table.render_aligned().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const auto& [ring, conv] : ringclu::bench::paper_pairs()) {
+    pairs.emplace_back(ring + "+SSA", conv + "+SSA");
+  }
+  ringclu::bench::run_speedup_figure(
+      "Figure 13: speedup of Ring+SSA over Conv+SSA", pairs,
+      {"Ring_4clus_1bus_2IW", "Ring_8clus_2bus_1IW", "Ring_8clus_1bus_1IW",
+       "Ring_8clus_2bus_2IW", "Ring_8clus_1bus_2IW"});
+
+  print_ssa_cost("Cost of SSA per machine (IPC change vs enhanced steering)",
+                 {"Ring_8clus_1bus_2IW", "Conv_8clus_1bus_2IW",
+                  "Ring_8clus_2bus_1IW", "Conv_8clus_2bus_1IW"});
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// \file fig14_ssa_imbalance.cpp
+/// Figure 14: workload imbalance (NREADY) when both machines use the
+/// simple steering algorithm.
+///
+/// Paper shape: Ring+SSA stays near Ring (~10% worse); Conv+SSA collapses
+/// onto a few clusters and its imbalance explodes (100-300% worse).
+
+#include "common.h"
+
+int main() {
+  std::vector<std::string> configs;
+  for (const std::string& name :
+       ringclu::bench::paper_configs_interleaved()) {
+    configs.push_back(name + "+SSA");
+  }
+  ringclu::bench::run_metric_figure(
+      "Figure 14: workload imbalance (NREADY) with the simple steering "
+      "algorithm",
+      configs,
+      [](const ringclu::SimResult& r) { return r.nready_avg(); },
+      /*decimals=*/3);
+
+  // In this model Conv+SSA's imbalance partly manifests as dispatch stalls
+  // (the chosen cluster is full), which throttles the in-flight window and
+  // hides ready instructions from NREADY; the two companion metrics below
+  // make the collapse visible (see EXPERIMENTS.md).
+  ringclu::bench::run_metric_figure(
+      "Companion: largest per-cluster dispatch share (1/8 = balanced)",
+      configs,
+      [](const ringclu::SimResult& r) {
+        double max_share = 0;
+        const int n =
+            static_cast<int>(r.counters.dispatched_per_cluster.size());
+        for (int c = 0; c < n; ++c) {
+          max_share = std::max(max_share, r.dispatch_share(c));
+        }
+        return max_share;
+      },
+      /*decimals=*/3);
+  ringclu::bench::run_metric_figure(
+      "Companion: fraction of cycles dispatch stalled on a full cluster",
+      configs,
+      [](const ringclu::SimResult& r) {
+        return static_cast<double>(r.counters.steer_stall_cycles) /
+               static_cast<double>(r.counters.cycles);
+      },
+      /*decimals=*/3);
+  return 0;
+}

@@ -1,0 +1,101 @@
+/// \file micro_components.cpp
+/// google-benchmark microbenchmarks of the simulator's building blocks:
+/// synthetic trace generation, branch prediction, cache access, ring-bus
+/// ticking, NREADY matching, and end-to-end simulated cycles.
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/predictor.h"
+#include "core/processor.h"
+#include "interconnect/ring_bus.h"
+#include "mem/cache.h"
+#include "stats/nready.h"
+#include "trace/synth/suite.h"
+#include "util/rng.h"
+
+namespace {
+
+void BM_TraceGeneration(benchmark::State& state) {
+  auto trace = ringclu::make_benchmark_trace("swim", 7);
+  ringclu::MicroOp op;
+  for (auto _ : state) {
+    trace->next(op);
+    benchmark::DoNotOptimize(op.pc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_BranchPredictor(benchmark::State& state) {
+  ringclu::FrontEnd frontend;
+  ringclu::Rng rng(3);
+  ringclu::MicroOp op;
+  op.cls = ringclu::OpClass::Branch;
+  op.branch_kind = ringclu::BranchKind::Conditional;
+  for (auto _ : state) {
+    op.pc = 0x1000 + (rng.next_u64() % 512) * 4;
+    op.taken = rng.bernoulli(0.6);
+    op.target = op.taken ? op.pc - 64 : op.pc + 4;
+    benchmark::DoNotOptimize(frontend.predict_and_train(op));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+void BM_CacheAccess(benchmark::State& state) {
+  ringclu::SetAssocCache cache({32 * 1024, 32, 4});
+  ringclu::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.uniform(1 << 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_RingBusTick(benchmark::State& state) {
+  ringclu::PipelinedRingBus bus(8, static_cast<int>(state.range(0)),
+                                ringclu::RingDirection::Forward);
+  std::vector<ringclu::BusDelivery> deliveries;
+  ringclu::Rng rng(5);
+  for (auto _ : state) {
+    if (bus.can_inject(0)) {
+      bus.inject(0, 1 + static_cast<int>(rng.uniform(7)), 1);
+    }
+    deliveries.clear();
+    bus.tick(deliveries);
+    benchmark::DoNotOptimize(deliveries.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingBusTick)->Arg(1)->Arg(2);
+
+void BM_NreadyMatching(benchmark::State& state) {
+  const std::uint32_t demand[8] = {3, 0, 1, 4, 0, 2, 0, 1};
+  const std::uint32_t supply[8] = {0, 2, 1, 0, 3, 0, 2, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ringclu::nready_matching(demand, supply));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NreadyMatching);
+
+void BM_SimulatedInstructions(benchmark::State& state) {
+  // End-to-end simulator throughput, reported as instructions/second.
+  const char* preset = state.range(0) == 0 ? "Ring_8clus_1bus_2IW"
+                                           : "Conv_8clus_1bus_2IW";
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    ringclu::Processor processor(ringclu::ArchConfig::preset(preset));
+    auto trace = ringclu::make_benchmark_trace("galgel", 13);
+    const ringclu::SimResult result = processor.run(*trace, 1000, 20000);
+    total += result.counters.committed;
+    benchmark::DoNotOptimize(result.counters.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.SetLabel(preset);
+}
+BENCHMARK(BM_SimulatedInstructions)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+/// \file tab02_config.cpp
+/// Table 2: the assumed processor configuration, as reproduced by the
+/// simulator's defaults (printed for the four structural variants).
+
+#include <cstdio>
+
+#include "core/arch_config.h"
+
+int main() {
+  std::printf("Table 2: processor configuration\n\n");
+  for (const char* name :
+       {"Ring_8clus_1bus_2IW", "Ring_4clus_1bus_2IW", "Conv_8clus_1bus_1IW"}) {
+    const ringclu::ArchConfig config = ringclu::ArchConfig::preset(name);
+    std::printf("%s\n", config.describe().c_str());
+  }
+  std::printf(
+      "functional units per cluster (both machines):\n"
+      "  INT: ALU 1 cycle; mult 3 cycles; div 20 cycles (non-pipelined)\n"
+      "  FP : add 2 cycles; mult 4 cycles; div 12 cycles (non-pipelined)\n"
+      "  issue width 1 -> 1 unit of each type; width 2 -> 2 of each\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+/// \file tab03_configs.cpp
+/// Table 3: the ten evaluated configurations.
+
+#include <cstdio>
+
+#include "core/arch_config.h"
+#include "stats/table.h"
+#include "util/format.h"
+
+int main() {
+  using namespace ringclu;
+  std::printf("Table 3: evaluated configurations\n");
+  TextTable table({"name", "architecture", "clusters", "issue width",
+                   "buses", "bus orientation"});
+  for (const std::string& name : ArchConfig::paper_preset_names()) {
+    const ArchConfig config = ArchConfig::preset(name);
+    table.begin_row();
+    table.add_cell(name);
+    table.add_cell(arch_name(config.arch));
+    table.add_cell(static_cast<long long>(config.num_clusters));
+    table.add_cell(str_format("%d INT + %d FP", config.issue_width,
+                              config.issue_width));
+    table.add_cell(static_cast<long long>(config.num_buses));
+    table.add_cell(config.bus_orientation() ==
+                           BusOrientation::OppositeDirections
+                       ? "one per direction"
+                       : "all forward");
+  }
+  std::printf("%s\n", table.render_aligned().c_str());
+  return 0;
+}

@@ -1,0 +1,128 @@
+/// \file steering_walkthrough.cpp
+/// Reproduces the paper's Figure 2 worked example interactively: steers the
+/// five-instruction sequence through a 4-cluster Ring machine and prints
+/// where every value lands, which communications are generated, and the
+/// per-cluster register pressure after each step.
+///
+///   I1. R1 = 1
+///   I2. R2 = R1 + 1
+///   I3. R3 = R1 + R2
+///   I4. R4 = R1 + R3
+///   I5. R5 = R1 * 3
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "cluster/regfile.h"
+#include "cluster/value_map.h"
+#include "interconnect/bus_set.h"
+#include "steer/ring_steering.h"
+
+namespace {
+
+using namespace ringclu;
+
+/// Minimal oracle over a real register file (queues never fill here).
+class WalkOracle final : public SteerOracle {
+ public:
+  explicit WalkOracle(int clusters) : regs_(clusters, 48) {}
+  bool iq_can_accept(int, UnitKind) const override { return true; }
+  int comm_free_entries(int) const override { return 16; }
+  bool regs_obtainable(int cluster, RegClass cls, int count) const override {
+    return regs_.free_count(cluster, cls) >= count;
+  }
+  int free_regs(int cluster, RegClass cls) const override {
+    return regs_.free_count(cluster, cls);
+  }
+  int free_regs_total(int cluster) const override {
+    return regs_.free_count(cluster, RegClass::Int) +
+           regs_.free_count(cluster, RegClass::Fp);
+  }
+  RegFileSet regs_;
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kClusters = 4;
+  ValueMap values(kClusters);
+  WalkOracle oracle(kClusters);
+  BusSet buses(kClusters, 1, BusOrientation::AllForward, 1);
+  RingSteering policy(kClusters);
+
+  SteerContext context;
+  context.values = &values;
+  context.buses = &buses;
+  context.oracle = &oracle;
+  context.arch = ArchKind::Ring;
+  context.num_clusters = kClusters;
+
+  std::map<std::string, ValueId> regs;          // logical reg -> value
+  std::map<ValueId, std::string> value_names;   // value -> logical reg
+
+  auto print_map = [&]() {
+    for (int c = 0; c < kClusters; ++c) {
+      std::printf("    cluster %d holds:", c);
+      for (const auto& [value, name] : value_names) {
+        if (values.info(value).mapped_in(c)) {
+          std::printf(" %s", name.c_str());
+        }
+      }
+      std::printf("  (%d free INT regs)\n",
+                  oracle.regs_.free_count(c, RegClass::Int));
+    }
+  };
+
+  auto dispatch = [&](const std::string& text, const std::string& dst,
+                      const std::vector<std::string>& srcs) {
+    SteerRequest request;
+    request.cls = OpClass::IntAlu;
+    request.has_dst = true;
+    request.dst_cls = RegClass::Int;
+    for (const std::string& src : srcs) {
+      const ValueId value = regs.at(src);
+      if (!request.srcs.contains(value)) {
+        request.srcs.push_back(value);
+        request.src_cls.push_back(RegClass::Int);
+      }
+    }
+
+    const SteerDecision decision = policy.steer(request, context);
+    std::printf("%s -> steered to cluster %d", text.c_str(),
+                decision.cluster);
+    for (const SteerComm& comm : decision.comms) {
+      std::printf(", copy %s from cluster %d (%d hop(s))",
+                  value_names.at(request.srcs[comm.operand]).c_str(),
+                  comm.from_cluster,
+                  buses.min_distance(comm.from_cluster, decision.cluster));
+      oracle.regs_.allocate(decision.cluster, RegClass::Int);
+      values.add_copy(request.srcs[comm.operand], decision.cluster);
+      values.set_readable(request.srcs[comm.operand], decision.cluster, 0);
+    }
+    // Destination value lands in the *next* cluster around the ring.
+    const int home =
+        dest_home_cluster(ArchKind::Ring, decision.cluster, kClusters);
+    oracle.regs_.allocate(home, RegClass::Int);
+    const ValueId value = values.create(RegClass::Int, home);
+    values.set_readable(value, home, 0);
+    values.info(value).produced = true;
+    regs[dst] = value;
+    value_names[value] = dst;
+    policy.on_dispatch(decision.cluster);
+    std::printf("; %s now lives in cluster %d\n", dst.c_str(), home);
+    print_map();
+  };
+
+  std::printf("Ring steering walkthrough (paper Figure 2, 4 clusters)\n\n");
+  dispatch("I1. R1 = 1        ", "R1", {});
+  dispatch("I2. R2 = R1 + 1   ", "R2", {"R1"});
+  dispatch("I3. R3 = R1 + R2  ", "R3", {"R1", "R2"});
+  dispatch("I4. R4 = R1 + R3  ", "R4", {"R1", "R3"});
+  dispatch("I5. R5 = R1 * 3   ", "R5", {"R1"});
+
+  std::printf(
+      "\nNote how the dependence chain snakes around the ring, landing one\n"
+      "value per cluster: communication minimization *is* load balancing.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "area/area_model.h"
+
+#include <cmath>
+
+namespace ringclu {
+namespace {
+
+ComponentArea queue_area(std::string name, int entries, int cam_bits,
+                         int ram_bits, const AreaCells& cells,
+                         double paper_area) {
+  ComponentArea component;
+  component.name = std::move(name);
+  component.area = static_cast<double>(entries) *
+                   (cam_bits * cells.cam_cell + ram_bits * cells.ram_cell);
+  // The paper lays queues out as tall, 1000-lambda-wide strips.
+  component.width = 1000.0;
+  component.height = component.area / component.width;
+  component.paper_reported_area =
+      std::abs(paper_area - component.area) < 1.0 ? 0.0 : paper_area;
+  return component;
+}
+
+ComponentArea square_block(std::string name, double area) {
+  ComponentArea component;
+  component.name = std::move(name);
+  component.area = area;
+  component.height = component.width = std::sqrt(area);
+  return component;
+}
+
+}  // namespace
+
+std::vector<ComponentArea> cluster_component_areas(
+    const ClusterAreaParams& params, const AreaCells& cells) {
+  std::vector<ComponentArea> out;
+  out.push_back(queue_area("issue queue", params.iq_entries,
+                           params.iq_cam_bits, params.iq_ram_bits, cells,
+                           9619200.0));
+  out.push_back(queue_area("comm queue", params.comm_entries,
+                           params.comm_cam_bits, params.comm_ram_bits, cells,
+                           8006400.0));
+  out.push_back(square_block(
+      "register file",
+      static_cast<double>(params.regs) * params.reg_bits *
+          cells.regfile_cell));
+  out.push_back(square_block(
+      "integer ALU", cells.int_alu_per_bit * params.datapath_bits));
+  out.push_back(square_block(
+      "integer multiplier", cells.int_mult_per_bit * params.datapath_bits));
+  out.push_back(
+      square_block("FP unit (add+mult)", cells.fpu_per_bit * params.datapath_bits));
+  return out;
+}
+
+double cluster_total_area(const ClusterAreaParams& params,
+                          const AreaCells& cells) {
+  const std::vector<ComponentArea> components =
+      cluster_component_areas(params, cells);
+  // One INT IQ + one FP IQ + one comm queue; INT and FP register files;
+  // one ALU + one multiplier + one FPU.
+  double total = 0;
+  total += 2 * components[0].area;  // INT + FP issue queues
+  total += components[1].area;      // comm queue
+  total += 2 * components[2].area;  // INT + FP register files
+  total += components[3].area + components[4].area + components[5].area;
+  return total;
+}
+
+}  // namespace ringclu

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file area_model.h
+/// Technology-independent area model for the cluster building blocks
+/// (Table 1 of the paper, parameters after Gupta/Keckler/Burger, TR2000-5).
+/// Areas are in lambda^2 so they hold across process generations.
+///
+/// Queue-like structures (issue queue, comm queue) are CAM+RAM arrays:
+///   area = entries * (cam_bits * cam_cell + ram_bits * ram_cell)
+/// Register files are RAM arrays; functional units are fixed blocks scaled
+/// by datapath width.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ringclu {
+
+/// Cell areas (lambda^2 per bit-cell) used in Table 1.
+struct AreaCells {
+  double cam_cell = 22300.0;
+  double ram_cell = 13900.0;
+  /// Register-file cell for 3R+3W ports; the paper deliberately uses the
+  /// model's 4R+2W average (27200) inflated to 40600 as a pessimistic
+  /// assumption.
+  double regfile_cell = 40600.0;
+  /// Per-bit areas of the functional units (64-bit datapath).
+  double int_alu_per_bit = 2410000.0;
+  double int_mult_per_bit = 1840000.0;
+  double fpu_per_bit = 4550000.0;
+};
+
+/// One row of Table 1.
+struct ComponentArea {
+  std::string name;
+  double area = 0;    ///< lambda^2
+  double height = 0;  ///< lambda (square blocks: sqrt(area); queues: area/1000)
+  double width = 0;   ///< lambda
+  /// The figure printed in the paper, when it differs from the formula
+  /// (the comm-queue row of Table 1 does not match the stated parameters;
+  /// we report both).  0 = matches.
+  double paper_reported_area = 0;
+};
+
+/// Cluster sizing knobs that feed the model.
+struct ClusterAreaParams {
+  int iq_entries = 16;
+  int iq_cam_bits = 12;
+  int iq_ram_bits = 24;
+  int comm_entries = 16;
+  int comm_cam_bits = 6;
+  int comm_ram_bits = 9;
+  int regs = 48;
+  int reg_bits = 64;
+  int datapath_bits = 64;
+};
+
+/// Computes all Table 1 rows.
+[[nodiscard]] std::vector<ComponentArea> cluster_component_areas(
+    const ClusterAreaParams& params = {}, const AreaCells& cells = {});
+
+/// Total area of one cluster module (both queues counted once each for INT
+/// and FP plus comm queue, both register files, one of each functional
+/// unit group).
+[[nodiscard]] double cluster_total_area(const ClusterAreaParams& params = {},
+                                        const AreaCells& cells = {});
+
+}  // namespace ringclu

@@ -1,0 +1,240 @@
+#include "area/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/format.h"
+
+namespace ringclu {
+namespace {
+
+PlacedBlock place(const ComponentArea& component, double x, double y,
+                  bool bypass_endpoint, char data_kind) {
+  PlacedBlock block;
+  block.name = component.name;
+  block.x = x;
+  block.y = y;
+  block.width = component.width;
+  block.height = component.height;
+  block.is_bypass_endpoint = bypass_endpoint;
+  block.data_kind = data_kind;
+  return block;
+}
+
+/// Stacks blocks bottom-up in a column starting at (x, y0).
+double stack_column(std::vector<PlacedBlock>& out,
+                    const std::vector<PlacedBlock>& column) {
+  double max_top = 0;
+  for (const PlacedBlock& block : column) {
+    out.push_back(block);
+    max_top = std::max(max_top, block.top());
+  }
+  return max_top;
+}
+
+}  // namespace
+
+ClusterModule floorplan_module(ModuleShape shape, ModuleDatapath datapath,
+                               const ClusterAreaParams& params,
+                               const AreaCells& cells) {
+  const std::vector<ComponentArea> parts =
+      cluster_component_areas(params, cells);
+  const ComponentArea& iq = parts[0];
+  const ComponentArea& comm = parts[1];
+  const ComponentArea& rf = parts[2];
+  const ComponentArea& alu = parts[3];
+  const ComponentArea& mult = parts[4];
+  const ComponentArea& fpu = parts[5];
+
+  ClusterModule module;
+  module.shape = shape;
+  module.datapath = datapath;
+  std::vector<PlacedBlock> blocks;
+
+  const bool has_int = datapath != ModuleDatapath::FpOnly;
+  const bool has_fp = datapath != ModuleDatapath::IntOnly;
+
+  // Left column: register files and queues (inputs — they are written by
+  // the previous module in the ring).  Right column: functional units
+  // (outputs feed the next module).  Corner modules rotate the output
+  // column to the top edge, which lengthens some wires (Figure 4b).
+  double y = 0;
+  std::vector<PlacedBlock> left;
+  if (has_int) {
+    left.push_back(place(rf, 0, y, false, 'I'));
+    left.back().name = "INT regfile";
+    y += rf.height;
+    left.push_back(place(iq, 0, y, false, 'I'));
+    left.back().name = "INT issue queue";
+    y += iq.height;
+  }
+  left.push_back(place(comm, 0, y, false, ' '));
+  left.back().name = "comm queue";
+  y += comm.height;
+  if (has_fp) {
+    left.push_back(place(iq, 0, y, false, 'F'));
+    left.back().name = "FP issue queue";
+    y += iq.height;
+    left.push_back(place(rf, 0, y, false, 'F'));
+    left.back().name = "FP regfile";
+    y += rf.height;
+  }
+  const double left_width = rf.width;
+
+  std::vector<PlacedBlock> right;
+  if (shape == ModuleShape::Straight) {
+    double ry = 0;
+    if (has_int) {
+      right.push_back(place(alu, left_width, ry, true, 'I'));
+      right.back().name = "INT ALU";
+      ry += alu.height;
+      right.push_back(place(mult, left_width, ry, true, 'I'));
+      right.back().name = "INT mult";
+      ry += mult.height;
+    }
+    if (has_fp) {
+      right.push_back(place(fpu, left_width, ry, true, 'F'));
+      right.back().name = "FPU";
+    }
+  } else {
+    // Corner module: units along the top edge so outputs exit at 90
+    // degrees (Figure 4b); the multiplier sits furthest from the corner.
+    double rx = left_width;
+    const double top_y = std::max(y, fpu.height);
+    if (has_int) {
+      right.push_back(place(mult, rx, top_y - mult.height, true, 'I'));
+      right.back().name = "INT mult";
+      rx += mult.width;
+      right.push_back(place(alu, rx, top_y - alu.height, true, 'I'));
+      right.back().name = "INT ALU";
+      rx += alu.width;
+    }
+    if (has_fp) {
+      right.push_back(place(fpu, rx, top_y - fpu.height, true, 'F'));
+      right.back().name = "FPU";
+    }
+  }
+
+  double top = stack_column(blocks, left);
+  top = std::max(top, stack_column(blocks, right));
+  module.blocks = std::move(blocks);
+  for (const PlacedBlock& block : module.blocks) {
+    module.width = std::max(module.width, block.right());
+    module.height = std::max(module.height, block.top());
+  }
+  (void)top;
+  return module;
+}
+
+double ClusterModule::max_wire_between(const ClusterModule& from,
+                                       const ClusterModule& to,
+                                       char data_kind, AbutSide side) {
+  // The wire length between two blocks is the nearest-edge Manhattan
+  // distance (ports sit on the facing edges), the same first-order measure
+  // the paper uses.  Right abutment: `to` occupies x in
+  // [from.width, from.width + to.width).  Top abutment (ring corner):
+  // `to` occupies y in [from.height, from.height + to.height).
+  double worst = 0;
+  for (const PlacedBlock& out : from.blocks) {
+    if (!out.is_bypass_endpoint || out.data_kind != data_kind) continue;
+    for (const PlacedBlock& in : to.blocks) {
+      if (!in.is_bypass_endpoint || in.data_kind != data_kind) continue;
+      const double off_x = side == AbutSide::Right ? from.width : 0.0;
+      const double off_y = side == AbutSide::Top ? from.height : 0.0;
+      const double in_x0 = off_x + in.x;
+      const double in_x1 = in_x0 + in.width;
+      const double in_y0 = off_y + in.y;
+      const double in_y1 = in_y0 + in.height;
+      const double dx = std::max({0.0, in_x0 - out.right(), out.x - in_x1});
+      const double dy = std::max({0.0, in_y0 - out.top(), out.y - in_y1});
+      worst = std::max(worst, dx + dy);
+    }
+  }
+  return worst;
+}
+
+std::string ClusterModule::render() const {
+  std::string out = str_format(
+      "%s %s module, %.0f x %.0f lambda\n",
+      datapath == ModuleDatapath::Unified
+          ? "unified"
+          : (datapath == ModuleDatapath::IntOnly ? "integer" : "FP"),
+      shape == ModuleShape::Straight ? "straight" : "corner", width, height);
+  for (const PlacedBlock& block : blocks) {
+    out += str_format("  %-16s at (%7.0f,%7.0f) size %7.0f x %7.0f%s\n",
+                      block.name.c_str(), block.x, block.y, block.width,
+                      block.height,
+                      block.is_bypass_endpoint ? "  [bypass]" : "");
+  }
+  return out;
+}
+
+WireLengthStudy run_wire_length_study(const ClusterAreaParams& params,
+                                      const AreaCells& cells) {
+  WireLengthStudy study;
+  const ClusterModule straight =
+      floorplan_module(ModuleShape::Straight, ModuleDatapath::Unified, params,
+                       cells);
+  const ClusterModule corner =
+      floorplan_module(ModuleShape::Corner, ModuleDatapath::Unified, params,
+                       cells);
+  study.unified_straight_to_straight =
+      std::max(ClusterModule::max_wire_between(straight, straight, 'I'),
+               ClusterModule::max_wire_between(straight, straight, 'F'));
+  // Entering a corner is a rightward abutment; leaving it turns the ring,
+  // so the next module abuts the corner module's top edge.
+  using Side = ClusterModule::AbutSide;
+  study.unified_worst_with_corner = std::max(
+      {ClusterModule::max_wire_between(straight, corner, 'I'),
+       ClusterModule::max_wire_between(corner, straight, 'I', Side::Top),
+       ClusterModule::max_wire_between(straight, corner, 'F'),
+       ClusterModule::max_wire_between(corner, straight, 'F', Side::Top)});
+
+  const ClusterModule int_straight = floorplan_module(
+      ModuleShape::Straight, ModuleDatapath::IntOnly, params, cells);
+  const ClusterModule int_corner = floorplan_module(
+      ModuleShape::Corner, ModuleDatapath::IntOnly, params, cells);
+  study.split_int_worst = std::max(
+      {ClusterModule::max_wire_between(int_straight, int_straight, 'I'),
+       ClusterModule::max_wire_between(int_straight, int_corner, 'I'),
+       ClusterModule::max_wire_between(int_corner, int_straight, 'I',
+                                       Side::Top)});
+
+  const ClusterModule fp_straight = floorplan_module(
+      ModuleShape::Straight, ModuleDatapath::FpOnly, params, cells);
+  const ClusterModule fp_corner = floorplan_module(
+      ModuleShape::Corner, ModuleDatapath::FpOnly, params, cells);
+  study.split_fp_worst = std::max(
+      {ClusterModule::max_wire_between(fp_straight, fp_straight, 'F'),
+       ClusterModule::max_wire_between(fp_straight, fp_corner, 'F'),
+       ClusterModule::max_wire_between(fp_corner, fp_straight, 'F',
+                                       Side::Top)});
+
+  // Conventional intra-cluster reference: the largest block's edge.
+  const std::vector<ComponentArea> parts =
+      cluster_component_areas(params, cells);
+  for (const ComponentArea& part : parts) {
+    study.conventional_reference =
+        std::max(study.conventional_reference, part.height);
+  }
+  return study;
+}
+
+std::vector<ModuleShape> ring_placement(int num_clusters) {
+  RINGCLU_EXPECTS(num_clusters == 4 || num_clusters == 8);
+  std::vector<ModuleShape> shapes;
+  if (num_clusters == 4) {
+    shapes.assign(4, ModuleShape::Corner);
+  } else {
+    // Figure 3: 3 + 1 + 3 + 1 around the ring; corners at positions 2 & 6
+    // boundaries (top row of three, corner, bottom row of three, corner).
+    shapes = {ModuleShape::Straight, ModuleShape::Straight,
+              ModuleShape::Straight, ModuleShape::Corner,
+              ModuleShape::Straight, ModuleShape::Straight,
+              ModuleShape::Straight, ModuleShape::Corner};
+  }
+  return shapes;
+}
+
+}  // namespace ringclu

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file floorplan.h
+/// High-level floorplanning of cluster modules (Figures 3-5 of the paper):
+/// places the blocks of straight and corner cluster modules, computes the
+/// worst-case wire length between the outputs of one module and the inputs
+/// of the next around the ring, and evaluates the unified-ring versus
+/// split INT/FP-ring alternatives.
+///
+/// The model is deliberately first-order, as in the paper: blocks are
+/// rectangles, ports sit on block edges, wire length is the Manhattan
+/// distance between port points.
+
+#include <string>
+#include <vector>
+
+#include "area/area_model.h"
+
+namespace ringclu {
+
+/// A placed rectangular block.
+struct PlacedBlock {
+  std::string name;
+  double x = 0;  ///< lower-left corner, lambda
+  double y = 0;
+  double width = 0;
+  double height = 0;
+  /// Functional units are the endpoints of the critical neighbor bypass
+  /// (output of one module's units to the input of the next module's
+  /// units); storage blocks are written a cycle later and are not on the
+  /// back-to-back path.
+  bool is_bypass_endpoint = false;
+  /// Which ring the block's data belongs to ('I' integer, 'F' FP, ' ').
+  char data_kind = ' ';
+
+  [[nodiscard]] double right() const { return x + width; }
+  [[nodiscard]] double top() const { return y + height; }
+  [[nodiscard]] double center_x() const { return x + width / 2; }
+  [[nodiscard]] double center_y() const { return y + height / 2; }
+};
+
+/// The two module shapes of Figure 3 and the split-ring variants of
+/// Figure 5.
+enum class ModuleShape { Straight, Corner };
+enum class ModuleDatapath { Unified, IntOnly, FpOnly };
+
+/// A floorplanned cluster module.
+struct ClusterModule {
+  ModuleShape shape = ModuleShape::Straight;
+  ModuleDatapath datapath = ModuleDatapath::Unified;
+  std::vector<PlacedBlock> blocks;
+  double width = 0;
+  double height = 0;
+
+  /// Worst-case nearest-edge Manhattan distance from a bypass endpoint of
+  /// \p from carrying \p data_kind to a matching endpoint of \p to, when
+  /// the two modules abut side-by-side (from's right edge against to's
+  /// left edge).  This is the quantity Section 3.2 quotes (e.g. 17,400
+  /// lambda from a straight module's integer multiplier output to the next
+  /// straight module's integer-unit inputs).
+  /// Which edge of `from` the next module abuts: straight transitions
+  /// continue rightward; corner transitions turn the ring 90 degrees, so
+  /// the next module sits on the top edge.
+  enum class AbutSide { Right, Top };
+
+  [[nodiscard]] static double max_wire_between(const ClusterModule& from,
+                                               const ClusterModule& to,
+                                               char data_kind,
+                                               AbutSide side = AbutSide::Right);
+
+  /// ASCII rendering for reports.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Builds the floorplan for a module.
+[[nodiscard]] ClusterModule floorplan_module(
+    ModuleShape shape, ModuleDatapath datapath = ModuleDatapath::Unified,
+    const ClusterAreaParams& params = {}, const AreaCells& cells = {});
+
+/// Summary of the wire-length study (the numbers Section 3.2 quotes).
+struct WireLengthStudy {
+  double unified_straight_to_straight = 0;
+  double unified_worst_with_corner = 0;
+  double split_int_worst = 0;
+  double split_fp_worst = 0;
+  /// Intra-cluster reference: the FP unit's edge (the largest block),
+  /// which bounds a conventional cluster's internal bypass length.
+  double conventional_reference = 0;
+};
+
+[[nodiscard]] WireLengthStudy run_wire_length_study(
+    const ClusterAreaParams& params = {}, const AreaCells& cells = {});
+
+/// The 8-cluster ring placement of Figure 3: module shape per position
+/// (corners at the four ring corners, straights between them).
+[[nodiscard]] std::vector<ModuleShape> ring_placement(int num_clusters);
+
+}  // namespace ringclu

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file issue_queue.h
+/// Per-cluster issue queues.  Instructions enter in dispatch order and are
+/// selected oldest-first among ready entries; communication instructions
+/// live in a separate queue (Table 2: 16 comm entries per cluster).
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/value_map.h"
+#include "util/assert.h"
+
+namespace ringclu {
+
+/// Issue-queue entry referencing a ROB slot.
+struct IqEntry {
+  std::uint32_t rob_index = 0;
+  std::uint64_t seq = 0;  ///< age for oldest-first selection
+};
+
+/// Fixed-capacity issue queue; insertion keeps age order because dispatch is
+/// in order, so selection scans front-to-back.
+class IssueQueue {
+ public:
+  explicit IssueQueue(std::size_t capacity) : capacity_(capacity) {
+    RINGCLU_EXPECTS(capacity > 0);
+    entries_.reserve(capacity);
+  }
+
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  void insert(IqEntry entry) {
+    RINGCLU_EXPECTS(!full());
+    RINGCLU_EXPECTS(entries_.empty() || entries_.back().seq < entry.seq);
+    entries_.push_back(entry);
+  }
+
+  /// Removes the entry at position \p index (age order preserved).
+  void remove_at(std::size_t index) {
+    RINGCLU_EXPECTS(index < entries_.size());
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+
+  [[nodiscard]] const IqEntry& at(std::size_t index) const {
+    RINGCLU_EXPECTS(index < entries_.size());
+    return entries_[index];
+  }
+
+  [[nodiscard]] const std::vector<IqEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<IqEntry> entries_;
+};
+
+/// A pending inter-cluster copy: move `value` from `src_cluster`'s register
+/// file to `dst_cluster`'s.  Waits in the source cluster's comm queue until
+/// the value is readable there and a bus slot is free.
+struct CommOp {
+  ValueId value = kInvalidValue;
+  std::uint8_t src_cluster = 0;
+  std::uint8_t dst_cluster = 0;
+  std::int64_t created_cycle = 0;
+  /// First cycle this comm was ready (value readable) and tried the bus;
+  /// -1 until then.  inject_cycle - first_ready_cycle = contention delay.
+  std::int64_t first_ready_cycle = -1;
+};
+
+/// Fixed-capacity communication queue (age-ordered like IssueQueue).
+class CommQueue {
+ public:
+  explicit CommQueue(std::size_t capacity) : capacity_(capacity) {
+    RINGCLU_EXPECTS(capacity > 0);
+    entries_.reserve(capacity);
+  }
+
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  void insert(const CommOp& op) {
+    RINGCLU_EXPECTS(!full());
+    entries_.push_back(op);
+  }
+
+  void remove_at(std::size_t index) {
+    RINGCLU_EXPECTS(index < entries_.size());
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+
+  [[nodiscard]] CommOp& at(std::size_t index) {
+    RINGCLU_EXPECTS(index < entries_.size());
+    return entries_[index];
+  }
+
+  [[nodiscard]] std::vector<CommOp>& entries() { return entries_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<CommOp> entries_;
+};
+
+}  // namespace ringclu

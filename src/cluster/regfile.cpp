@@ -1,0 +1,20 @@
+#include "cluster/regfile.h"
+
+namespace ringclu {
+
+RegFileSet::RegFileSet(int num_clusters, int regs_per_class)
+    : num_clusters_(num_clusters),
+      regs_per_class_(regs_per_class),
+      free_(static_cast<std::size_t>(num_clusters) * kNumRegClasses,
+            regs_per_class) {
+  RINGCLU_EXPECTS(num_clusters >= 1);
+  RINGCLU_EXPECTS(regs_per_class >= kArchRegsPerClass / 4);
+}
+
+int RegFileSet::total_in_use() const {
+  int used = 0;
+  for (int free : free_) used += regs_per_class_ - free;
+  return used;
+}
+
+}  // namespace ringclu

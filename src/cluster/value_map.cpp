@@ -1,0 +1,96 @@
+#include "cluster/value_map.h"
+
+namespace ringclu {
+
+ValueMap::ValueMap(int num_clusters) : num_clusters_(num_clusters) {
+  RINGCLU_EXPECTS(num_clusters >= 1 && num_clusters <= kMaxClusters);
+  values_.reserve(512);
+}
+
+ValueId ValueMap::create(RegClass cls, int home_cluster) {
+  RINGCLU_EXPECTS(home_cluster >= 0 && home_cluster < num_clusters_);
+  ValueId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<ValueId>(values_.size());
+    values_.emplace_back();
+  }
+  ValueInfo& value = values_[id];
+  value = ValueInfo{};
+  value.cls = cls;
+  value.home = static_cast<std::uint8_t>(home_cluster);
+  value.mapped_mask = static_cast<std::uint16_t>(1u << home_cluster);
+  value.live = true;
+  value.readable_cycle.fill(kNeverReadable);
+  value.pending_readers.fill(0);
+  ++live_count_;
+  return id;
+}
+
+void ValueMap::release(ValueId id) {
+  ValueInfo& value = info(id);
+  for (int c = 0; c < num_clusters_; ++c) {
+    RINGCLU_EXPECTS(value.pending_readers[static_cast<std::size_t>(c)] == 0);
+  }
+  value.live = false;
+  free_slots_.push_back(id);
+  --live_count_;
+}
+
+void ValueMap::add_copy(ValueId id, int cluster) {
+  ValueInfo& value = info(id);
+  RINGCLU_EXPECTS(!value.mapped_in(cluster));
+  value.mapped_mask |= static_cast<std::uint16_t>(1u << cluster);
+}
+
+void ValueMap::set_readable(ValueId id, int cluster, std::int64_t cycle) {
+  ValueInfo& value = info(id);
+  RINGCLU_EXPECTS(value.mapped_in(cluster));
+  value.readable_cycle[static_cast<std::size_t>(cluster)] = cycle;
+}
+
+void ValueMap::add_reader(ValueId id, int cluster) {
+  ValueInfo& value = info(id);
+  RINGCLU_EXPECTS(value.mapped_in(cluster));
+  ++value.pending_readers[static_cast<std::size_t>(cluster)];
+}
+
+void ValueMap::remove_reader(ValueId id, int cluster) {
+  ValueInfo& value = info(id);
+  auto& count = value.pending_readers[static_cast<std::size_t>(cluster)];
+  RINGCLU_EXPECTS(count > 0);
+  --count;
+}
+
+ValueId ValueMap::find_evictable(RegClass cls, int cluster, std::int64_t now,
+                                 std::span<const ValueId> exclude) const {
+  for (ValueId id = 0; id < values_.size(); ++id) {
+    const ValueInfo& value = values_[id];
+    if (!value.live || value.cls != cls) continue;
+    if (!value.mapped_in(cluster) || value.home == cluster) continue;
+    if (!value.readable_in(cluster, now)) continue;  // still in flight
+    if (value.pending_readers[static_cast<std::size_t>(cluster)] != 0)
+      continue;
+    bool excluded = false;
+    for (const ValueId banned : exclude) {
+      if (banned == id) excluded = true;
+    }
+    if (excluded) continue;
+    return id;
+  }
+  return kInvalidValue;
+}
+
+void ValueMap::evict_copy(ValueId id, int cluster) {
+  ValueInfo& value = info(id);
+  RINGCLU_EXPECTS(value.mapped_in(cluster));
+  RINGCLU_EXPECTS(value.home != cluster);
+  RINGCLU_EXPECTS(value.pending_readers[static_cast<std::size_t>(cluster)] ==
+                  0);
+  value.mapped_mask &= static_cast<std::uint16_t>(~(1u << cluster));
+  value.readable_cycle[static_cast<std::size_t>(cluster)] = kNeverReadable;
+}
+
+}  // namespace ringclu

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file value_map.h
+/// Tracks every live renamed value: which cluster holds the original
+/// ("home"), which clusters hold copies (arrived or still in flight on a
+/// bus), when the value becomes readable in each cluster, and how many
+/// dispatched-but-not-yet-issued consumers intend to read it in each
+/// cluster.
+///
+/// Both machines follow the register-copy discipline of the paper
+/// (Section 3, after [13][14]): copies are created by communication
+/// instructions and all copies of a value are released together when the
+/// instruction that redefines the architectural register commits.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "isa/reg.h"
+#include "util/assert.h"
+
+namespace ringclu {
+
+using ValueId = std::uint32_t;
+inline constexpr ValueId kInvalidValue = 0xffffffffu;
+inline constexpr int kMaxClusters = 16;
+inline constexpr std::int64_t kNeverReadable =
+    std::numeric_limits<std::int64_t>::max();
+
+/// Book-keeping for one renamed value.
+struct ValueInfo {
+  RegClass cls = RegClass::Int;
+  std::uint8_t home = 0;
+  std::uint16_t mapped_mask = 0;  ///< clusters with a register allocated
+  bool produced = false;          ///< producer has completed execution
+  bool live = false;
+  /// First cycle at which the value can be read in each cluster
+  /// (kNeverReadable when unscheduled / not mapped).
+  std::array<std::int64_t, kMaxClusters> readable_cycle{};
+  /// Dispatched-but-unissued consumers that will read in each cluster.
+  std::array<std::uint16_t, kMaxClusters> pending_readers{};
+
+  [[nodiscard]] bool mapped_in(int cluster) const {
+    return (mapped_mask >> cluster) & 1u;
+  }
+  [[nodiscard]] bool readable_in(int cluster, std::int64_t cycle) const {
+    return readable_cycle[static_cast<std::size_t>(cluster)] <= cycle;
+  }
+};
+
+/// Dense table of live values with slot reuse.
+class ValueMap {
+ public:
+  explicit ValueMap(int num_clusters);
+
+  /// Creates a value homed at \p home_cluster (register allocation is the
+  /// caller's responsibility).  Not readable anywhere until scheduled.
+  [[nodiscard]] ValueId create(RegClass cls, int home_cluster);
+
+  /// Releases a value; all copy bookkeeping must already be undone.
+  void release(ValueId id);
+
+  [[nodiscard]] ValueInfo& info(ValueId id) {
+    RINGCLU_EXPECTS(id < values_.size() && values_[id].live);
+    return values_[id];
+  }
+  [[nodiscard]] const ValueInfo& info(ValueId id) const {
+    RINGCLU_EXPECTS(id < values_.size() && values_[id].live);
+    return values_[id];
+  }
+
+  /// Adds a copy mapping in \p cluster (in flight until scheduled readable).
+  void add_copy(ValueId id, int cluster);
+
+  /// Schedules readability of the value in \p cluster at \p cycle.
+  void set_readable(ValueId id, int cluster, std::int64_t cycle);
+
+  /// Registers / completes a pending read in \p cluster.
+  void add_reader(ValueId id, int cluster);
+  void remove_reader(ValueId id, int cluster);
+
+  /// Finds a copy of some value of class \p cls in \p cluster that can be
+  /// victimized: not the home, already readable (not in flight), with no
+  /// pending readers and not in \p exclude (the dispatching instruction's
+  /// own sources must never be victimized on its behalf).  Returns
+  /// kInvalidValue when none exists.
+  [[nodiscard]] ValueId find_evictable(
+      RegClass cls, int cluster, std::int64_t now,
+      std::span<const ValueId> exclude = {}) const;
+
+  /// Removes the copy in \p cluster (register freeing is the caller's job).
+  void evict_copy(ValueId id, int cluster);
+
+  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+  [[nodiscard]] int num_clusters() const { return num_clusters_; }
+
+ private:
+  int num_clusters_;
+  std::vector<ValueInfo> values_;
+  std::vector<ValueId> free_slots_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace ringclu

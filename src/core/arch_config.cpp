@@ -1,0 +1,141 @@
+#include "core/arch_config.h"
+
+#include "util/assert.h"
+#include "util/format.h"
+
+namespace ringclu {
+
+void ArchConfig::validate() const {
+  RINGCLU_EXPECTS(num_clusters >= 2 && num_clusters <= kMaxClusters);
+  RINGCLU_EXPECTS(issue_width >= 1 && issue_width <= 4);
+  RINGCLU_EXPECTS(num_buses >= 1 && num_buses <= 2);
+  RINGCLU_EXPECTS(hop_latency >= 1 && hop_latency <= 4);
+  RINGCLU_EXPECTS(iq_int >= 4 && iq_fp >= 4 && iq_comm >= 4);
+  // Fewer physical registers than architectural registers per class can
+  // deadlock dispatch; require headroom.
+  RINGCLU_EXPECTS(regs_per_class > kArchRegsPerClass);
+  RINGCLU_EXPECTS(rob_size >= 16 && lsq_size >= 8);
+  RINGCLU_EXPECTS(fetch_width >= 1 && dispatch_width >= 1 &&
+                  commit_width >= 1);
+  RINGCLU_EXPECTS(dcount_threshold >= 1);
+}
+
+std::string ArchConfig::describe() const {
+  std::string out;
+  out += str_format("Configuration: %s\n", name.c_str());
+  out += str_format("  architecture        : %s\n",
+                    std::string(arch_name(arch)).c_str());
+  out += str_format("  steering            : %s\n",
+                    std::string(steer_algo_name(steer)).c_str());
+  out += str_format("  clusters            : %d\n", num_clusters);
+  out += str_format("  issue width         : %d INT + %d FP per cluster\n",
+                    issue_width, issue_width);
+  out += str_format("  buses               : %d x unidirectional pipelined, "
+                    "%d cycle(s)/hop%s\n",
+                    num_buses, hop_latency,
+                    bus_orientation() == BusOrientation::OppositeDirections
+                        ? " (opposite directions)"
+                        : "");
+  out += str_format("  issue queues        : %d INT + %d FP + %d comm "
+                    "entries/cluster\n",
+                    iq_int, iq_fp, iq_comm);
+  out += str_format("  register file       : %d INT + %d FP regs/cluster\n",
+                    regs_per_class, regs_per_class);
+  out += str_format("  fetch/decode/commit : %d / %d / %d wide\n",
+                    fetch_width, decode_width, commit_width);
+  out += str_format("  ROB / LSQ / fetchq  : %d / %d / %d entries\n",
+                    rob_size, lsq_size, fetchq_size);
+  out += str_format("  L1I                 : %lluKB, %u-way, %uB lines "
+                    "(%d cycle)\n",
+                    static_cast<unsigned long long>(mem.l1i.size_bytes / 1024),
+                    mem.l1i.ways, mem.l1i.line_bytes, mem.l1i_latency);
+  out += str_format("  L1D                 : %lluKB, %u-way, %uB lines "
+                    "(%d cycles, %d R/W ports)\n",
+                    static_cast<unsigned long long>(mem.l1d.size_bytes / 1024),
+                    mem.l1d.ways, mem.l1d.line_bytes, mem.l1d_latency,
+                    mem.l1d_ports);
+  out += str_format("  L2                  : %lluKB, %u-way, %uB lines "
+                    "(%d hit / %d miss)\n",
+                    static_cast<unsigned long long>(mem.l2.size_bytes / 1024),
+                    mem.l2.ways, mem.l2.line_bytes, mem.l2_hit_latency,
+                    mem.l2_miss_latency);
+  out += str_format("  to/from D-cache     : %d cycle each way\n",
+                    dcache_transfer);
+  out += str_format("  branch predictor    : hybrid %zuK gshare + %zuK "
+                    "bimodal + %zuK selector, %zu-entry BTB\n",
+                    bpred.gshare_entries / 1024, bpred.bimodal_entries / 1024,
+                    bpred.selector_entries / 1024,
+                    static_cast<std::size_t>(2048));
+  if (arch == ArchKind::Conv && steer == SteerAlgo::Enhanced) {
+    out += str_format("  DCOUNT threshold    : %d\n", dcount_threshold);
+  }
+  return out;
+}
+
+ArchConfig ArchConfig::preset(std::string_view name) {
+  ArchConfig config;
+  config.name = std::string(name);
+
+  std::string_view rest = name;
+
+  // Optional suffixes, in any order after the base name.
+  config.steer = SteerAlgo::Enhanced;
+  config.hop_latency = 1;
+  for (;;) {
+    if (rest.size() > 4 && rest.substr(rest.size() - 4) == "+SSA") {
+      config.steer = SteerAlgo::Simple;
+      rest.remove_suffix(4);
+    } else if (rest.size() > 5 && rest.substr(rest.size() - 5) == "@2cyc") {
+      config.hop_latency = 2;
+      rest.remove_suffix(5);
+    } else {
+      break;
+    }
+  }
+
+  const std::vector<std::string> parts = split(rest, '_');
+  RINGCLU_EXPECTS(parts.size() == 4 && "preset: Arch_Nclus_Bbus_WIW");
+
+  if (parts[0] == "Ring") {
+    config.arch = ArchKind::Ring;
+  } else if (parts[0] == "Conv") {
+    config.arch = ArchKind::Conv;
+  } else {
+    RINGCLU_EXPECTS(false && "preset architecture must be Ring or Conv");
+  }
+
+  RINGCLU_EXPECTS(parts[1].size() >= 5 &&
+                  parts[1].substr(parts[1].size() - 4) == "clus");
+  config.num_clusters = std::stoi(parts[1]);
+  RINGCLU_EXPECTS(parts[2].size() >= 4 &&
+                  parts[2].substr(parts[2].size() - 3) == "bus");
+  config.num_buses = std::stoi(parts[2]);
+  RINGCLU_EXPECTS(parts[3].size() >= 3 &&
+                  parts[3].substr(parts[3].size() - 2) == "IW");
+  config.issue_width = std::stoi(parts[3]);
+
+  // Table 2: per-cluster structures scale with cluster count.
+  if (config.num_clusters <= 4) {
+    config.iq_int = 32;
+    config.iq_fp = 32;
+    config.regs_per_class = 64;
+  } else {
+    config.iq_int = 16;
+    config.iq_fp = 16;
+    config.regs_per_class = 48;
+  }
+
+  config.validate();
+  return config;
+}
+
+std::vector<std::string> ArchConfig::paper_preset_names() {
+  return {
+      "Conv_4clus_1bus_2IW", "Conv_8clus_1bus_1IW", "Conv_8clus_2bus_1IW",
+      "Conv_8clus_1bus_2IW", "Conv_8clus_2bus_2IW", "Ring_4clus_1bus_2IW",
+      "Ring_8clus_1bus_1IW", "Ring_8clus_2bus_1IW", "Ring_8clus_1bus_2IW",
+      "Ring_8clus_2bus_2IW",
+  };
+}
+
+}  // namespace ringclu

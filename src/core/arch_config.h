@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file arch_config.h
+/// Full machine configuration (Table 2 defaults) plus the named preset
+/// registry of Table 3.  Preset names follow the paper:
+///   {Ring|Conv}_{4|8}clus_{1|2}bus_{1|2}IW [+SSA] [@2cyc]
+/// where "+SSA" selects the simple steering algorithm of Section 4.7 and
+/// "@2cyc" selects 2-cycle-per-hop buses (Section 4.6).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bpred/predictor.h"
+#include "mem/hierarchy.h"
+#include "steer/steering.h"
+
+namespace ringclu {
+
+struct ArchConfig {
+  std::string name = "Ring_8clus_1bus_2IW";
+  ArchKind arch = ArchKind::Ring;
+  SteerAlgo steer = SteerAlgo::Enhanced;
+
+  int num_clusters = 8;
+  int issue_width = 2;  ///< per class (INT and FP) per cluster
+  int num_buses = 1;
+  int hop_latency = 1;
+
+  int iq_int = 16;
+  int iq_fp = 16;
+  int iq_comm = 16;
+  int regs_per_class = 48;
+
+  int rob_size = 256;
+  int lsq_size = 128;
+  int fetchq_size = 64;
+  int decodeq_size = 16;
+
+  int fetch_width = 8;
+  int decode_width = 8;
+  int dispatch_width = 8;
+  int commit_width = 8;
+
+  /// One-way latency between any cluster and the centralized D-cache
+  /// cluster (Section 3.3: 1 cycle each way for all clusters).
+  int dcache_transfer = 1;
+
+  /// Conv imbalance threshold (DCOUNT units, instructions).
+  int dcount_threshold = 8;
+
+  /// Allow victimizing idle register copies when a register file fills
+  /// (deadlock-avoidance extension; see DESIGN.md).
+  bool copy_eviction = true;
+
+  /// The alternative copy-release discipline the paper mentions but does
+  /// not evaluate (Section 3): release a register copy as soon as its last
+  /// pending reader has read it, instead of waiting for the redefining
+  /// instruction to commit.  Reduces register pressure at the cost of more
+  /// communications (re-requested copies).  Off by default, as in the
+  /// paper; bench/abl_copy_release measures the trade-off.
+  bool eager_copy_release = false;
+
+  MemHierarchyConfig mem;
+  HybridPredictor::SizeConfig bpred;
+
+  /// Aborts on inconsistent parameters.
+  void validate() const;
+
+  /// Table 2-style multi-line description.
+  [[nodiscard]] std::string describe() const;
+
+  /// Bus orientation implied by the architecture (Ring: all forward;
+  /// Conv with 2 buses: one per direction).
+  [[nodiscard]] BusOrientation bus_orientation() const {
+    return (arch == ArchKind::Conv && num_buses == 2)
+               ? BusOrientation::OppositeDirections
+               : BusOrientation::AllForward;
+  }
+
+  /// Builds a configuration from a Table 3-style name.  Aborts on an
+  /// unparseable name.
+  [[nodiscard]] static ArchConfig preset(std::string_view name);
+
+  /// The ten names evaluated in the paper (Table 3).
+  [[nodiscard]] static std::vector<std::string> paper_preset_names();
+};
+
+}  // namespace ringclu

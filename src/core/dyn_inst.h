@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file dyn_inst.h
+/// In-flight dynamic instruction state (one ROB entry) and the reorder
+/// buffer.  The simulator is trace-driven and correct-path-only, so entries
+/// are only ever retired from the head — never squashed.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/value_map.h"
+#include "isa/micro_op.h"
+#include "util/assert.h"
+#include "util/static_vector.h"
+
+namespace ringclu {
+
+enum class InstState : std::uint8_t {
+  Dispatched,  ///< waiting in an issue queue
+  Issued,      ///< executing
+  Done,        ///< completed; eligible to commit
+};
+
+/// One in-flight instruction.
+struct DynInst {
+  MicroOp op;
+  std::uint64_t seq = 0;
+  InstState state = InstState::Dispatched;
+  int cluster = -1;  ///< -1 for instructions that bypass steering (nops)
+
+  ValueId dst_value = kInvalidValue;
+  /// Previous mapping of the destination register, released at commit.
+  ValueId released_value = kInvalidValue;
+  /// Distinct source values required to *issue* (shared operands
+  /// deduplicated).  For stores this is the address operand only: store
+  /// data is read separately (STA/STD split), tracked by store_data.
+  StaticVector<ValueId, kMaxSrcOperands> srcs;
+  /// Store data value when distinct from the address operand.
+  ValueId store_data = kInvalidValue;
+
+  std::int64_t dispatch_cycle = -1;
+  std::int64_t issue_cycle = -1;
+  std::int64_t complete_cycle = -1;
+  /// Loads: earliest cycle the memory access may start (address at the
+  /// cache cluster).
+  std::int64_t mem_ready_cycle = -1;
+
+  [[nodiscard]] bool done() const { return state == InstState::Done; }
+};
+
+/// Fixed-capacity circular reorder buffer.  Slot indices are stable for an
+/// instruction's lifetime and are what issue queues reference.
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(std::size_t capacity)
+      : slots_(capacity), capacity_(capacity) {
+    RINGCLU_EXPECTS(capacity >= 4);
+  }
+
+  [[nodiscard]] bool full() const { return size_ >= capacity_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Allocates the tail slot.  Returns the slot index.
+  std::uint32_t push(DynInst inst) {
+    RINGCLU_EXPECTS(!full());
+    const std::uint32_t index = tail_;
+    slots_[index] = std::move(inst);
+    tail_ = static_cast<std::uint32_t>((tail_ + 1) % capacity_);
+    ++size_;
+    return index;
+  }
+
+  [[nodiscard]] DynInst& head() {
+    RINGCLU_EXPECTS(!empty());
+    return slots_[head_];
+  }
+
+  [[nodiscard]] std::uint32_t head_index() const {
+    RINGCLU_EXPECTS(!empty());
+    return head_;
+  }
+
+  void pop() {
+    RINGCLU_EXPECTS(!empty());
+    head_ = static_cast<std::uint32_t>((head_ + 1) % capacity_);
+    --size_;
+  }
+
+  [[nodiscard]] DynInst& at(std::uint32_t index) {
+    RINGCLU_EXPECTS(index < capacity_);
+    return slots_[index];
+  }
+  [[nodiscard]] const DynInst& at(std::uint32_t index) const {
+    RINGCLU_EXPECTS(index < capacity_);
+    return slots_[index];
+  }
+
+ private:
+  std::vector<DynInst> slots_;
+  std::size_t capacity_;
+  std::uint32_t head_ = 0;
+  std::uint32_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ringclu

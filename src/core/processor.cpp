@@ -1,0 +1,711 @@
+#include "core/processor.h"
+
+#include "util/assert.h"
+#include "util/rng.h"
+#include "stats/nready.h"
+
+namespace ringclu {
+namespace {
+
+/// Cycles without a commit after which the model declares itself wedged.
+/// Generously above any legitimate stall (an L2 miss chain is ~hundreds).
+constexpr std::int64_t kWatchdogCycles = 100000;
+
+}  // namespace
+
+Processor::Processor(const ArchConfig& config, std::uint64_t seed)
+    : config_(config),
+      policy_(make_steering_policy(config.steer, config.arch,
+                                   config.num_clusters,
+                                   config.dcount_threshold, seed)),
+      values_(config.num_clusters),
+      regs_(config.num_clusters, config.regs_per_class),
+      buses_(config.num_clusters, config.num_buses, config.bus_orientation(),
+             config.hop_latency),
+      mem_(config.mem),
+      lsq_(static_cast<std::size_t>(config.lsq_size)),
+      frontend_(config.bpred),
+      rob_(static_cast<std::size_t>(config.rob_size)) {
+  config_.validate();
+  clusters_.reserve(static_cast<std::size_t>(config.num_clusters));
+  for (int c = 0; c < config.num_clusters; ++c) {
+    clusters_.emplace_back(config.iq_int, config.iq_fp, config.iq_comm,
+                           config.issue_width);
+  }
+  counters_.dispatched_per_cluster.assign(
+      static_cast<std::size_t>(config.num_clusters), 0);
+
+  steer_context_.values = &values_;
+  steer_context_.buses = &buses_;
+  steer_context_.oracle = this;
+  steer_context_.arch = config.arch;
+  steer_context_.num_clusters = config.num_clusters;
+
+  // Initial architectural state: each logical register's value is homed
+  // round-robin across the clusters and readable from cycle 0.
+  for (int flat = 0; flat < kNumFlatArchRegs; ++flat) {
+    const RegClass cls =
+        flat < kArchRegsPerClass ? RegClass::Int : RegClass::Fp;
+    const int home = flat % config.num_clusters;
+    regs_.allocate(home, cls);
+    const ValueId value = values_.create(cls, home);
+    values_.set_readable(value, home, 0);
+    values_.info(value).produced = true;
+    rename_[static_cast<std::size_t>(flat)] = value;
+  }
+}
+
+// --- SteerOracle ---------------------------------------------------------
+
+bool Processor::iq_can_accept(int cluster, UnitKind kind) const {
+  const Cluster& cl = clusters_[static_cast<std::size_t>(cluster)];
+  return kind == UnitKind::Int ? !cl.int_iq.full() : !cl.fp_iq.full();
+}
+
+int Processor::comm_free_entries(int cluster) const {
+  const CommQueue& queue =
+      clusters_[static_cast<std::size_t>(cluster)].comm_queue;
+  return static_cast<int>(config_.iq_comm) - static_cast<int>(queue.size());
+}
+
+bool Processor::regs_obtainable(int cluster, RegClass cls, int count) const {
+  const int free = regs_.free_count(cluster, cls);
+  if (free >= count) return true;
+  if (!config_.copy_eviction) return false;
+  const int deficit = count - free;
+  const std::span<const ValueId> exclude(steering_srcs_.begin(),
+                                         steering_srcs_.size());
+  const ValueId candidate =
+      values_.find_evictable(cls, cluster, cycle_, exclude);
+  // find_evictable returns the first candidate; for deficits > 1 we need to
+  // know there are enough.  Deficits above 1 are rare (dest + copies in one
+  // cluster), so a conservative answer for them is fine.
+  return candidate != kInvalidValue && deficit <= 1;
+}
+
+int Processor::free_regs(int cluster, RegClass cls) const {
+  return regs_.free_count(cluster, cls);
+}
+
+int Processor::free_regs_total(int cluster) const {
+  return regs_.free_count(cluster, RegClass::Int) +
+         regs_.free_count(cluster, RegClass::Fp);
+}
+
+// --- Allocation helpers --------------------------------------------------
+
+bool Processor::allocate_reg_evicting(int cluster, RegClass cls) {
+  if (!regs_.can_allocate(cluster, cls)) {
+    if (!config_.copy_eviction) return false;
+    const std::span<const ValueId> exclude(steering_srcs_.begin(),
+                                           steering_srcs_.size());
+    const ValueId victim =
+        values_.find_evictable(cls, cluster, cycle_, exclude);
+    if (victim == kInvalidValue) return false;
+    values_.evict_copy(victim, cluster);
+    regs_.release(cluster, cls);
+    ++counters_.copy_evictions;
+  }
+  regs_.allocate(cluster, cls);
+  return true;
+}
+
+void Processor::maybe_eager_release(ValueId id, int cluster) {
+  if (!config_.eager_copy_release) return;
+  const ValueInfo& info = values_.info(id);
+  if (info.home == cluster) return;  // originals live until redefinition
+  if (info.pending_readers[static_cast<std::size_t>(cluster)] != 0) return;
+  if (!info.readable_in(cluster, cycle_)) return;  // copy still in flight
+  values_.evict_copy(id, cluster);
+  regs_.release(cluster, info.cls);
+  ++counters_.copy_evictions;  // eager releases count as proactive evictions
+}
+
+void Processor::release_value(ValueId id) {
+  const ValueInfo& info = values_.info(id);
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    if (info.mapped_in(c)) regs_.release(c, info.cls);
+  }
+  values_.release(id);
+}
+
+void Processor::schedule(std::int64_t cycle, EventKind kind,
+                         std::uint32_t rob_index) {
+  RINGCLU_ASSERT(cycle > cycle_ ||
+                 (cycle == cycle_ && kind == EventKind::Complete));
+  events_.push(Event{cycle, kind, rob_index, rob_.at(rob_index).seq});
+}
+
+// --- Events --------------------------------------------------------------
+
+void Processor::complete_instruction(std::uint32_t rob_index) {
+  DynInst& inst = rob_.at(rob_index);
+  RINGCLU_ASSERT(inst.state != InstState::Done);
+  inst.state = InstState::Done;
+  inst.complete_cycle = cycle_;
+  if (inst.op.has_dst()) values_.info(inst.dst_value).produced = true;
+  if (fetch_blocked_ && inst.seq == fetch_blocked_seq_) {
+    fetch_blocked_ = false;  // redirect: fetch resumes this cycle
+  }
+}
+
+void Processor::do_events() {
+  while (!events_.empty() && events_.top().cycle <= cycle_) {
+    const Event event = events_.top();
+    events_.pop();
+    RINGCLU_ASSERT(event.cycle == cycle_);
+    DynInst& inst = rob_.at(event.rob_index);
+    RINGCLU_ASSERT(inst.seq == event.seq);
+    switch (event.kind) {
+      case EventKind::Complete:
+        complete_instruction(event.rob_index);
+        break;
+      case EventKind::AddrReady:
+        lsq_.set_address(inst.seq, inst.op.mem_addr, inst.op.mem_size);
+        if (inst.op.is_store()) {
+          // The store retires from the cluster once its data has also been
+          // read; the cache write happens at commit.
+          if (try_complete_store(event.rob_index)) break;
+          pending_stores_.push_back(event.rob_index);
+        } else {
+          inst.mem_ready_cycle = cycle_ + config_.dcache_transfer;
+          pending_loads_.push_back(event.rob_index);
+        }
+        break;
+    }
+  }
+}
+
+// --- Commit --------------------------------------------------------------
+
+void Processor::do_commit() {
+  int committed = 0;
+  while (committed < config_.commit_width && !rob_.empty()) {
+    DynInst& head = rob_.head();
+    if (!head.done()) break;
+    if (head.op.is_store()) {
+      if (dcache_ports_used_ >= config_.mem.l1d_ports) break;
+      ++dcache_ports_used_;
+      (void)mem_.data_access(head.op.mem_addr);  // write-allocate update
+      ++counters_.stores;
+      lsq_.release(head.seq);
+    } else if (head.op.is_load()) {
+      ++counters_.loads;
+      lsq_.release(head.seq);
+    }
+    if (head.released_value != kInvalidValue) {
+      release_value(head.released_value);
+    }
+    rob_.pop();
+    ++committed;
+    ++committed_total_;
+    ++counters_.committed;
+    last_commit_cycle_ = cycle_;
+  }
+}
+
+// --- Interconnect --------------------------------------------------------
+
+void Processor::do_bus() {
+  deliveries_.clear();
+  buses_.tick(deliveries_);
+  for (const BusDelivery& delivery : deliveries_) {
+    values_.set_readable(static_cast<ValueId>(delivery.payload),
+                         delivery.dst_cluster, cycle_);
+  }
+}
+
+// --- Memory --------------------------------------------------------------
+
+bool Processor::try_complete_store(std::uint32_t rob_index) {
+  DynInst& inst = rob_.at(rob_index);
+  RINGCLU_ASSERT(inst.op.is_store());
+  if (inst.store_data != kInvalidValue) {
+    if (!values_.info(inst.store_data).readable_in(inst.cluster, cycle_)) {
+      return false;
+    }
+    values_.remove_reader(inst.store_data, inst.cluster);
+    maybe_eager_release(inst.store_data, inst.cluster);
+    inst.store_data = kInvalidValue;
+  }
+  complete_instruction(rob_index);
+  return true;
+}
+
+void Processor::do_memory() {
+  for (std::size_t i = 0; i < pending_stores_.size();) {
+    if (try_complete_store(pending_stores_[i])) {
+      pending_stores_.erase(pending_stores_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  for (std::size_t i = 0; i < pending_loads_.size();) {
+    const std::uint32_t rob_index = pending_loads_[i];
+    DynInst& inst = rob_.at(rob_index);
+    if (cycle_ < inst.mem_ready_cycle) {
+      ++i;
+      continue;
+    }
+    const LoadGate gate = lsq_.query_load(inst.seq);
+    if (gate == LoadGate::MustWait) {
+      lsq_.count_load_wait();
+      ++i;
+      continue;
+    }
+    int latency;
+    if (gate == LoadGate::Forward) {
+      lsq_.count_forward();
+      latency = 1;  // store-to-load forwarding inside the LSQ
+    } else {
+      if (dcache_ports_used_ >= config_.mem.l1d_ports) {
+        ++i;  // port contention: retry next cycle
+        continue;
+      }
+      ++dcache_ports_used_;
+      latency = mem_.data_access(inst.op.mem_addr);
+    }
+    const std::int64_t data_ready =
+        cycle_ + latency + config_.dcache_transfer;
+    values_.set_readable(inst.dst_value, dest_home(inst.cluster), data_ready);
+    schedule(data_ready, EventKind::Complete, rob_index);
+    pending_loads_.erase(pending_loads_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+// --- Issue ---------------------------------------------------------------
+
+void Processor::issue_instruction(int cluster, std::uint32_t rob_index) {
+  DynInst& inst = rob_.at(rob_index);
+  RINGCLU_ASSERT(inst.state == InstState::Dispatched);
+  inst.state = InstState::Issued;
+  inst.issue_cycle = cycle_;
+  clusters_[static_cast<std::size_t>(cluster)].fus.acquire(inst.op.cls,
+                                                           cycle_);
+  for (const ValueId src : inst.srcs) {
+    values_.remove_reader(src, cluster);
+    maybe_eager_release(src, cluster);
+  }
+
+  if (inst.op.is_mem()) {
+    // Address generation takes one ALU cycle; the LSQ learns the address
+    // the following cycle.
+    schedule(cycle_ + 1, EventKind::AddrReady, rob_index);
+    return;
+  }
+
+  const int latency = op_latency(inst.op.cls);
+  if (inst.op.has_dst()) {
+    // Result becomes readable in the wakeup cluster exactly when the value
+    // leaves the functional unit: dependent instructions there can issue
+    // back to back.
+    values_.set_readable(inst.dst_value, dest_home(cluster),
+                         cycle_ + latency);
+  }
+  schedule(cycle_ + latency, EventKind::Complete, rob_index);
+}
+
+void Processor::issue_from_queue(int cluster, IssueQueue& queue, int width,
+                                 std::uint32_t& unissued_ready, int& issued) {
+  std::size_t i = 0;
+  while (i < queue.size()) {
+    const IqEntry entry = queue.at(i);
+    DynInst& inst = rob_.at(entry.rob_index);
+    bool ready = true;
+    for (const ValueId src : inst.srcs) {
+      if (!values_.info(src).readable_in(cluster, cycle_)) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) {
+      ++i;
+      continue;
+    }
+    if (issued >= width ||
+        !clusters_[static_cast<std::size_t>(cluster)].fus.available(
+            inst.op.cls, cycle_)) {
+      ++unissued_ready;
+      ++i;
+      continue;
+    }
+    issue_instruction(cluster, entry.rob_index);
+    ++issued;
+    queue.remove_at(i);  // next entry shifts into position i
+  }
+}
+
+void Processor::issue_comms(int cluster) {
+  CommQueue& queue = clusters_[static_cast<std::size_t>(cluster)].comm_queue;
+  std::size_t i = 0;
+  while (i < queue.size()) {
+    CommOp& comm = queue.at(i);
+    if (!values_.info(comm.value).readable_in(cluster, cycle_)) {
+      ++i;
+      continue;
+    }
+    if (comm.first_ready_cycle < 0) comm.first_ready_cycle = cycle_;
+    const std::optional<int> distance =
+        buses_.try_inject(cluster, comm.dst_cluster, comm.value);
+    if (!distance) {
+      ++i;  // bus contention: retry next cycle
+      continue;
+    }
+    values_.remove_reader(comm.value, cluster);  // source read complete
+    ++counters_.comms;
+    counters_.comm_distance_sum += static_cast<std::uint64_t>(*distance);
+    counters_.comm_contention_sum +=
+        static_cast<std::uint64_t>(cycle_ - comm.first_ready_cycle);
+    queue.remove_at(i);
+  }
+}
+
+void Processor::do_issue() {
+  const int n = config_.num_clusters;
+  std::array<std::uint32_t, kMaxClusters> unissued_int{};
+  std::array<std::uint32_t, kMaxClusters> unissued_fp{};
+  std::array<std::uint32_t, kMaxClusters> idle_int{};
+  std::array<std::uint32_t, kMaxClusters> idle_fp{};
+
+  for (int c = 0; c < n; ++c) {
+    Cluster& cluster = clusters_[static_cast<std::size_t>(c)];
+    int issued_int = 0;
+    int issued_fp = 0;
+    issue_from_queue(c, cluster.int_iq, config_.issue_width,
+                     unissued_int[static_cast<std::size_t>(c)], issued_int);
+    issue_from_queue(c, cluster.fp_iq, config_.issue_width,
+                     unissued_fp[static_cast<std::size_t>(c)], issued_fp);
+    idle_int[static_cast<std::size_t>(c)] =
+        static_cast<std::uint32_t>(config_.issue_width - issued_int);
+    idle_fp[static_cast<std::size_t>(c)] =
+        static_cast<std::uint32_t>(config_.issue_width - issued_fp);
+    issue_comms(c);
+  }
+
+  const std::size_t count = static_cast<std::size_t>(n);
+  counters_.nready_sum +=
+      nready_matching({unissued_int.data(), count}, {idle_int.data(), count}) +
+      nready_matching({unissued_fp.data(), count}, {idle_fp.data(), count});
+}
+
+// --- Dispatch ------------------------------------------------------------
+
+SteerRequest Processor::build_request(const MicroOp& op) const {
+  SteerRequest request;
+  request.cls = op.cls;
+  if (op.has_dst()) {
+    request.has_dst = true;
+    request.dst_cls = op.dst.cls;
+  }
+  for (const RegId& src : op.src) {
+    if (!src.valid()) continue;
+    const ValueId value = rename_[static_cast<std::size_t>(src.flat())];
+    if (!request.srcs.contains(value)) {
+      request.srcs.push_back(value);
+      request.src_cls.push_back(src.cls);
+    }
+  }
+  return request;
+}
+
+void Processor::apply_dispatch(const MicroOp& op, std::uint64_t seq,
+                               const SteerRequest& request,
+                               const SteerDecision& decision) {
+  const int cluster = decision.cluster;
+
+  // Register readers for already-mapped sources first: a pending reader
+  // protects the copy from being evicted by the allocations below.
+  for (const ValueId src : request.srcs) {
+    if (values_.info(src).mapped_in(cluster)) {
+      values_.add_reader(src, cluster);
+    }
+  }
+
+  // Copy registers and communication instructions for missing operands.
+  for (const SteerComm& comm : decision.comms) {
+    const ValueId value = request.srcs[comm.operand];
+    const bool allocated =
+        allocate_reg_evicting(cluster, request.src_cls[comm.operand]);
+    RINGCLU_ASSERT(allocated);  // plan_candidate verified obtainability
+    values_.add_copy(value, cluster);
+    values_.add_reader(value, cluster);
+    // The comm itself reads the value in the source cluster; the pending
+    // reader keeps that copy from being evicted before the comm issues.
+    values_.add_reader(value, comm.from_cluster);
+    CommOp comm_op;
+    comm_op.value = value;
+    comm_op.src_cluster = comm.from_cluster;
+    comm_op.dst_cluster = static_cast<std::uint8_t>(cluster);
+    comm_op.created_cycle = cycle_;
+    clusters_[comm.from_cluster].comm_queue.insert(comm_op);
+  }
+
+  DynInst inst;
+  inst.op = op;
+  inst.seq = seq;
+  inst.cluster = cluster;
+  inst.dispatch_cycle = cycle_;
+  inst.srcs = request.srcs;
+
+  // STA/STD split: a store issues (address generation) as soon as its
+  // address operand is ready; the data operand is read when it arrives and
+  // only gates the store's completion, not younger loads' disambiguation.
+  if (op.is_store() && op.src[1].valid()) {
+    const ValueId addr_value =
+        rename_[static_cast<std::size_t>(op.src[0].flat())];
+    const ValueId data_value = inst.srcs.size() == 2
+                                   ? request.srcs[1]
+                                   : kInvalidValue;
+    if (data_value != kInvalidValue && data_value != addr_value) {
+      inst.srcs.clear();
+      inst.srcs.push_back(addr_value);
+      inst.store_data = data_value;
+    }
+  }
+
+  if (op.has_dst()) {
+    const int home = dest_home(cluster);
+    const bool allocated = allocate_reg_evicting(home, op.dst.cls);
+    RINGCLU_ASSERT(allocated);
+    inst.dst_value = values_.create(op.dst.cls, home);
+    inst.released_value = rename_[static_cast<std::size_t>(op.dst.flat())];
+    rename_[static_cast<std::size_t>(op.dst.flat())] = inst.dst_value;
+  }
+
+  if (op.is_mem()) lsq_.allocate(seq, op.is_store());
+
+  const std::uint32_t rob_index = rob_.push(std::move(inst));
+  Cluster& cl = clusters_[static_cast<std::size_t>(cluster)];
+  IssueQueue& queue =
+      op_unit(op.cls) == UnitKind::Int ? cl.int_iq : cl.fp_iq;
+  queue.insert(IqEntry{rob_index, seq});
+
+  policy_->on_dispatch(cluster);
+  ++counters_.dispatched_per_cluster[static_cast<std::size_t>(cluster)];
+}
+
+void Processor::do_dispatch() {
+  int dispatched = 0;
+  bool steer_stalled = false;
+  bool rob_stalled = false;
+  bool lsq_stalled = false;
+
+  while (dispatched < config_.dispatch_width && !decodeq_.empty()) {
+    const FrontEndOp front = decodeq_.front();
+    if (front.stage_cycle >= cycle_) break;  // still in decode this cycle
+    if (rob_.full()) {
+      rob_stalled = true;
+      break;
+    }
+    if (front.op.is_mem() && lsq_.full()) {
+      lsq_stalled = true;
+      break;
+    }
+
+    if (front.op.cls == OpClass::Nop) {
+      DynInst inst;
+      inst.op = front.op;
+      inst.seq = front.seq;
+      inst.state = InstState::Done;
+      inst.dispatch_cycle = cycle_;
+      inst.complete_cycle = cycle_;
+      rob_.push(std::move(inst));
+      decodeq_.pop_front();
+      ++dispatched;
+      continue;
+    }
+
+    const SteerRequest request = build_request(front.op);
+    steering_srcs_ = request.srcs;
+    const SteerDecision decision = policy_->steer(request, steer_context_);
+    if (decision.stall) {
+      steering_srcs_.clear();
+      steer_stalled = true;
+      break;
+    }
+    apply_dispatch(front.op, front.seq, request, decision);
+    steering_srcs_.clear();
+    decodeq_.pop_front();
+    ++dispatched;
+  }
+
+  if (steer_stalled) ++counters_.steer_stall_cycles;
+  if (rob_stalled) ++counters_.rob_stall_cycles;
+  if (lsq_stalled) ++counters_.lsq_stall_cycles;
+}
+
+// --- Front end -----------------------------------------------------------
+
+void Processor::do_decode() {
+  int moved = 0;
+  while (moved < config_.decode_width && !fetchq_.empty() &&
+         decodeq_.size() < static_cast<std::size_t>(config_.decodeq_size)) {
+    FrontEndOp front = fetchq_.front();
+    if (front.stage_cycle >= cycle_) break;  // fetched this cycle
+    front.stage_cycle = cycle_;
+    decodeq_.push_back(front);
+    fetchq_.pop_front();
+    ++moved;
+  }
+}
+
+void Processor::do_fetch(TraceSource& trace) {
+  if (fetch_blocked_) return;
+  if (cycle_ < icache_stall_until_) {
+    ++counters_.icache_stall_cycles;
+    return;
+  }
+
+  int fetched = 0;
+  while (fetched < config_.fetch_width &&
+         fetchq_.size() < static_cast<std::size_t>(config_.fetchq_size)) {
+    if (!have_peeked_) {
+      if (trace_exhausted_ || !trace.next(peeked_)) {
+        trace_exhausted_ = true;
+        break;
+      }
+      have_peeked_ = true;
+    }
+
+    // Instruction-cache access per distinct line.
+    const std::uint64_t line =
+        peeked_.pc / config_.mem.l1i.line_bytes;
+    if (line != last_fetch_line_) {
+      const int latency = mem_.inst_access(peeked_.pc);
+      last_fetch_line_ = line;
+      if (latency > config_.mem.l1i_latency) {
+        icache_stall_until_ = cycle_ + latency;
+        break;  // the op is fetched after the miss completes
+      }
+    }
+
+    FrontEndOp fop;
+    fop.op = peeked_;
+    fop.seq = next_seq_++;
+    fop.stage_cycle = cycle_;
+    have_peeked_ = false;
+
+    bool taken_branch = false;
+    if (fop.op.is_branch()) {
+      const BranchPrediction prediction =
+          frontend_.predict_and_train(fop.op);
+      if (prediction.mispredicted) {
+        fetch_blocked_ = true;
+        fetch_blocked_seq_ = fop.seq;
+      }
+      taken_branch = fop.op.taken;
+    }
+
+    fetchq_.push_back(fop);
+    ++fetched;
+    if (fetch_blocked_) break;   // wait for the branch to resolve
+    if (taken_branch) break;     // one taken branch per fetch cycle
+  }
+}
+
+// --- Main loop -----------------------------------------------------------
+
+void Processor::step() {
+  ++cycle_;
+  dcache_ports_used_ = 0;
+
+  do_events();
+  do_commit();
+  do_bus();
+  do_memory();
+  do_issue();
+  do_dispatch();
+  do_decode();
+
+  ++counters_.cycles;
+  counters_.rob_occupancy_sum += rob_.size();
+  counters_.regs_in_use_sum += static_cast<std::uint64_t>(regs_.total_in_use());
+
+  if (!rob_.empty() && cycle_ - last_commit_cycle_ >= kWatchdogCycles) {
+    dump_state(stderr);
+    RINGCLU_ASSERT(false && "watchdog: no commit progress");
+  }
+}
+
+void Processor::dump_state(std::FILE* out) const {
+  std::fprintf(out, "=== processor state at cycle %lld (%s) ===\n",
+               static_cast<long long>(cycle_), config_.name.c_str());
+  std::fprintf(out, "rob: %zu/%zu fetchq=%zu decodeq=%zu pending_loads=%zu\n",
+               rob_.size(), rob_.capacity(), fetchq_.size(), decodeq_.size(),
+               pending_loads_.size());
+  if (!rob_.empty()) {
+    const DynInst& head = rob_.at(rob_.head_index());
+    std::fprintf(out,
+                 "rob head: seq=%llu cls=%s state=%d cluster=%d "
+                 "dispatch=%lld issue=%lld\n",
+                 static_cast<unsigned long long>(head.seq),
+                 std::string(op_name(head.op.cls)).c_str(),
+                 static_cast<int>(head.state), head.cluster,
+                 static_cast<long long>(head.dispatch_cycle),
+                 static_cast<long long>(head.issue_cycle));
+    for (const ValueId src : head.srcs) {
+      const ValueInfo& info = values_.info(src);
+      std::fprintf(out,
+                   "  src v%u: home=%d mapped=%03x produced=%d readable@%d=%s\n",
+                   src, info.home, info.mapped_mask, info.produced,
+                   head.cluster,
+                   head.cluster >= 0 &&
+                           info.readable_in(head.cluster, cycle_)
+                       ? "yes"
+                       : "no");
+    }
+  }
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    const Cluster& cl = clusters_[static_cast<std::size_t>(c)];
+    std::fprintf(out,
+                 "cluster %d: int_iq=%zu fp_iq=%zu comm=%zu free_int=%d "
+                 "free_fp=%d\n",
+                 c, cl.int_iq.size(), cl.fp_iq.size(), cl.comm_queue.size(),
+                 regs_.free_count(c, RegClass::Int),
+                 regs_.free_count(c, RegClass::Fp));
+  }
+}
+
+SimResult Processor::run(TraceSource& trace, std::uint64_t warmup_instrs,
+                         std::uint64_t measure_instrs) {
+  auto drained = [this]() {
+    return trace_exhausted_ && !have_peeked_ && rob_.empty() &&
+           fetchq_.empty() && decodeq_.empty();
+  };
+  auto sync_external = [this]() {
+    counters_.branches = frontend_.branches();
+    counters_.mispredicts = frontend_.mispredicts();
+    counters_.l1d_accesses = mem_.l1d().accesses();
+    counters_.l1d_misses = mem_.l1d().misses();
+    counters_.l2_accesses = mem_.l2().accesses();
+    counters_.l2_misses = mem_.l2().misses();
+    counters_.load_forwards = lsq_.forwards();
+  };
+
+  while (committed_total_ < warmup_instrs && !drained()) {
+    step();
+    do_fetch(trace);
+  }
+  sync_external();
+  const SimCounters baseline = counters_;
+
+  // Relative to the post-warmup commit count: the warmup loop may overshoot
+  // by up to a commit burst, which must not shorten the measured window.
+  const std::uint64_t target = committed_total_ + measure_instrs;
+  while (committed_total_ < target && !drained()) {
+    step();
+    do_fetch(trace);
+  }
+  sync_external();
+
+  SimResult result;
+  result.config_name = config_.name;
+  result.benchmark = std::string(trace.name());
+  result.counters = counters_.minus(baseline);
+  return result;
+}
+
+}  // namespace ringclu

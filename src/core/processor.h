@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file processor.h
+/// The cycle-level clustered out-of-order processor model.  One Processor
+/// simulates either machine (Ring or Conv) — the differences are confined
+/// to the destination-home rule (next cluster vs. same cluster), the bus
+/// orientation and the steering policy.
+///
+/// Stage order within a cycle (reverse pipeline order, so same-cycle
+/// producer->consumer flows are modeled without double-stepping):
+///   events -> commit -> bus -> memory -> issue -> dispatch -> decode ->
+///   fetch.
+///
+/// Trace-driven, correct-path-only: a mispredicted branch stalls fetch
+/// until it resolves instead of injecting wrong-path work (see DESIGN.md).
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "bpred/predictor.h"
+#include "cluster/fu.h"
+#include "cluster/issue_queue.h"
+#include "cluster/regfile.h"
+#include "cluster/value_map.h"
+#include "core/arch_config.h"
+#include "core/dyn_inst.h"
+#include "core/sim_result.h"
+#include "interconnect/bus_set.h"
+#include "mem/hierarchy.h"
+#include "mem/lsq.h"
+#include "steer/steering.h"
+#include "trace/trace_source.h"
+
+namespace ringclu {
+
+class Processor final : public SteerOracle {
+ public:
+  explicit Processor(const ArchConfig& config, std::uint64_t seed = 1);
+
+  Processor(const Processor&) = delete;
+  Processor& operator=(const Processor&) = delete;
+
+  /// Runs \p warmup_instrs committed instructions to warm caches/predictors,
+  /// then measures until another \p measure_instrs commit.
+  [[nodiscard]] SimResult run(TraceSource& trace, std::uint64_t warmup_instrs,
+                              std::uint64_t measure_instrs);
+
+  // --- SteerOracle -------------------------------------------------------
+  [[nodiscard]] bool iq_can_accept(int cluster, UnitKind kind) const override;
+  [[nodiscard]] int comm_free_entries(int cluster) const override;
+  [[nodiscard]] bool regs_obtainable(int cluster, RegClass cls,
+                                     int count) const override;
+  [[nodiscard]] int free_regs(int cluster, RegClass cls) const override;
+  [[nodiscard]] int free_regs_total(int cluster) const override;
+
+  /// Current cycle (exposed for tests).
+  [[nodiscard]] std::int64_t now() const { return cycle_; }
+
+  /// Diagnostic dump of pipeline/queue/register state.
+  void dump_state(std::FILE* out) const;
+  [[nodiscard]] const ArchConfig& config() const { return config_; }
+  [[nodiscard]] const SimCounters& counters() const { return counters_; }
+  [[nodiscard]] const ValueMap& values() const { return values_; }
+
+ private:
+  struct Cluster {
+    IssueQueue int_iq;
+    IssueQueue fp_iq;
+    CommQueue comm_queue;
+    FuPool fus;
+    Cluster(int iq_int, int iq_fp, int iq_comm, int width)
+        : int_iq(static_cast<std::size_t>(iq_int)),
+          fp_iq(static_cast<std::size_t>(iq_fp)),
+          comm_queue(static_cast<std::size_t>(iq_comm)),
+          fus(width) {}
+  };
+
+  struct FrontEndOp {
+    MicroOp op;
+    std::uint64_t seq = 0;
+    std::int64_t stage_cycle = 0;  ///< cycle the op entered this queue
+  };
+
+  enum class EventKind : std::uint8_t { Complete, AddrReady };
+
+  struct Event {
+    std::int64_t cycle;
+    EventKind kind;
+    std::uint32_t rob_index;
+    std::uint64_t seq;  ///< disambiguates reused ROB slots in ordering
+    bool operator>(const Event& other) const {
+      return cycle != other.cycle ? cycle > other.cycle : seq > other.seq;
+    }
+  };
+
+  // Pipeline stages.
+  void step();
+  void do_events();
+  void do_commit();
+  void do_bus();
+  void do_memory();
+  void do_issue();
+  void do_dispatch();
+  void do_decode();
+  void do_fetch(TraceSource& trace);
+
+  // Issue helpers.
+  void issue_from_queue(int cluster, IssueQueue& queue, int width,
+                        std::uint32_t& unissued_ready, int& issued);
+  void issue_instruction(int cluster, std::uint32_t rob_index);
+  void issue_comms(int cluster);
+
+  // Dispatch helpers.
+  [[nodiscard]] SteerRequest build_request(const MicroOp& op) const;
+  void apply_dispatch(const MicroOp& op, std::uint64_t seq,
+                      const SteerRequest& request,
+                      const SteerDecision& decision);
+
+  // Completion / commit helpers.
+  void complete_instruction(std::uint32_t rob_index);
+  [[nodiscard]] bool try_complete_store(std::uint32_t rob_index);
+  /// Eager copy-release discipline (ArchConfig::eager_copy_release).
+  void maybe_eager_release(ValueId id, int cluster);
+  void release_value(ValueId id);
+  [[nodiscard]] bool allocate_reg_evicting(int cluster, RegClass cls);
+  void schedule(std::int64_t cycle, EventKind kind, std::uint32_t rob_index);
+
+  [[nodiscard]] int dest_home(int cluster) const {
+    return dest_home_cluster(config_.arch, cluster, config_.num_clusters);
+  }
+
+  ArchConfig config_;
+  std::unique_ptr<SteeringPolicy> policy_;
+  SteerContext steer_context_;
+
+  ValueMap values_;
+  RegFileSet regs_;
+  std::vector<Cluster> clusters_;
+  BusSet buses_;
+  MemoryHierarchy mem_;
+  LoadStoreQueue lsq_;
+  FrontEnd frontend_;
+  ReorderBuffer rob_;
+
+  std::deque<FrontEndOp> fetchq_;
+  std::deque<FrontEndOp> decodeq_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<std::uint32_t> pending_loads_;  ///< ROB indices awaiting memory
+  std::vector<std::uint32_t> pending_stores_; ///< stores awaiting their data
+  std::vector<BusDelivery> deliveries_;       ///< scratch, reused per cycle
+
+  // Rename state: logical register -> current value.
+  std::array<ValueId, kNumFlatArchRegs> rename_{};
+
+  std::int64_t cycle_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t committed_total_ = 0;
+  std::int64_t last_commit_cycle_ = 0;
+
+  // Fetch-side state.
+  bool fetch_blocked_ = false;           ///< unresolved mispredict
+  std::uint64_t fetch_blocked_seq_ = 0;  ///< seq of the blocking branch
+  std::int64_t icache_stall_until_ = 0;
+  std::uint64_t last_fetch_line_ = ~0ull;
+  bool trace_exhausted_ = false;
+  bool have_peeked_ = false;
+  MicroOp peeked_;
+
+  int dcache_ports_used_ = 0;
+
+  /// Sources of the instruction currently being steered/dispatched; these
+  /// must never be chosen as copy-eviction victims on its behalf.
+  StaticVector<ValueId, kMaxSrcOperands> steering_srcs_;
+
+  SimCounters counters_;
+};
+
+}  // namespace ringclu

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file sim_result.h
+/// Everything one simulation run reports — the raw counters behind every
+/// figure in the paper's evaluation section.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ringclu {
+
+/// Raw measurement counters (collected after warmup).
+struct SimCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;
+
+  // Communications (Figures 7-9).
+  std::uint64_t comms = 0;
+  std::uint64_t comm_distance_sum = 0;
+  std::uint64_t comm_contention_sum = 0;
+
+  // Workload imbalance (Figures 10/14) and distribution (Figure 11).
+  std::uint64_t nready_sum = 0;
+  std::vector<std::uint64_t> dispatched_per_cluster;
+
+  // Front end.
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t icache_stall_cycles = 0;
+
+  // Memory.
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t load_forwards = 0;
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+
+  // Dispatch behaviour.
+  std::uint64_t steer_stall_cycles = 0;
+  std::uint64_t rob_stall_cycles = 0;
+  std::uint64_t lsq_stall_cycles = 0;
+  std::uint64_t copy_evictions = 0;
+
+  // Occupancy integrals (divide by cycles for averages).
+  std::uint64_t rob_occupancy_sum = 0;
+  std::uint64_t regs_in_use_sum = 0;
+
+  /// Field-wise difference (this - baseline); used to subtract warmup.
+  [[nodiscard]] SimCounters minus(const SimCounters& baseline) const;
+};
+
+/// A finished run.
+struct SimResult {
+  std::string config_name;
+  std::string benchmark;
+  SimCounters counters;
+
+  [[nodiscard]] double ipc() const {
+    return counters.cycles == 0
+               ? 0.0
+               : static_cast<double>(counters.committed) /
+                     static_cast<double>(counters.cycles);
+  }
+  [[nodiscard]] double comms_per_instr() const {
+    return counters.committed == 0
+               ? 0.0
+               : static_cast<double>(counters.comms) /
+                     static_cast<double>(counters.committed);
+  }
+  [[nodiscard]] double avg_comm_distance() const {
+    return counters.comms == 0
+               ? 0.0
+               : static_cast<double>(counters.comm_distance_sum) /
+                     static_cast<double>(counters.comms);
+  }
+  [[nodiscard]] double avg_comm_contention() const {
+    return counters.comms == 0
+               ? 0.0
+               : static_cast<double>(counters.comm_contention_sum) /
+                     static_cast<double>(counters.comms);
+  }
+  [[nodiscard]] double nready_avg() const {
+    return counters.cycles == 0
+               ? 0.0
+               : static_cast<double>(counters.nready_sum) /
+                     static_cast<double>(counters.cycles);
+  }
+  [[nodiscard]] double mispredict_rate() const {
+    return counters.branches == 0
+               ? 0.0
+               : static_cast<double>(counters.mispredicts) /
+                     static_cast<double>(counters.branches);
+  }
+  [[nodiscard]] double avg_rob_occupancy() const {
+    return counters.cycles == 0
+               ? 0.0
+               : static_cast<double>(counters.rob_occupancy_sum) /
+                     static_cast<double>(counters.cycles);
+  }
+
+  /// Fraction of dispatched instructions sent to \p cluster.
+  [[nodiscard]] double dispatch_share(int cluster) const;
+
+  /// One-line summary for logs.
+  [[nodiscard]] std::string summary() const;
+
+  /// Multi-line report with stall breakdown, cache and front-end behaviour.
+  [[nodiscard]] std::string detailed_report() const;
+};
+
+}  // namespace ringclu

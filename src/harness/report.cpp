@@ -1,0 +1,67 @@
+#include "harness/report.h"
+
+#include <cmath>
+
+#include "trace/synth/suite.h"
+#include "util/assert.h"
+
+namespace ringclu {
+namespace {
+
+bool in_group(const SimResult& result, BenchGroup group) {
+  switch (group) {
+    case BenchGroup::All: return true;
+    case BenchGroup::Int: return !is_fp_benchmark(result.benchmark);
+    case BenchGroup::Fp: return is_fp_benchmark(result.benchmark);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view group_name(BenchGroup group) {
+  switch (group) {
+    case BenchGroup::All: return "AVERAGE";
+    case BenchGroup::Int: return "INT";
+    case BenchGroup::Fp: return "FP";
+  }
+  return "?";
+}
+
+double group_mean(std::span<const SimResult> results, BenchGroup group,
+                  const std::function<double(const SimResult&)>& metric) {
+  double sum = 0;
+  int count = 0;
+  for (const SimResult& result : results) {
+    if (!in_group(result, group)) continue;
+    sum += metric(result);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+double group_speedup(std::span<const SimResult> ring,
+                     std::span<const SimResult> conv, BenchGroup group) {
+  RINGCLU_EXPECTS(ring.size() == conv.size());
+  double log_sum = 0;
+  int count = 0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    RINGCLU_EXPECTS(ring[i].benchmark == conv[i].benchmark);
+    if (!in_group(ring[i], group)) continue;
+    const double ratio = ring[i].ipc() / conv[i].ipc();
+    RINGCLU_EXPECTS(ratio > 0);
+    log_sum += std::log(ratio);
+    ++count;
+  }
+  return count == 0 ? 0.0 : std::exp(log_sum / count) - 1.0;
+}
+
+const SimResult& find_result(std::span<const SimResult> results,
+                             std::string_view benchmark) {
+  for (const SimResult& result : results) {
+    if (result.benchmark == benchmark) return result;
+  }
+  RINGCLU_UNREACHABLE("benchmark not present in result set");
+}
+
+}  // namespace ringclu

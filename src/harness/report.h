@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file report.h
+/// Aggregation helpers that turn raw SimResults into the paper's figure
+/// series: AVG / INT / FP group means and Ring-over-Conv speedups.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sim_result.h"
+
+namespace ringclu {
+
+/// Benchmark grouping used by every bar chart in the paper.
+enum class BenchGroup { All, Int, Fp };
+
+[[nodiscard]] std::string_view group_name(BenchGroup group);
+
+/// Arithmetic mean of \p metric over results whose benchmark is in
+/// \p group.
+[[nodiscard]] double group_mean(
+    std::span<const SimResult> results, BenchGroup group,
+    const std::function<double(const SimResult&)>& metric);
+
+/// Geometric mean of per-benchmark IPC ratios (ring[i]/conv[i]) over the
+/// group; the standard "average speedup" figure.  \pre results are
+/// benchmark-aligned.
+[[nodiscard]] double group_speedup(std::span<const SimResult> ring,
+                                   std::span<const SimResult> conv,
+                                   BenchGroup group);
+
+/// Looks up the result for \p benchmark.  \pre present.
+[[nodiscard]] const SimResult& find_result(std::span<const SimResult> results,
+                                           std::string_view benchmark);
+
+}  // namespace ringclu

@@ -1,0 +1,264 @@
+#include "harness/runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/processor.h"
+#include "trace/synth/suite.h"
+#include "util/assert.h"
+#include "util/config.h"
+#include "util/format.h"
+
+namespace ringclu {
+
+RunnerOptions RunnerOptions::from_env() {
+  Config env;
+  env.import_env("RINGCLU_");
+  RunnerOptions options;
+  options.instrs =
+      static_cast<std::uint64_t>(env.get_int("instrs", 200000));
+  options.warmup = static_cast<std::uint64_t>(
+      env.get_int("warmup", static_cast<std::int64_t>(options.instrs / 10)));
+  options.seed = static_cast<std::uint64_t>(env.get_int("seed", 42));
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  options.threads =
+      static_cast<int>(env.get_int("threads", hw > 0 ? hw : 2));
+  options.force = env.get_bool("force", false);
+  options.cache_path = env.get_string("cache", "bench_cache/results.tsv");
+  options.verbose = env.get_bool("verbose", true);
+  return options;
+}
+
+std::string serialize_result(const SimResult& result) {
+  const SimCounters& c = result.counters;
+  std::string line = result.config_name + "\t" + result.benchmark;
+  auto add = [&line](std::uint64_t value) {
+    line += "\t" + std::to_string(value);
+  };
+  add(c.cycles);
+  add(c.committed);
+  add(c.comms);
+  add(c.comm_distance_sum);
+  add(c.comm_contention_sum);
+  add(c.nready_sum);
+  add(c.branches);
+  add(c.mispredicts);
+  add(c.icache_stall_cycles);
+  add(c.loads);
+  add(c.stores);
+  add(c.load_forwards);
+  add(c.l1d_accesses);
+  add(c.l1d_misses);
+  add(c.l2_accesses);
+  add(c.l2_misses);
+  add(c.steer_stall_cycles);
+  add(c.rob_stall_cycles);
+  add(c.lsq_stall_cycles);
+  add(c.copy_evictions);
+  add(c.rob_occupancy_sum);
+  add(c.regs_in_use_sum);
+  std::string clusters;
+  for (std::size_t i = 0; i < c.dispatched_per_cluster.size(); ++i) {
+    if (i != 0) clusters += ",";
+    clusters += std::to_string(c.dispatched_per_cluster[i]);
+  }
+  line += "\t" + clusters;
+  return line;
+}
+
+SimResult deserialize_result(const std::string& line) {
+  std::istringstream in(line);
+  std::string token;
+  SimResult result;
+  auto next = [&in, &token]() {
+    RINGCLU_EXPECTS(static_cast<bool>(std::getline(in, token, '\t')));
+    return token;
+  };
+  auto next_u64 = [&next]() {
+    return static_cast<std::uint64_t>(std::stoull(next()));
+  };
+  result.config_name = next();
+  result.benchmark = next();
+  SimCounters& c = result.counters;
+  c.cycles = next_u64();
+  c.committed = next_u64();
+  c.comms = next_u64();
+  c.comm_distance_sum = next_u64();
+  c.comm_contention_sum = next_u64();
+  c.nready_sum = next_u64();
+  c.branches = next_u64();
+  c.mispredicts = next_u64();
+  c.icache_stall_cycles = next_u64();
+  c.loads = next_u64();
+  c.stores = next_u64();
+  c.load_forwards = next_u64();
+  c.l1d_accesses = next_u64();
+  c.l1d_misses = next_u64();
+  c.l2_accesses = next_u64();
+  c.l2_misses = next_u64();
+  c.steer_stall_cycles = next_u64();
+  c.rob_stall_cycles = next_u64();
+  c.lsq_stall_cycles = next_u64();
+  c.copy_evictions = next_u64();
+  c.rob_occupancy_sum = next_u64();
+  c.regs_in_use_sum = next_u64();
+  for (const std::string& part : split(next(), ',')) {
+    c.dispatched_per_cluster.push_back(std::stoull(part));
+  }
+  return result;
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : options_(std::move(options)) {
+  if (!options_.force) load_cache();
+}
+
+std::string ExperimentRunner::cache_key(const std::string& config,
+                                        const std::string& benchmark) const {
+  return str_format("%s|%s|%llu|%llu|%llu|v%d", config.c_str(),
+                    benchmark.c_str(),
+                    static_cast<unsigned long long>(options_.instrs),
+                    static_cast<unsigned long long>(options_.warmup),
+                    static_cast<unsigned long long>(options_.seed),
+                    kSimSchemaVersion);
+}
+
+void ExperimentRunner::load_cache() {
+  std::ifstream in(options_.cache_path);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t sep = line.find('\t');
+    if (sep == std::string::npos) continue;
+    // Format: key \t serialized-result.
+    const std::string key = line.substr(0, sep);
+    cache_.emplace_back(key, deserialize_result(line.substr(sep + 1)));
+  }
+}
+
+void ExperimentRunner::append_to_cache(const std::string& key,
+                                       const SimResult& result) {
+  const std::filesystem::path path(options_.cache_path);
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(options_.cache_path, std::ios::app);
+  out << key << "\t" << serialize_result(result) << "\n";
+  cache_.emplace_back(key, result);
+}
+
+SimResult ExperimentRunner::run_one(const ArchConfig& config,
+                                    const std::string& benchmark) {
+  std::vector<SimResult> results = run_matrix(
+      std::vector<ArchConfig>{config}, std::vector<std::string>{benchmark});
+  return results.front();
+}
+
+std::vector<SimResult> ExperimentRunner::run_matrix(
+    const std::vector<std::string>& preset_names,
+    const std::vector<std::string>& benchmarks) {
+  std::vector<ArchConfig> configs;
+  configs.reserve(preset_names.size());
+  for (const std::string& name : preset_names) {
+    configs.push_back(ArchConfig::preset(name));
+  }
+  return run_matrix(configs, benchmarks);
+}
+
+std::vector<SimResult> ExperimentRunner::run_matrix(
+    const std::vector<ArchConfig>& configs,
+    const std::vector<std::string>& benchmarks) {
+  struct Pending {
+    std::size_t slot;
+    const ArchConfig* config;
+    const std::string* benchmark;
+    std::string key;
+  };
+
+  std::vector<SimResult> results(configs.size() * benchmarks.size());
+  std::vector<Pending> pending;
+
+  std::size_t slot = 0;
+  for (const ArchConfig& config : configs) {
+    for (const std::string& benchmark : benchmarks) {
+      const std::string key = cache_key(config.name, benchmark);
+      bool hit = false;
+      for (const auto& [cached_key, cached] : cache_) {
+        if (cached_key == key) {
+          results[slot] = cached;
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) pending.push_back(Pending{slot, &config, &benchmark, key});
+      ++slot;
+    }
+  }
+
+  if (!pending.empty()) {
+    if (options_.verbose) {
+      std::fprintf(stderr,
+                   "[ringclu] simulating %zu run(s) (%llu instrs each, "
+                   "%d thread(s))...\n",
+                   pending.size(),
+                   static_cast<unsigned long long>(options_.instrs),
+                   options_.threads);
+    }
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex io_mutex;
+    const int workers = std::max(
+        1, std::min<int>(options_.threads,
+                         static_cast<int>(pending.size())));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&]() {
+        for (;;) {
+          const std::size_t index = next.fetch_add(1);
+          if (index >= pending.size()) return;
+          const Pending& job = pending[index];
+          auto trace = make_benchmark_trace(*job.benchmark, options_.seed);
+          Processor processor(*job.config, options_.seed);
+          SimResult result =
+              processor.run(*trace, options_.warmup, options_.instrs);
+          {
+            const std::lock_guard<std::mutex> lock(io_mutex);
+            results[job.slot] = std::move(result);
+            append_to_cache(job.key, results[job.slot]);
+            const std::size_t finished = done.fetch_add(1) + 1;
+            if (options_.verbose) {
+              std::fprintf(stderr, "[ringclu] %zu/%zu %s\n", finished,
+                           pending.size(), results[job.slot].summary().c_str());
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+  return results;
+}
+
+std::vector<std::string> ExperimentRunner::default_benchmarks() {
+  Config env;
+  env.import_env("RINGCLU_");
+  const std::string filter = env.get_string("benchmarks", "");
+  std::vector<std::string> names;
+  if (!filter.empty()) {
+    for (const std::string& name : split(filter, ',')) names.push_back(name);
+    return names;
+  }
+  for (const BenchmarkDesc& desc : spec2000_benchmarks()) {
+    names.emplace_back(desc.name);
+  }
+  return names;
+}
+
+}  // namespace ringclu

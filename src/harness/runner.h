@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file runner.h
+/// Parallel experiment runner with an on-disk result cache.
+///
+/// Every bench binary shares one cache (bench_cache/results.tsv by
+/// default), so the base (configuration x benchmark) matrix is simulated
+/// once and every figure reads from it.  Results are keyed by
+/// (config name, benchmark, instruction budget, warmup, seed, schema), so
+/// changing any parameter — or bumping kSimSchemaVersion after a simulator
+/// change — re-runs transparently.
+///
+/// Environment knobs:
+///   RINGCLU_INSTRS   measured instructions per run   (default 200000)
+///   RINGCLU_WARMUP   warmup instructions             (default instrs/10)
+///   RINGCLU_SEED     workload seed                   (default 42)
+///   RINGCLU_THREADS  worker threads                  (default hw threads)
+///   RINGCLU_FORCE    ignore the cache when set to 1
+///   RINGCLU_CACHE    cache file path
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/arch_config.h"
+#include "core/sim_result.h"
+
+namespace ringclu {
+
+/// Bump when simulator semantics change so stale cache entries re-run.
+inline constexpr int kSimSchemaVersion = 3;
+
+struct RunnerOptions {
+  std::uint64_t instrs = 200000;
+  std::uint64_t warmup = 20000;
+  std::uint64_t seed = 42;
+  int threads = 2;
+  bool force = false;
+  bool verbose = true;
+  std::string cache_path = "bench_cache/results.tsv";
+
+  /// Reads the RINGCLU_* environment overrides.
+  [[nodiscard]] static RunnerOptions from_env();
+};
+
+/// Runs simulations, caching results on disk.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(RunnerOptions options = RunnerOptions::from_env());
+
+  /// Simulates every (config, benchmark) pair (cache-aware, parallel).
+  /// Results are ordered config-major, matching the input order.
+  [[nodiscard]] std::vector<SimResult> run_matrix(
+      const std::vector<ArchConfig>& configs,
+      const std::vector<std::string>& benchmarks);
+
+  /// Convenience for preset names.
+  [[nodiscard]] std::vector<SimResult> run_matrix(
+      const std::vector<std::string>& preset_names,
+      const std::vector<std::string>& benchmarks);
+
+  /// Single run (cache-aware).
+  [[nodiscard]] SimResult run_one(const ArchConfig& config,
+                                  const std::string& benchmark);
+
+  /// All 26 benchmark names (or the RINGCLU_BENCHMARKS subset).
+  [[nodiscard]] static std::vector<std::string> default_benchmarks();
+
+  [[nodiscard]] const RunnerOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] std::string cache_key(const std::string& config,
+                                      const std::string& benchmark) const;
+  void load_cache();
+  void append_to_cache(const std::string& key, const SimResult& result);
+
+  RunnerOptions options_;
+  // Loaded cache: key -> serialized result line.
+  std::vector<std::pair<std::string, SimResult>> cache_;
+};
+
+/// Serialization helpers (exposed for tests).
+[[nodiscard]] std::string serialize_result(const SimResult& result);
+[[nodiscard]] SimResult deserialize_result(const std::string& line);
+
+}  // namespace ringclu

@@ -1,0 +1,46 @@
+#include "interconnect/bus_set.h"
+
+#include "util/assert.h"
+
+namespace ringclu {
+
+BusSet::BusSet(int num_clusters, int num_buses, BusOrientation orientation,
+               int hop_latency) {
+  RINGCLU_EXPECTS(num_buses >= 1 && num_buses <= 4);
+  RINGCLU_EXPECTS(orientation != BusOrientation::OppositeDirections ||
+                  num_buses == 2);
+  buses_.reserve(static_cast<std::size_t>(num_buses));
+  for (int b = 0; b < num_buses; ++b) {
+    const RingDirection dir =
+        (orientation == BusOrientation::OppositeDirections && b == 1)
+            ? RingDirection::Backward
+            : RingDirection::Forward;
+    buses_.emplace_back(num_clusters, hop_latency, dir);
+  }
+}
+
+int BusSet::min_distance(int src, int dst) const {
+  int best = buses_.front().distance(src, dst);
+  for (std::size_t b = 1; b < buses_.size(); ++b) {
+    best = std::min(best, buses_[b].distance(src, dst));
+  }
+  return best;
+}
+
+std::optional<int> BusSet::try_inject(int src, int dst,
+                                      std::uint64_t payload) {
+  const int best = min_distance(src, dst);
+  for (PipelinedRingBus& bus : buses_) {
+    if (bus.distance(src, dst) != best) continue;
+    if (!bus.can_inject(src)) continue;
+    bus.inject(src, dst, payload);
+    return best;
+  }
+  return std::nullopt;
+}
+
+void BusSet::tick(std::vector<BusDelivery>& out) {
+  for (PipelinedRingBus& bus : buses_) bus.tick(out);
+}
+
+}  // namespace ringclu

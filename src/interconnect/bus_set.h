@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file bus_set.h
+/// A set of 1..B ring buses plus per-communication arbitration.
+///
+/// Ring machine: all buses run in the same (forward) direction — results
+/// already flow forward through the fast neighbor bypass, and the paper's
+/// two-bus Ring configuration doubles forward bandwidth.
+///
+/// Conv machine: with two buses, one runs in each direction "in order to
+/// reduce the distance of the communications" (Section 4.2); a
+/// communication uses the direction with the fewer hops.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "interconnect/ring_bus.h"
+
+namespace ringclu {
+
+/// How the buses of a set are oriented.
+enum class BusOrientation : std::uint8_t {
+  AllForward,          ///< every bus travels cluster i -> i+1 (Ring machine)
+  OppositeDirections,  ///< bus 0 forward, bus 1 backward (Conv, 2 buses)
+};
+
+class BusSet {
+ public:
+  BusSet(int num_clusters, int num_buses, BusOrientation orientation,
+         int hop_latency);
+
+  /// Fewest hops from \p src to \p dst over any bus in the set.
+  /// \pre src != dst.
+  [[nodiscard]] int min_distance(int src, int dst) const;
+
+  /// Attempts to inject a datum, choosing among minimum-distance buses that
+  /// can accept it this cycle.  Returns the chosen hop count, or nullopt
+  /// when every suitable bus is blocked at \p src (bus contention).
+  std::optional<int> try_inject(int src, int dst, std::uint64_t payload);
+
+  /// Advances all buses one cycle; collects deliveries.
+  void tick(std::vector<BusDelivery>& out);
+
+  [[nodiscard]] int num_buses() const {
+    return static_cast<int>(buses_.size());
+  }
+  [[nodiscard]] const PipelinedRingBus& bus(int index) const {
+    return buses_[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  std::vector<PipelinedRingBus> buses_;
+};
+
+}  // namespace ringclu

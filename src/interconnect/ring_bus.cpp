@@ -1,0 +1,75 @@
+#include "interconnect/ring_bus.h"
+
+namespace ringclu {
+
+PipelinedRingBus::PipelinedRingBus(int num_clusters, int hop_latency,
+                                   RingDirection direction)
+    : num_clusters_(num_clusters),
+      hop_latency_(hop_latency),
+      direction_(direction),
+      slots_(static_cast<std::size_t>(num_clusters) *
+             static_cast<std::size_t>(hop_latency)) {
+  RINGCLU_EXPECTS(num_clusters >= 2);
+  RINGCLU_EXPECTS(hop_latency >= 1);
+}
+
+int PipelinedRingBus::distance(int src, int dst) const {
+  RINGCLU_EXPECTS(src >= 0 && src < num_clusters_);
+  RINGCLU_EXPECTS(dst >= 0 && dst < num_clusters_);
+  RINGCLU_EXPECTS(src != dst);
+  const int delta = direction_ == RingDirection::Forward ? dst - src
+                                                         : src - dst;
+  return ((delta % num_clusters_) + num_clusters_) % num_clusters_;
+}
+
+bool PipelinedRingBus::can_inject(int src) const {
+  RINGCLU_EXPECTS(src >= 0 && src < num_clusters_);
+  return !slots_[entry_slot(src)].full;
+}
+
+void PipelinedRingBus::inject(int src, int dst, std::uint64_t payload) {
+  RINGCLU_EXPECTS(can_inject(src));
+  RINGCLU_EXPECTS(dst >= 0 && dst < num_clusters_ && dst != src);
+  Slot& slot = slots_[entry_slot(src)];
+  slot.full = true;
+  slot.dst = dst;
+  slot.payload = payload;
+  ++in_flight_;
+  ++injections_;
+}
+
+void PipelinedRingBus::tick(std::vector<BusDelivery>& out) {
+  ++ticks_;
+  busy_slot_cycles_ += static_cast<std::uint64_t>(in_flight_);
+  if (in_flight_ == 0) return;
+
+  // Advance every occupant one slot in the direction of travel.  Slot
+  // (c*h + k) is k cycles downstream of cluster c's entry point; "forward"
+  // motion means increasing slot index for Forward buses and decreasing for
+  // Backward ones.  All occupants move simultaneously, so we rotate the
+  // whole vector by one.
+  const std::size_t n = slots_.size();
+  std::vector<Slot> next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!slots_[i].full) continue;
+    const std::size_t target = direction_ == RingDirection::Forward
+                                   ? (i + 1) % n
+                                   : (i + n - 1) % n;
+    RINGCLU_ASSERT(!next[target].full);
+    next[target] = slots_[i];
+  }
+
+  // A datum that has just reached its destination's entry slot is delivered
+  // and leaves the ring.
+  for (int c = 0; c < num_clusters_; ++c) {
+    Slot& slot = next[entry_slot(c)];
+    if (slot.full && slot.dst == c) {
+      out.push_back(BusDelivery{c, slot.payload});
+      slot = Slot{};
+      --in_flight_;
+    }
+  }
+  slots_ = std::move(next);
+}
+
+}  // namespace ringclu

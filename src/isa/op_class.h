@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file op_class.h
+/// Micro-operation classes and their execution properties (latency, unit
+/// kind, pipelining) per Table 2 of the paper.
+
+#include <cstdint>
+#include <string_view>
+
+namespace ringclu {
+
+/// Dynamic micro-operation classes.
+enum class OpClass : std::uint8_t {
+  IntAlu,   ///< integer add/sub/logic/shift/compare, 1 cycle
+  IntMult,  ///< integer multiply, 3 cycles, pipelined
+  IntDiv,   ///< integer divide, 20 cycles, non-pipelined
+  FpAdd,    ///< FP add/sub/convert, 2 cycles, pipelined
+  FpMult,   ///< FP multiply, 4 cycles, pipelined
+  FpDiv,    ///< FP divide/sqrt, 12 cycles, non-pipelined
+  Load,     ///< memory load (agen on an integer unit)
+  Store,    ///< memory store (agen on an integer unit, data written at commit)
+  Branch,   ///< conditional branch / jump / call / return (integer unit)
+  Nop,      ///< no-op (consumes fetch/decode/commit bandwidth only)
+};
+
+inline constexpr int kNumOpClasses = 10;
+
+/// Which functional-unit family executes an op class.
+enum class UnitKind : std::uint8_t { Int, Fp };
+
+/// Execution latency in cycles (agen latency for memory ops; the cache adds
+/// its own latency on top).
+[[nodiscard]] constexpr int op_latency(OpClass cls) {
+  switch (cls) {
+    case OpClass::IntAlu: return 1;
+    case OpClass::IntMult: return 3;
+    case OpClass::IntDiv: return 20;
+    case OpClass::FpAdd: return 2;
+    case OpClass::FpMult: return 4;
+    case OpClass::FpDiv: return 12;
+    case OpClass::Load: return 1;
+    case OpClass::Store: return 1;
+    case OpClass::Branch: return 1;
+    case OpClass::Nop: return 1;
+  }
+  return 1;
+}
+
+/// Non-pipelined ops occupy their functional unit for the full latency.
+[[nodiscard]] constexpr bool op_is_nonpipelined(OpClass cls) {
+  return cls == OpClass::IntDiv || cls == OpClass::FpDiv;
+}
+
+/// Unit family used by an op class.  Memory ops and branches perform their
+/// address/condition computation on integer units, as in SimpleScalar.
+[[nodiscard]] constexpr UnitKind op_unit(OpClass cls) {
+  switch (cls) {
+    case OpClass::FpAdd:
+    case OpClass::FpMult:
+    case OpClass::FpDiv:
+      return UnitKind::Fp;
+    default:
+      return UnitKind::Int;
+  }
+}
+
+[[nodiscard]] constexpr bool op_is_mem(OpClass cls) {
+  return cls == OpClass::Load || cls == OpClass::Store;
+}
+
+[[nodiscard]] constexpr bool op_is_branch(OpClass cls) {
+  return cls == OpClass::Branch;
+}
+
+[[nodiscard]] constexpr std::string_view op_name(OpClass cls) {
+  switch (cls) {
+    case OpClass::IntAlu: return "int_alu";
+    case OpClass::IntMult: return "int_mult";
+    case OpClass::IntDiv: return "int_div";
+    case OpClass::FpAdd: return "fp_add";
+    case OpClass::FpMult: return "fp_mult";
+    case OpClass::FpDiv: return "fp_div";
+    case OpClass::Load: return "load";
+    case OpClass::Store: return "store";
+    case OpClass::Branch: return "branch";
+    case OpClass::Nop: return "nop";
+  }
+  return "?";
+}
+
+}  // namespace ringclu

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file reg.h
+/// Architectural register identifiers.  The machine models 32 integer and
+/// 32 floating-point logical registers (Alpha-like), renamed at dispatch.
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/assert.h"
+
+namespace ringclu {
+
+/// Register class: integer or floating point.  The two classes live in
+/// separate per-cluster register files and issue queues.
+enum class RegClass : std::uint8_t { Int = 0, Fp = 1 };
+
+inline constexpr int kNumRegClasses = 2;
+inline constexpr int kArchRegsPerClass = 32;
+
+[[nodiscard]] constexpr std::string_view reg_class_name(RegClass cls) {
+  return cls == RegClass::Int ? "INT" : "FP";
+}
+
+/// An architectural register reference; invalid() marks an absent operand.
+struct RegId {
+  RegClass cls = RegClass::Int;
+  std::int8_t index = -1;  // -1 == invalid
+
+  [[nodiscard]] constexpr bool valid() const { return index >= 0; }
+
+  [[nodiscard]] static constexpr RegId invalid() { return RegId{}; }
+
+  [[nodiscard]] static constexpr RegId make(RegClass cls, int index) {
+    RINGCLU_EXPECTS(index >= 0 && index < kArchRegsPerClass);
+    return RegId{cls, static_cast<std::int8_t>(index)};
+  }
+
+  [[nodiscard]] static constexpr RegId int_reg(int index) {
+    return make(RegClass::Int, index);
+  }
+  [[nodiscard]] static constexpr RegId fp_reg(int index) {
+    return make(RegClass::Fp, index);
+  }
+
+  /// Flat index in [0, 64): INT regs first, then FP regs.
+  [[nodiscard]] constexpr int flat() const {
+    RINGCLU_EXPECTS(valid());
+    return static_cast<int>(cls) * kArchRegsPerClass + index;
+  }
+
+  constexpr bool operator==(const RegId&) const = default;
+};
+
+inline constexpr int kNumFlatArchRegs = kNumRegClasses * kArchRegsPerClass;
+
+}  // namespace ringclu

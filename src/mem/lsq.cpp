@@ -1,0 +1,73 @@
+#include "mem/lsq.h"
+
+namespace ringclu {
+namespace {
+
+bool ranges_overlap(std::uint64_t a, std::uint32_t a_size, std::uint64_t b,
+                    std::uint32_t b_size) {
+  return a < b + b_size && b < a + a_size;
+}
+
+}  // namespace
+
+LoadStoreQueue::LoadStoreQueue(std::size_t capacity) : capacity_(capacity) {
+  RINGCLU_EXPECTS(capacity > 0);
+}
+
+void LoadStoreQueue::allocate(std::uint64_t seq, bool is_store) {
+  RINGCLU_EXPECTS(!full());
+  RINGCLU_EXPECTS(entries_.empty() || entries_.back().seq < seq);
+  entries_.push_back(Entry{seq, 0, 0, is_store, false});
+}
+
+const LoadStoreQueue::Entry* LoadStoreQueue::find(std::uint64_t seq) const {
+  for (const Entry& entry : entries_) {
+    if (entry.seq == seq) return &entry;
+  }
+  return nullptr;
+}
+
+LoadStoreQueue::Entry* LoadStoreQueue::find(std::uint64_t seq) {
+  for (Entry& entry : entries_) {
+    if (entry.seq == seq) return &entry;
+  }
+  return nullptr;
+}
+
+void LoadStoreQueue::set_address(std::uint64_t seq, std::uint64_t addr,
+                                 std::uint32_t size) {
+  Entry* entry = find(seq);
+  RINGCLU_EXPECTS(entry != nullptr);
+  entry->addr = addr;
+  entry->size = size;
+  entry->addr_known = true;
+}
+
+LoadGate LoadStoreQueue::query_load(std::uint64_t seq) const {
+  const Entry* load = find(seq);
+  RINGCLU_EXPECTS(load != nullptr && !load->is_store && load->addr_known);
+
+  // Scan older stores from youngest to oldest; the youngest matching store
+  // is the forwarding candidate.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->seq >= seq || !it->is_store) continue;
+    if (!it->addr_known) return LoadGate::MustWait;
+    if (it->addr == load->addr && it->size >= load->size) {
+      return LoadGate::Forward;
+    }
+    if (ranges_overlap(it->addr, it->size, load->addr, load->size)) {
+      return LoadGate::MustWait;  // partial overlap: wait for the store
+    }
+  }
+  return LoadGate::Proceed;
+}
+
+bool LoadStoreQueue::release(std::uint64_t seq) {
+  RINGCLU_EXPECTS(!entries_.empty());
+  RINGCLU_EXPECTS(entries_.front().seq == seq);
+  const bool was_store = entries_.front().is_store;
+  entries_.pop_front();
+  return was_store;
+}
+
+}  // namespace ringclu

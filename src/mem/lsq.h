@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file lsq.h
+/// Load/store queue (128 entries per Table 2).  Entries are allocated in
+/// program order at dispatch.  Loads may access memory once every older
+/// store has a known address and no older store overlaps (exact-match
+/// store-to-load forwarding is supported); this is conservative, in the
+/// style of SimpleScalar's in-order disambiguation, and identical for the
+/// Ring and Conv machines.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "util/assert.h"
+
+namespace ringclu {
+
+/// Result of asking whether a load may proceed.
+enum class LoadGate : std::uint8_t {
+  Proceed,     ///< no conflicting older store; access the cache
+  Forward,     ///< an older store to the exact same address supplies the data
+  MustWait,    ///< an older store overlaps partially or has an unknown address
+};
+
+/// The load/store queue.
+class LoadStoreQueue {
+ public:
+  explicit LoadStoreQueue(std::size_t capacity = 128);
+
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Allocates an entry at dispatch (program order).  \pre !full().
+  void allocate(std::uint64_t seq, bool is_store);
+
+  /// Records the effective address once address generation completes.
+  void set_address(std::uint64_t seq, std::uint64_t addr, std::uint32_t size);
+
+  /// Checks whether the load \p seq (whose address must be set) may proceed.
+  [[nodiscard]] LoadGate query_load(std::uint64_t seq) const;
+
+  /// Removes the entry at commit.  Entries must be released in program
+  /// order.  Returns true if the released entry was a store (the caller
+  /// then charges a cache write).
+  bool release(std::uint64_t seq);
+
+  /// Statistics.
+  [[nodiscard]] std::uint64_t forwards() const { return forwards_; }
+  [[nodiscard]] std::uint64_t load_waits() const { return load_waits_; }
+  void count_forward() { ++forwards_; }
+  void count_load_wait() { ++load_waits_; }
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::uint64_t addr = 0;
+    std::uint32_t size = 0;
+    bool is_store = false;
+    bool addr_known = false;
+  };
+
+  [[nodiscard]] const Entry* find(std::uint64_t seq) const;
+  [[nodiscard]] Entry* find(std::uint64_t seq);
+
+  std::size_t capacity_;
+  std::deque<Entry> entries_;  // program order: front is oldest
+  std::uint64_t forwards_ = 0;
+  std::uint64_t load_waits_ = 0;
+};
+
+}  // namespace ringclu

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file histogram.h
+/// Small integer-bucket histogram plus a running-mean accumulator, used for
+/// communication-distance and occupancy statistics.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace ringclu {
+
+/// Histogram over non-negative integer samples; samples beyond the last
+/// bucket are clamped into it.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_buckets) : buckets_(num_buckets, 0) {
+    RINGCLU_EXPECTS(num_buckets > 0);
+  }
+
+  void add(std::int64_t sample, std::uint64_t weight = 1) {
+    RINGCLU_EXPECTS(sample >= 0);
+    const std::size_t bucket =
+        std::min<std::size_t>(static_cast<std::size_t>(sample),
+                              buckets_.size() - 1);
+    buckets_[bucket] += weight;
+    total_weight_ += weight;
+    weighted_sum_ += static_cast<std::uint64_t>(sample) * weight;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return total_weight_; }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t index) const {
+    RINGCLU_EXPECTS(index < buckets_.size());
+    return buckets_[index];
+  }
+
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+
+  [[nodiscard]] double mean() const {
+    return total_weight_ == 0
+               ? 0.0
+               : static_cast<double>(weighted_sum_) /
+                     static_cast<double>(total_weight_);
+  }
+
+  /// Smallest sample value v such that at least `fraction` of the weight is
+  /// at buckets <= v.  \pre 0 < fraction <= 1.
+  [[nodiscard]] std::int64_t percentile(double fraction) const {
+    RINGCLU_EXPECTS(fraction > 0 && fraction <= 1);
+    if (total_weight_ == 0) return 0;
+    const double threshold = fraction * static_cast<double>(total_weight_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (static_cast<double>(seen) >= threshold) {
+        return static_cast<std::int64_t>(i);
+      }
+    }
+    return static_cast<std::int64_t>(buckets_.size() - 1);
+  }
+
+  void reset() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_weight_ = 0;
+    weighted_sum_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_weight_ = 0;
+  std::uint64_t weighted_sum_ = 0;
+};
+
+/// Streaming mean over double samples.
+class RunningMean {
+ public:
+  void add(double sample, double weight = 1.0) {
+    sum_ += sample * weight;
+    weight_ += weight;
+  }
+
+  [[nodiscard]] double mean() const {
+    return weight_ == 0 ? 0.0 : sum_ / weight_;
+  }
+
+  [[nodiscard]] double total() const { return sum_; }
+  [[nodiscard]] double weight() const { return weight_; }
+
+  void reset() { sum_ = weight_ = 0; }
+
+ private:
+  double sum_ = 0;
+  double weight_ = 0;
+};
+
+}  // namespace ringclu

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file nready.h
+/// The NREADY workload-imbalance figure (Parcerisa & González; used in
+/// Figures 10 and 14 of the paper): per cycle, the number of ready
+/// instructions that were not issued because their cluster's issue width was
+/// exhausted but that *could* have issued in a different cluster with an
+/// idle slot.
+
+#include <cstdint>
+#include <span>
+
+namespace ringclu {
+
+/// Computes the per-cycle NREADY contribution for one instruction type.
+///
+/// \param unissued_ready  per-cluster count of ready-but-not-issued
+///                        instructions of this type this cycle.
+/// \param idle_slots      per-cluster count of unused issue slots (with a
+///                        free functional unit) of this type this cycle.
+/// \return the maximum number of (instruction, slot) pairings with the
+///         instruction and slot in *different* clusters.
+///
+/// This is a transportation problem on the complete bipartite cluster graph
+/// minus the diagonal; its max-flow has the closed form
+/// min(total demand, total supply, min_i (foreign demand + foreign supply))
+/// (verified against brute force in tests).
+[[nodiscard]] std::uint64_t nready_matching(
+    std::span<const std::uint32_t> unissued_ready,
+    std::span<const std::uint32_t> idle_slots);
+
+}  // namespace ringclu

@@ -1,0 +1,87 @@
+#include "stats/table.h"
+
+#include "util/assert.h"
+#include "util/format.h"
+
+namespace ringclu {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RINGCLU_EXPECTS(!headers_.empty());
+}
+
+void TextTable::begin_row() {
+  if (!rows_.empty()) {
+    RINGCLU_EXPECTS(rows_.back().size() == headers_.size());
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+}
+
+void TextTable::add_cell(std::string_view text) {
+  RINGCLU_EXPECTS(!rows_.empty() && rows_.back().size() < headers_.size());
+  rows_.back().emplace_back(text);
+}
+
+void TextTable::add_cell(double value, int decimals) {
+  add_cell(str_format("%.*f", decimals, value));
+}
+
+void TextTable::add_cell(long long value) {
+  add_cell(std::to_string(value));
+}
+
+std::string TextTable::render_aligned() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    RINGCLU_EXPECTS(row.size() == headers_.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += pad_right(headers_[c], widths[c]);
+    out += (c + 1 < headers_.size()) ? "  " : "";
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += std::string(widths[c], '-');
+    out += (c + 1 < headers_.size()) ? "  " : "";
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += pad_right(row[c], widths[c]);
+      out += (c + 1 < row.size()) ? "  " : "";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  std::string out = join(headers_, ",") + "\n";
+  for (const auto& row : rows_) {
+    RINGCLU_EXPECTS(row.size() == headers_.size());
+    out += join(row, ",") + "\n";
+  }
+  return out;
+}
+
+std::string TextTable::render_markdown() const {
+  std::string out = "| " + join(headers_, " | ") + " |\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += "---|";
+  out += '\n';
+  for (const auto& row : rows_) {
+    RINGCLU_EXPECTS(row.size() == headers_.size());
+    out += "| " + join(row, " | ") + " |\n";
+  }
+  return out;
+}
+
+}  // namespace ringclu

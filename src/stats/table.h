@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file table.h
+/// Text table builder used by the bench harness to print the paper's
+/// figure/table series in aligned column, CSV and markdown forms.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ringclu {
+
+/// A rectangular text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row.  Rows must be completed (all columns filled) before
+  /// rendering.
+  void begin_row();
+
+  void add_cell(std::string_view text);
+  void add_cell(double value, int decimals = 3);
+  void add_cell(long long value);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return headers_.size(); }
+
+  /// Space-aligned rendering for terminals.
+  [[nodiscard]] std::string render_aligned() const;
+
+  /// Comma-separated rendering (no quoting; cells must not contain commas).
+  [[nodiscard]] std::string render_csv() const;
+
+  /// GitHub-flavored markdown rendering.
+  [[nodiscard]] std::string render_markdown() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ringclu

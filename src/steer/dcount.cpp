@@ -1,0 +1,46 @@
+#include "steer/dcount.h"
+
+#include <algorithm>
+
+namespace ringclu {
+
+DcountTracker::DcountTracker(int num_clusters, int saturation)
+    : counters_(static_cast<std::size_t>(num_clusters), 0),
+      limit_(static_cast<std::int64_t>(saturation) * num_clusters) {
+  RINGCLU_EXPECTS(num_clusters >= 1);
+  RINGCLU_EXPECTS(saturation >= 1);
+}
+
+void DcountTracker::on_dispatch(int cluster) {
+  RINGCLU_EXPECTS(cluster >= 0 && cluster < num_clusters());
+  const int n = num_clusters();
+  for (int c = 0; c < n; ++c) {
+    std::int64_t& counter = counters_[static_cast<std::size_t>(c)];
+    counter += (c == cluster) ? (n - 1) : -1;
+    counter = std::clamp(counter, -limit_, limit_);
+  }
+}
+
+double DcountTracker::imbalance() const {
+  const auto [min_it, max_it] =
+      std::minmax_element(counters_.begin(), counters_.end());
+  return static_cast<double>(*max_it - *min_it) /
+         static_cast<double>(num_clusters());
+}
+
+int DcountTracker::least_loaded() const {
+  int best = 0;
+  for (int c = 1; c < num_clusters(); ++c) {
+    if (counters_[static_cast<std::size_t>(c)] <
+        counters_[static_cast<std::size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+void DcountTracker::reset() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+}  // namespace ringclu

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file dcount.h
+/// DCOUNT workload-imbalance tracker used by the Conv baseline's steering
+/// (Parcerisa & González; see DESIGN.md for the approximation note).
+///
+/// Each cluster keeps a signed counter of its deviation from a perfectly
+/// uniform dispatch share: dispatching to cluster i adds (N-1) to dc[i] and
+/// subtracts 1 from every other counter, so the sum stays at zero.
+/// Counters saturate so that ancient history cannot dominate.  The
+/// imbalance figure is (max - min) / N, in instructions.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace ringclu {
+
+class DcountTracker {
+ public:
+  /// \p saturation bounds each counter to +/- saturation*N.
+  explicit DcountTracker(int num_clusters, int saturation = 512);
+
+  void on_dispatch(int cluster);
+
+  /// (max - min) / N, in instruction units.
+  [[nodiscard]] double imbalance() const;
+
+  /// Counter value for a cluster (lower = less loaded).
+  [[nodiscard]] std::int64_t count(int cluster) const {
+    RINGCLU_EXPECTS(cluster >= 0 && cluster < num_clusters());
+    return counters_[static_cast<std::size_t>(cluster)];
+  }
+
+  /// Cluster with the lowest DCOUNT (ties: lowest index).
+  [[nodiscard]] int least_loaded() const;
+
+  [[nodiscard]] int num_clusters() const {
+    return static_cast<int>(counters_.size());
+  }
+
+  void reset();
+
+ private:
+  std::vector<std::int64_t> counters_;
+  std::int64_t limit_;
+};
+
+}  // namespace ringclu

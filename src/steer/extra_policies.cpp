@@ -1,0 +1,32 @@
+#include "steer/extra_policies.h"
+
+namespace ringclu {
+
+SteerDecision RoundRobinSteering::steer(const SteerRequest& request,
+                                        const SteerContext& context) {
+  // Try the round-robin cluster first, then successors, so a single full
+  // cluster does not wedge dispatch.
+  for (int offset = 0; offset < num_clusters_; ++offset) {
+    const int cluster = (next_ + offset) % num_clusters_;
+    SteerDecision plan;
+    if (plan_candidate(request, cluster, context, plan)) {
+      next_ = (cluster + 1) % num_clusters_;
+      return plan;
+    }
+  }
+  return SteerDecision::stalled();
+}
+
+SteerDecision RandomSteering::steer(const SteerRequest& request,
+                                    const SteerContext& context) {
+  const int start =
+      static_cast<int>(rng_.uniform(static_cast<std::uint64_t>(num_clusters_)));
+  for (int offset = 0; offset < num_clusters_; ++offset) {
+    const int cluster = (start + offset) % num_clusters_;
+    SteerDecision plan;
+    if (plan_candidate(request, cluster, context, plan)) return plan;
+  }
+  return SteerDecision::stalled();
+}
+
+}  // namespace ringclu

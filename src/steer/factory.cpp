@@ -1,0 +1,31 @@
+#include "steer/conv_steering.h"
+#include "steer/extra_policies.h"
+#include "steer/ring_steering.h"
+#include "steer/ssa_steering.h"
+#include "steer/steering.h"
+#include "util/assert.h"
+
+namespace ringclu {
+
+std::unique_ptr<SteeringPolicy> make_steering_policy(SteerAlgo algo,
+                                                     ArchKind arch,
+                                                     int num_clusters,
+                                                     int dcount_threshold,
+                                                     std::uint64_t seed) {
+  switch (algo) {
+    case SteerAlgo::Enhanced:
+      if (arch == ArchKind::Ring) {
+        return std::make_unique<RingSteering>(num_clusters);
+      }
+      return std::make_unique<ConvSteering>(num_clusters, dcount_threshold);
+    case SteerAlgo::Simple:
+      return std::make_unique<SimpleSteering>(num_clusters);
+    case SteerAlgo::RoundRobin:
+      return std::make_unique<RoundRobinSteering>(num_clusters);
+    case SteerAlgo::Random:
+      return std::make_unique<RandomSteering>(num_clusters, seed);
+  }
+  RINGCLU_UNREACHABLE("unknown steering algorithm");
+}
+
+}  // namespace ringclu

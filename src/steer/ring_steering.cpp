@@ -1,0 +1,83 @@
+#include "steer/ring_steering.h"
+
+#include "util/assert.h"
+
+namespace ringclu {
+
+SteerDecision RingSteering::select(const SteerRequest& request,
+                                   const SteerContext& context,
+                                   std::uint32_t candidate_mask,
+                                   bool use_distance) {
+  SteerDecision best = SteerDecision::stalled();
+  int best_distance = INT32_MAX;
+  int best_free = -1;
+  int best_rotation = INT32_MAX;
+
+  for (int c = 0; c < num_clusters_; ++c) {
+    if (((candidate_mask >> c) & 1u) == 0) continue;
+
+    SteerDecision plan;
+    if (!plan_candidate(request, c, context, plan)) continue;
+
+    const int distance =
+        use_distance ? total_comm_distance(request, c, context) : 0;
+    const int free = free_reg_score(request, c, context);
+    const int rotation = (c - rotate_ + num_clusters_) % num_clusters_;
+
+    const bool better =
+        distance < best_distance ||
+        (distance == best_distance &&
+         (free > best_free ||
+          (free == best_free && rotation < best_rotation)));
+    if (better) {
+      best = plan;
+      best_distance = distance;
+      best_free = free;
+      best_rotation = rotation;
+    }
+  }
+  return best;
+}
+
+SteerDecision RingSteering::steer(const SteerRequest& request,
+                                  const SteerContext& context) {
+  RINGCLU_EXPECTS(context.num_clusters == num_clusters_);
+  const ValueMap& values = *context.values;
+
+  const std::uint32_t all_mask =
+      num_clusters_ >= 32 ? 0xffffffffu : ((1u << num_clusters_) - 1u);
+
+  switch (request.srcs.size()) {
+    case 0:
+      return select(request, context, all_mask, /*use_distance=*/false);
+
+    case 1: {
+      const std::uint32_t mapped = values.info(request.srcs[0]).mapped_mask;
+      RINGCLU_ASSERT(mapped != 0);
+      return select(request, context, mapped, /*use_distance=*/false);
+    }
+
+    case 2: {
+      const std::uint32_t mapped0 = values.info(request.srcs[0]).mapped_mask;
+      const std::uint32_t mapped1 = values.info(request.srcs[1]).mapped_mask;
+      const std::uint32_t both = mapped0 & mapped1;
+      if (both != 0) {
+        return select(request, context, both, /*use_distance=*/false);
+      }
+      // No cluster maps both: pick among clusters mapping exactly one
+      // operand, minimizing the communication distance of the other.
+      return select(request, context, mapped0 | mapped1,
+                    /*use_distance=*/true);
+    }
+
+    default:
+      RINGCLU_UNREACHABLE("more than two source operands");
+  }
+}
+
+void RingSteering::on_dispatch(int cluster) {
+  (void)cluster;
+  rotate_ = (rotate_ + 1) % num_clusters_;
+}
+
+}  // namespace ringclu

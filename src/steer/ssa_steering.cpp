@@ -1,0 +1,33 @@
+#include "steer/ssa_steering.h"
+
+#include "util/assert.h"
+
+namespace ringclu {
+
+SteerDecision SimpleSteering::steer(const SteerRequest& request,
+                                    const SteerContext& context) {
+  if (!request.srcs.empty()) {
+    // Lowest-index cluster that stores (or will store) the leftmost operand.
+    const std::uint32_t mapped =
+        context.values->info(request.srcs[0]).mapped_mask;
+    RINGCLU_ASSERT(mapped != 0);
+    int cluster = 0;
+    while (((mapped >> cluster) & 1u) == 0) ++cluster;
+
+    SteerDecision plan;
+    if (!plan_candidate(request, cluster, context, plan)) {
+      return SteerDecision::stalled();  // chosen cluster full -> stall
+    }
+    return plan;
+  }
+
+  // No input operands: round robin, advancing only on successful placement.
+  SteerDecision plan;
+  if (!plan_candidate(request, round_robin_, context, plan)) {
+    return SteerDecision::stalled();
+  }
+  round_robin_ = (round_robin_ + 1) % num_clusters_;
+  return plan;
+}
+
+}  // namespace ringclu

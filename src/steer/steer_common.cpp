@@ -1,0 +1,113 @@
+#include "steer/steer_common.h"
+
+#include "util/assert.h"
+
+namespace ringclu {
+
+CommPlanStep plan_operand(ValueId value, int cluster,
+                          const SteerContext& context) {
+  const ValueInfo& info = context.values->info(value);
+  if (info.mapped_in(cluster)) return CommPlanStep{0, -1};
+
+  CommPlanStep best{INT32_MAX, -1};
+  for (int s = 0; s < context.num_clusters; ++s) {
+    if (!info.mapped_in(s)) continue;
+    const int distance = context.buses->min_distance(s, cluster);
+    if (distance < best.distance) best = CommPlanStep{distance, s};
+  }
+  RINGCLU_ASSERT(best.from_cluster >= 0);  // every live value is mapped
+  return best;
+}
+
+bool plan_candidate(const SteerRequest& request, int cluster,
+                    const SteerContext& context, SteerDecision& decision) {
+  const SteerOracle& oracle = *context.oracle;
+
+  if (!oracle.iq_can_accept(cluster, op_unit(request.cls))) return false;
+
+  decision.comms.clear();
+
+  // Register needs per (cluster, class); at most three groups: destination
+  // plus up to two operand copies.
+  struct Need {
+    int cluster;
+    RegClass cls;
+    int count;
+  };
+  StaticVector<Need, 3> needs;
+  auto add_need = [&needs](int c, RegClass cls) {
+    for (Need& need : needs) {
+      if (need.cluster == c && need.cls == cls) {
+        ++need.count;
+        return;
+      }
+    }
+    needs.push_back(Need{c, cls, 1});
+  };
+
+  if (request.has_dst) {
+    add_need(dest_home_cluster(context.arch, cluster, context.num_clusters),
+             request.dst_cls);
+  }
+
+  // Comm-queue needs per source cluster.
+  StaticVector<int, kMaxSrcOperands> comm_sources;
+  for (std::size_t i = 0; i < request.srcs.size(); ++i) {
+    const CommPlanStep plan = plan_operand(request.srcs[i], cluster, context);
+    if (plan.from_cluster < 0) continue;  // operand already mapped here
+    decision.comms.push_back(
+        SteerComm{static_cast<std::uint8_t>(i),
+                  static_cast<std::uint8_t>(plan.from_cluster)});
+    add_need(cluster, request.src_cls[i]);
+    comm_sources.push_back(plan.from_cluster);
+  }
+
+  for (const Need& need : needs) {
+    if (!oracle.regs_obtainable(need.cluster, need.cls, need.count)) {
+      return false;
+    }
+  }
+
+  for (std::size_t i = 0; i < comm_sources.size(); ++i) {
+    int required = 1;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (comm_sources[j] == comm_sources[i]) ++required;
+    }
+    if (oracle.comm_free_entries(comm_sources[i]) < required) return false;
+  }
+
+  decision.stall = false;
+  decision.cluster = cluster;
+  return true;
+}
+
+int total_comm_distance(const SteerRequest& request, int cluster,
+                        const SteerContext& context) {
+  int total = 0;
+  for (std::size_t i = 0; i < request.srcs.size(); ++i) {
+    total += plan_operand(request.srcs[i], cluster, context).distance;
+  }
+  return total;
+}
+
+int longest_comm_distance(const SteerRequest& request, int cluster,
+                          const SteerContext& context) {
+  int longest = 0;
+  for (std::size_t i = 0; i < request.srcs.size(); ++i) {
+    longest = std::max(longest,
+                       plan_operand(request.srcs[i], cluster, context).distance);
+  }
+  return longest;
+}
+
+int free_reg_score(const SteerRequest& request, int cluster,
+                   const SteerContext& context) {
+  if (request.has_dst) {
+    return context.oracle->free_regs(
+        dest_home_cluster(context.arch, cluster, context.num_clusters),
+        request.dst_cls);
+  }
+  return context.oracle->free_regs_total(cluster);
+}
+
+}  // namespace ringclu

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file steer_common.h
+/// Helpers shared by the steering policies: candidate viability (capacity
+/// checks plus communication planning) and distance computations.
+
+#include "steer/steering.h"
+
+namespace ringclu {
+
+/// Shortest bus distance from any cluster where \p value is mapped to
+/// \p cluster; 0 when mapped in \p cluster itself.  Also reports the best
+/// source cluster (lowest index among equals).
+struct CommPlanStep {
+  int distance = 0;
+  int from_cluster = -1;  ///< -1 when no communication is needed
+};
+
+[[nodiscard]] CommPlanStep plan_operand(ValueId value, int cluster,
+                                        const SteerContext& context);
+
+/// Checks whether \p cluster can accept \p request: issue-queue entry,
+/// destination register at the dest-home cluster, and a copy register plus
+/// a comm-queue entry for every operand not mapped at \p cluster.  On
+/// success fills \p decision with the cluster and planned comms.
+[[nodiscard]] bool plan_candidate(const SteerRequest& request, int cluster,
+                                  const SteerContext& context,
+                                  SteerDecision& decision);
+
+/// Sum of communication distances \p request would incur at \p cluster.
+[[nodiscard]] int total_comm_distance(const SteerRequest& request, int cluster,
+                                      const SteerContext& context);
+
+/// Longest single-operand communication distance at \p cluster (the Conv
+/// criterion: "clusters that minimize the longest communication distance").
+[[nodiscard]] int longest_comm_distance(const SteerRequest& request,
+                                        int cluster,
+                                        const SteerContext& context);
+
+/// The free-register score used by the Ring policy's "more free registers"
+/// rule: free registers of the destination class in the cluster that will
+/// hold the destination (candidate+1 for Ring — see the paper's Figure 2
+/// example), or total free registers when the instruction has no
+/// destination.
+[[nodiscard]] int free_reg_score(const SteerRequest& request, int cluster,
+                                 const SteerContext& context);
+
+}  // namespace ringclu

@@ -1,0 +1,122 @@
+#include "trace/synth/kernel.h"
+
+#include <algorithm>
+
+namespace ringclu {
+namespace {
+
+/// Largest lag with which \p vid is referenced anywhere in \p body.
+int max_lag(const std::vector<KernelOp>& body, int vid) {
+  int lag = 0;
+  for (const KernelOp& op : body) {
+    for (const SymOperand* operand : {&op.src0, &op.src1}) {
+      if (operand->kind == SymOperand::Kind::Value && operand->index == vid) {
+        lag = std::max(lag, static_cast<int>(operand->lag));
+      }
+    }
+  }
+  return lag;
+}
+
+}  // namespace
+
+int Kernel::register_demand(RegClass cls) const {
+  int demand = cls == RegClass::Int ? int_invariants : fp_invariants;
+  for (const KernelOp& op : body) {
+    if (op.dst_vid < 0 || op.dst_cls != cls) continue;
+    demand += max_lag(body, op.dst_vid) + 1;
+  }
+  return demand;
+}
+
+const Kernel& Kernel::validate() const {
+  RINGCLU_EXPECTS(!body.empty());
+  std::vector<bool> defined;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const KernelOp& op = body[i];
+    if (op.dst_vid >= 0) {
+      if (defined.size() <= static_cast<std::size_t>(op.dst_vid)) {
+        defined.resize(static_cast<std::size_t>(op.dst_vid) + 1, false);
+      }
+    }
+    for (const SymOperand* operand : {&op.src0, &op.src1}) {
+      switch (operand->kind) {
+        case SymOperand::Kind::None:
+          break;
+        case SymOperand::Kind::Invariant: {
+          const int limit = operand->invariant_class() == RegClass::Int
+                                ? int_invariants
+                                : fp_invariants;
+          RINGCLU_EXPECTS(operand->invariant_slot() < limit);
+          break;
+        }
+        case SymOperand::Kind::Value: {
+          RINGCLU_EXPECTS(operand->lag >= 0);
+          // Lag-0 references must point at an op earlier in the body.
+          if (operand->lag == 0) {
+            bool found = false;
+            for (std::size_t j = 0; j < i; ++j) {
+              if (body[j].dst_vid == operand->index) found = true;
+            }
+            RINGCLU_EXPECTS(found && "lag-0 reference to a later value");
+          }
+          break;
+        }
+      }
+    }
+    if (op.dst_vid >= 0) defined[static_cast<std::size_t>(op.dst_vid)] = true;
+    RINGCLU_EXPECTS(op.cls != OpClass::Branch || op.dst_vid < 0);
+    RINGCLU_EXPECTS(op.cls != OpClass::Store || op.dst_vid < 0);
+  }
+  RINGCLU_EXPECTS(register_demand(RegClass::Int) <= kArchRegsPerClass);
+  RINGCLU_EXPECTS(register_demand(RegClass::Fp) <= kArchRegsPerClass);
+  return *this;
+}
+
+SymOperand KernelBuilder::define(KernelOp op, RegClass dst_cls) {
+  op.dst_cls = dst_cls;
+  op.dst_vid = static_cast<std::int16_t>(next_vid_++);
+  kernel_.body.push_back(op);
+  return SymOperand::value(op.dst_vid);
+}
+
+SymOperand KernelBuilder::op(OpClass cls, SymOperand a, SymOperand b) {
+  RINGCLU_EXPECTS(!op_is_mem(cls) && !op_is_branch(cls));
+  KernelOp templ;
+  templ.cls = cls;
+  templ.src0 = a;
+  templ.src1 = b;
+  return define(templ, op_unit(cls) == UnitKind::Fp ? RegClass::Fp
+                                                    : RegClass::Int);
+}
+
+SymOperand KernelBuilder::load(RegClass dst_cls, const MemStreamSpec& mem,
+                               SymOperand addr) {
+  KernelOp templ;
+  templ.cls = OpClass::Load;
+  templ.src0 = addr;
+  templ.mem = mem;
+  return define(templ, dst_cls);
+}
+
+void KernelBuilder::store(const MemStreamSpec& mem, SymOperand addr,
+                          SymOperand data) {
+  KernelOp templ;
+  templ.cls = OpClass::Store;
+  templ.src0 = addr;
+  templ.src1 = data;
+  templ.mem = mem;
+  kernel_.body.push_back(templ);
+}
+
+void KernelBuilder::branch(const BranchSpec& spec, SymOperand a,
+                           SymOperand b) {
+  KernelOp templ;
+  templ.cls = OpClass::Branch;
+  templ.src0 = a;
+  templ.src1 = b;
+  templ.branch = spec;
+  kernel_.body.push_back(templ);
+}
+
+}  // namespace ringclu

@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file kernel.h
+/// The kernel DSL of the synthetic workload generator.
+///
+/// A kernel describes one loop iteration as a sequence of micro-op
+/// templates whose operands are symbolic: either loop-invariant registers
+/// (base pointers, constants) or values defined by earlier template ops,
+/// possibly `lag` iterations back (loop-carried dependences).  The
+/// generator assigns architectural registers by giving each defined value a
+/// rotation window of lag+1 registers, which preserves the intended
+/// dependence-graph shape through the simulator's renaming.
+///
+/// Memory template ops carry an address-stream pattern (sequential,
+/// random-in-working-set, pointer-chase, clustered gather) and conditional
+/// branches carry a predictability model (periodic pattern or Bernoulli).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/micro_op.h"
+#include "util/assert.h"
+
+namespace ringclu {
+
+/// Symbolic operand of a kernel template op.
+struct SymOperand {
+  enum class Kind : std::uint8_t { None, Value, Invariant };
+  Kind kind = Kind::None;
+  std::int16_t index = 0;  ///< value id or invariant slot
+  std::int16_t lag = 0;    ///< iterations back (Value only)
+
+  [[nodiscard]] static constexpr SymOperand none() { return SymOperand{}; }
+  [[nodiscard]] static constexpr SymOperand value(int vid, int lag = 0) {
+    return SymOperand{Kind::Value, static_cast<std::int16_t>(vid),
+                      static_cast<std::int16_t>(lag)};
+  }
+  [[nodiscard]] static constexpr SymOperand invariant(RegClass cls,
+                                                      int slot) {
+    // Invariant slots are per-class; the class is encoded in the high bit.
+    return SymOperand{Kind::Invariant,
+                      static_cast<std::int16_t>(
+                          slot | (cls == RegClass::Fp ? 0x100 : 0)),
+                      0};
+  }
+
+  [[nodiscard]] RegClass invariant_class() const {
+    RINGCLU_EXPECTS(kind == Kind::Invariant);
+    return (index & 0x100) ? RegClass::Fp : RegClass::Int;
+  }
+  [[nodiscard]] int invariant_slot() const {
+    RINGCLU_EXPECTS(kind == Kind::Invariant);
+    return index & 0xff;
+  }
+};
+
+/// Address-stream pattern of a memory template op.
+enum class MemPattern : std::uint8_t {
+  SeqStride,  ///< base + iteration * stride (streaming)
+  Random,     ///< uniformly random, aligned, within the working set
+  Chase,      ///< deterministic pointer chain within the working set
+  Gather,     ///< random with page-level locality (80% same 4KB page)
+};
+
+struct MemStreamSpec {
+  MemPattern pattern = MemPattern::SeqStride;
+  std::uint32_t stride = 8;
+  std::uint64_t working_set = 1ull << 20;
+  std::uint8_t access_size = 8;
+};
+
+/// Behaviour of a conditional branch template op.
+struct BranchSpec {
+  /// Probability of "taken" when pattern_period == 0.
+  double taken_prob = 0.5;
+  /// When > 0, outcome is the deterministic pattern
+  /// (iteration % pattern_period) < pattern_taken (fully predictable by
+  /// history-based predictors).
+  int pattern_period = 0;
+  int pattern_taken = 0;
+  /// Template ops skipped when the branch is taken (hammock body).
+  int skip_ops = 0;
+};
+
+/// One template op of a kernel body.
+struct KernelOp {
+  OpClass cls = OpClass::IntAlu;
+  RegClass dst_cls = RegClass::Int;
+  std::int16_t dst_vid = -1;  ///< value defined, -1 for store/branch
+  SymOperand src0;
+  SymOperand src1;
+  MemStreamSpec mem;    ///< Load/Store only
+  BranchSpec branch;    ///< Branch only
+};
+
+/// A complete kernel.
+struct Kernel {
+  std::string name;
+  int int_invariants = 0;
+  int fp_invariants = 0;
+  std::vector<KernelOp> body;
+
+  /// Checks internal consistency (operand references, register budget) and
+  /// aborts on violation.  Returns *this for chaining.
+  const Kernel& validate() const;
+
+  /// Registers needed for the rotation windows of one class.
+  [[nodiscard]] int register_demand(RegClass cls) const;
+
+  /// Static code size in bytes (body plus the generated backedge).
+  [[nodiscard]] std::uint64_t code_bytes() const {
+    return (body.size() + 1) * 4;
+  }
+};
+
+/// Fluent construction helper so kernel definitions stay compact.
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name) { kernel_.name = std::move(name); }
+
+  /// Declares a loop-invariant register; returns an operand referencing it.
+  SymOperand inv(RegClass cls) {
+    int& count = cls == RegClass::Int ? kernel_.int_invariants
+                                      : kernel_.fp_invariants;
+    return SymOperand::invariant(cls, count++);
+  }
+
+  /// Adds a computational op; returns the operand for its result.
+  SymOperand op(OpClass cls, SymOperand a = SymOperand::none(),
+                SymOperand b = SymOperand::none());
+
+  /// Adds a load; \p addr is the address operand (dataflow only — the
+  /// numeric address comes from \p mem).
+  SymOperand load(RegClass dst_cls, const MemStreamSpec& mem, SymOperand addr);
+
+  /// Adds a store of \p data to the stream \p mem addressed by \p addr.
+  void store(const MemStreamSpec& mem, SymOperand addr, SymOperand data);
+
+  /// Adds an internal conditional branch.
+  void branch(const BranchSpec& spec, SymOperand a = SymOperand::none(),
+              SymOperand b = SymOperand::none());
+
+  [[nodiscard]] Kernel build() {
+    kernel_.validate();
+    return kernel_;
+  }
+
+ private:
+  SymOperand define(KernelOp op, RegClass dst_cls);
+
+  Kernel kernel_;
+  int next_vid_ = 0;
+};
+
+}  // namespace ringclu

@@ -1,0 +1,306 @@
+#include "trace/synth/kernels.h"
+
+#include "util/assert.h"
+
+namespace ringclu::kernels {
+namespace {
+
+using Op = SymOperand;
+
+MemStreamSpec seq(std::uint64_t working_set, std::uint32_t stride = 8) {
+  MemStreamSpec mem;
+  mem.pattern = MemPattern::SeqStride;
+  mem.stride = stride;
+  mem.working_set = working_set;
+  return mem;
+}
+
+MemStreamSpec rnd(std::uint64_t working_set) {
+  MemStreamSpec mem;
+  mem.pattern = MemPattern::Random;
+  mem.working_set = working_set;
+  return mem;
+}
+
+MemStreamSpec chase(std::uint64_t working_set) {
+  MemStreamSpec mem;
+  mem.pattern = MemPattern::Chase;
+  mem.working_set = working_set;
+  return mem;
+}
+
+MemStreamSpec gather(std::uint64_t working_set) {
+  MemStreamSpec mem;
+  mem.pattern = MemPattern::Gather;
+  mem.working_set = working_set;
+  return mem;
+}
+
+BranchSpec prob_branch(double taken_prob, int skip_ops = 0) {
+  BranchSpec spec;
+  spec.taken_prob = taken_prob;
+  spec.skip_ops = skip_ops;
+  return spec;
+}
+
+BranchSpec pattern_branch(int period, int taken, int skip_ops = 0) {
+  BranchSpec spec;
+  spec.pattern_period = period;
+  spec.pattern_taken = taken;
+  spec.skip_ops = skip_ops;
+  return spec;
+}
+
+}  // namespace
+
+Kernel daxpy(std::uint64_t working_set) {
+  KernelBuilder b("daxpy");
+  const Op stride = b.inv(RegClass::Int);
+  const Op a = b.inv(RegClass::Fp);
+  const Op i = b.op(OpClass::IntAlu, Op::value(0, 1), stride);  // i = i + s
+  const Op x = b.load(RegClass::Fp, seq(working_set), i);
+  const Op y = b.load(RegClass::Fp, seq(working_set), i);
+  const Op t = b.op(OpClass::FpMult, x, a);
+  const Op r = b.op(OpClass::FpAdd, t, y);
+  b.store(seq(working_set), i, r);
+  return b.build();
+}
+
+Kernel dot_reduce(std::uint64_t working_set) {
+  KernelBuilder b("dot_reduce");
+  const Op stride = b.inv(RegClass::Int);
+  const Op i = b.op(OpClass::IntAlu, Op::value(0, 1), stride);
+  const Op x = b.load(RegClass::Fp, seq(working_set), i);
+  const Op y = b.load(RegClass::Fp, seq(working_set), i);
+  const Op t = b.op(OpClass::FpMult, x, y);
+  // vid of the accumulator is t's vid + 1 == 4; self-reference with lag 1.
+  b.op(OpClass::FpAdd, Op::value(4, 1), t);
+  return b.build();
+}
+
+Kernel stencil3(std::uint64_t working_set) {
+  KernelBuilder b("stencil3");
+  const Op stride = b.inv(RegClass::Int);
+  const Op c = b.inv(RegClass::Fp);
+  const Op i = b.op(OpClass::IntAlu, Op::value(0, 1), stride);
+  const Op x = b.load(RegClass::Fp, seq(working_set), i);  // vid 1
+  const Op t1 = b.op(OpClass::FpAdd, x, Op::value(1, 1));  // x[i] + x[i-1]
+  const Op t2 = b.op(OpClass::FpAdd, t1, Op::value(1, 2));  // + x[i-2]
+  const Op r = b.op(OpClass::FpMult, t2, c);
+  b.store(seq(working_set), i, r);
+  return b.build();
+}
+
+Kernel fp_poly() {
+  KernelBuilder b("fp_poly");
+  const Op c1 = b.inv(RegClass::Fp);
+  const Op c2 = b.inv(RegClass::Fp);
+  const Op a = b.op(OpClass::FpMult, Op::value(0, 1), c1);  // a = a*c1
+  const Op s = b.op(OpClass::FpAdd, a, Op::value(1, 1));    // s = a + s
+  b.op(OpClass::FpMult, s, c2);                             // t = s*c2
+  return b.build();
+}
+
+Kernel fp_div_mix(std::uint64_t working_set) {
+  KernelBuilder b("fp_div_mix");
+  const Op stride = b.inv(RegClass::Int);
+  const Op c = b.inv(RegClass::Fp);
+  const Op i = b.op(OpClass::IntAlu, Op::value(0, 1), stride);
+  const Op x = b.load(RegClass::Fp, seq(working_set), i);
+  const Op d = b.op(OpClass::FpDiv, x, c);
+  const Op t = b.op(OpClass::FpMult, x, c);  // parallel work past the divide
+  const Op u = b.op(OpClass::FpAdd, t, Op::value(4, 1));
+  b.store(seq(working_set), i, d);
+  b.store(seq(working_set), i, u);
+  return b.build();
+}
+
+Kernel butterfly(std::uint64_t working_set) {
+  KernelBuilder b("butterfly");
+  const Op stride = b.inv(RegClass::Int);
+  const Op i = b.op(OpClass::IntAlu, Op::value(0, 1), stride);
+  const Op x0 = b.load(RegClass::Fp, seq(working_set, 16), i);
+  const Op x1 = b.load(RegClass::Fp, seq(working_set, 16), i);
+  const Op x2 = b.load(RegClass::Fp, seq(working_set, 16), i);
+  const Op x3 = b.load(RegClass::Fp, seq(working_set, 16), i);
+  const Op s0 = b.op(OpClass::FpAdd, x0, x1);
+  const Op s1 = b.op(OpClass::FpAdd, x2, x3);
+  const Op m0 = b.op(OpClass::FpMult, x0, x1);
+  const Op m1 = b.op(OpClass::FpMult, x2, x3);
+  const Op r0 = b.op(OpClass::FpAdd, s0, s1);
+  const Op r1 = b.op(OpClass::FpAdd, m0, m1);
+  b.store(seq(working_set, 16), i, r0);
+  b.store(seq(working_set, 16), i, r1);
+  return b.build();
+}
+
+Kernel particle_gather(std::uint64_t working_set) {
+  KernelBuilder b("particle_gather");
+  const Op stride = b.inv(RegClass::Int);
+  const Op dt = b.inv(RegClass::Fp);
+  const Op i = b.op(OpClass::IntAlu, Op::value(0, 1), stride);
+  const Op idx = b.load(RegClass::Int, seq(working_set / 4), i);
+  const Op p = b.load(RegClass::Fp, gather(working_set), idx);
+  const Op v = b.op(OpClass::FpMult, p, dt);
+  const Op w = b.op(OpClass::FpAdd, v, p);
+  b.store(gather(working_set), idx, w);
+  return b.build();
+}
+
+Kernel fp_mixed(std::uint64_t working_set) {
+  KernelBuilder b("fp_mixed");
+  const Op stride = b.inv(RegClass::Int);
+  const Op k = b.inv(RegClass::Int);
+  const Op c = b.inv(RegClass::Fp);
+  const Op i = b.op(OpClass::IntAlu, Op::value(0, 1), stride);
+  const Op x = b.load(RegClass::Fp, seq(working_set), i);
+  const Op t = b.op(OpClass::FpMult, x, c);
+  const Op u = b.op(OpClass::FpAdd, t, Op::value(3, 1));  // light recurrence
+  const Op j = b.op(OpClass::IntAlu, i, k);
+  b.store(seq(working_set), j, u);
+  b.branch(pattern_branch(8, 1));
+  return b.build();
+}
+
+Kernel int_chain(double branch_taken_prob) {
+  KernelBuilder b("int_chain");
+  const Op k1 = b.inv(RegClass::Int);
+  const Op k2 = b.inv(RegClass::Int);
+  const Op x = b.op(OpClass::IntAlu, Op::value(0, 1), k1);  // x = f(x)
+  const Op y = b.op(OpClass::IntAlu, x, Op::value(1, 1));   // y = f(x, y)
+  const Op z = b.op(OpClass::IntAlu, y, x);
+  b.branch(prob_branch(branch_taken_prob, /*skip_ops=*/1), z, k2);
+  b.op(OpClass::IntAlu, z, k2);  // skipped when taken
+  return b.build();
+}
+
+Kernel int_wide() {
+  KernelBuilder b("int_wide");
+  const Op k = b.inv(RegClass::Int);
+  const Op a = b.op(OpClass::IntAlu, Op::value(0, 1), k);
+  const Op c = b.op(OpClass::IntAlu, Op::value(1, 1), k);
+  const Op d = b.op(OpClass::IntAlu, Op::value(2, 1), k);
+  const Op e = b.op(OpClass::IntAlu, Op::value(3, 1), k);
+  const Op f = b.op(OpClass::IntAlu, a, c);
+  const Op g = b.op(OpClass::IntAlu, d, e);
+  b.op(OpClass::IntAlu, f, g);
+  return b.build();
+}
+
+Kernel ptr_chase(std::uint64_t working_set) {
+  KernelBuilder b("ptr_chase");
+  const Op k = b.inv(RegClass::Int);
+  // p = *p : self-dependent load, the defining mcf pattern.
+  const Op p = b.load(RegClass::Int, chase(working_set), Op::value(0, 1));
+  const Op v = b.load(RegClass::Int, gather(working_set / 2), p);
+  const Op s = b.op(OpClass::IntAlu, v, Op::value(2, 1));
+  b.branch(prob_branch(0.15), s, k);
+  return b.build();
+}
+
+Kernel hash_lookup(std::uint64_t working_set, double branch_taken_prob) {
+  KernelBuilder b("hash_lookup");
+  const Op k1 = b.inv(RegClass::Int);
+  const Op k2 = b.inv(RegClass::Int);
+  const Op i = b.op(OpClass::IntAlu, Op::value(0, 1), k1);
+  const Op h = b.op(OpClass::IntMult, i, k2);
+  const Op h2 = b.op(OpClass::IntAlu, h, i);
+  const Op v = b.load(RegClass::Int, rnd(working_set), h2);
+  b.branch(prob_branch(branch_taken_prob, /*skip_ops=*/2), v, k1);
+  const Op a = b.op(OpClass::IntAlu, v, k2);  // skipped when taken
+  b.op(OpClass::IntAlu, a, i);                // skipped when taken
+  return b.build();
+}
+
+Kernel branchy_blocks(std::uint64_t working_set) {
+  KernelBuilder b("branchy_blocks");
+  const Op k = b.inv(RegClass::Int);
+  const Op x = b.op(OpClass::IntAlu, Op::value(0, 1), k);
+  b.branch(pattern_branch(7, 3, /*skip_ops=*/1), x, k);
+  const Op y = b.op(OpClass::IntAlu, x, Op::value(2, 1));
+  b.branch(prob_branch(0.15, /*skip_ops=*/1), y, k);
+  const Op z = b.op(OpClass::IntAlu, y, x);
+  const Op v = b.load(RegClass::Int, rnd(working_set), z);
+  b.branch(prob_branch(0.30), v, k);  // data-dependent, hard to predict
+  b.op(OpClass::IntAlu, v, z);
+  return b.build();
+}
+
+Kernel copy_loop(std::uint64_t working_set) {
+  KernelBuilder b("copy_loop");
+  const Op stride = b.inv(RegClass::Int);
+  const Op k = b.inv(RegClass::Int);
+  const Op i = b.op(OpClass::IntAlu, Op::value(0, 1), stride);
+  const Op v = b.load(RegClass::Int, seq(working_set), i);
+  const Op w = b.op(OpClass::IntAlu, v, k);
+  b.store(seq(working_set), i, w);
+  return b.build();
+}
+
+Kernel bitboard() {
+  KernelBuilder b("bitboard");
+  const Op m = b.inv(RegClass::Int);
+  const Op k = b.inv(RegClass::Int);
+  const Op x = b.op(OpClass::IntAlu, Op::value(0, 1), m);
+  const Op y = b.op(OpClass::IntMult, x, x);
+  const Op z = b.op(OpClass::IntAlu, y, x);
+  const Op w = b.op(OpClass::IntAlu, z, k);
+  b.branch(pattern_branch(4, 1), w, m);
+  return b.build();
+}
+
+Kernel lut_fsm(std::uint64_t working_set, double branch_taken_prob) {
+  KernelBuilder b("lut_fsm");
+  const Op k = b.inv(RegClass::Int);
+  // t = table[state]; state = f(t, state); plus bookkeeping ALU work.
+  const Op t = b.load(RegClass::Int, rnd(working_set), Op::value(1, 1));
+  const Op state = b.op(OpClass::IntAlu, t, Op::value(1, 1));  // vid 1
+  const Op cost = b.op(OpClass::IntAlu, t, k);
+  const Op acc = b.op(OpClass::IntAlu, cost, Op::value(3, 1));  // vid 3
+  b.branch(prob_branch(branch_taken_prob), acc, k);
+  (void)state;
+  return b.build();
+}
+
+Kernel string_scan(std::uint64_t working_set) {
+  KernelBuilder b("string_scan");
+  const Op stride = b.inv(RegClass::Int);
+  const Op k = b.inv(RegClass::Int);
+  const Op i = b.op(OpClass::IntAlu, Op::value(0, 1), stride);
+  const Op c = b.load(RegClass::Int, seq(working_set, 8), i);
+  b.branch(prob_branch(0.08), c, k);  // rare match: well predicted
+  b.op(OpClass::IntAlu, c, Op::value(2, 1));
+  return b.build();
+}
+
+std::vector<std::string_view> all_kernel_names() {
+  return {"daxpy",         "dot_reduce", "stencil3",     "fp_poly",
+          "fp_div_mix",    "butterfly",  "particle_gather", "fp_mixed",
+          "int_chain",     "int_wide",   "ptr_chase",    "hash_lookup",
+          "branchy_blocks", "copy_loop", "bitboard",     "lut_fsm",
+          "string_scan"};
+}
+
+Kernel make_by_name(std::string_view name) {
+  constexpr std::uint64_t kWs = 1ull << 20;
+  if (name == "daxpy") return daxpy(kWs);
+  if (name == "dot_reduce") return dot_reduce(kWs);
+  if (name == "stencil3") return stencil3(kWs);
+  if (name == "fp_poly") return fp_poly();
+  if (name == "fp_div_mix") return fp_div_mix(kWs);
+  if (name == "butterfly") return butterfly(kWs);
+  if (name == "particle_gather") return particle_gather(kWs);
+  if (name == "fp_mixed") return fp_mixed(kWs);
+  if (name == "int_chain") return int_chain(0.18);
+  if (name == "int_wide") return int_wide();
+  if (name == "ptr_chase") return ptr_chase(kWs);
+  if (name == "hash_lookup") return hash_lookup(kWs, 0.2);
+  if (name == "branchy_blocks") return branchy_blocks(kWs);
+  if (name == "copy_loop") return copy_loop(kWs);
+  if (name == "bitboard") return bitboard();
+  if (name == "lut_fsm") return lut_fsm(kWs, 0.25);
+  if (name == "string_scan") return string_scan(kWs);
+  RINGCLU_UNREACHABLE("unknown kernel name");
+}
+
+}  // namespace ringclu::kernels

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file kernels.h
+/// Library of dependence-structured kernels the synthetic SPEC2000-like
+/// programs are assembled from.  Each factory returns a validated Kernel;
+/// parameters control working-set size (cache behaviour) and branch
+/// predictability.  See DESIGN.md for the substitution rationale.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "trace/synth/kernel.h"
+
+namespace ringclu::kernels {
+
+// ---- Floating-point kernels -------------------------------------------
+
+/// Streaming a*x+y: two loads, multiply, add, store.  High ILP, the
+/// backbone of swim/mgrid-like codes.
+[[nodiscard]] Kernel daxpy(std::uint64_t working_set);
+
+/// Dot-product with a loop-carried FP accumulator (serial FP chain).
+[[nodiscard]] Kernel dot_reduce(std::uint64_t working_set);
+
+/// 3-point stencil: each loaded value is consumed by three iterations
+/// (many-consumer values; communication-heavy when clustered).
+[[nodiscard]] Kernel stencil3(std::uint64_t working_set);
+
+/// Serial FP polynomial recurrence (lucas-like), no memory traffic.
+[[nodiscard]] Kernel fp_poly();
+
+/// FP work with a divide every iteration (apsi/art flavor).
+[[nodiscard]] Kernel fp_div_mix(std::uint64_t working_set);
+
+/// FFT-style butterfly: four loads, wide independent add/mult pairs.
+[[nodiscard]] Kernel butterfly(std::uint64_t working_set);
+
+/// Indexed gather + FP update + scatter (ammp/equake flavor).
+[[nodiscard]] Kernel particle_gather(std::uint64_t working_set);
+
+/// Mixed INT/FP loop with predictable control (mesa/sixtrack flavor).
+[[nodiscard]] Kernel fp_mixed(std::uint64_t working_set);
+
+// ---- Integer kernels ---------------------------------------------------
+
+/// Serial dependent ALU chain with a data-dependent hammock
+/// (compression inner loops).
+[[nodiscard]] Kernel int_chain(double branch_taken_prob);
+
+/// Independent parallel integer chains (high-ILP integer code).
+[[nodiscard]] Kernel int_wide();
+
+/// Pointer chase: self-dependent load feeding a data access (mcf).
+[[nodiscard]] Kernel ptr_chase(std::uint64_t working_set);
+
+/// Hash + random table probe with a data-dependent hammock (gap/parser).
+[[nodiscard]] Kernel hash_lookup(std::uint64_t working_set,
+                                 double branch_taken_prob);
+
+/// Several short blocks separated by branches of mixed predictability,
+/// with a table load (gcc/crafty control-heavy flavor).
+[[nodiscard]] Kernel branchy_blocks(std::uint64_t working_set);
+
+/// Load-modify-store streaming copy.
+[[nodiscard]] Kernel copy_loop(std::uint64_t working_set);
+
+/// Shift/mask chains with multiplies and periodic control (crafty
+/// bitboards).
+[[nodiscard]] Kernel bitboard();
+
+/// Table-driven finite-state machine: state feeds the next probe
+/// (twolf/vpr flavor).
+[[nodiscard]] Kernel lut_fsm(std::uint64_t working_set,
+                             double branch_taken_prob);
+
+/// Sequential scan with a rarely-taken match branch (perlbmk/vortex).
+[[nodiscard]] Kernel string_scan(std::uint64_t working_set);
+
+/// Names of all kernels (for tests and tooling) and lookup by name with
+/// default parameters.
+[[nodiscard]] std::vector<std::string_view> all_kernel_names();
+[[nodiscard]] Kernel make_by_name(std::string_view name);
+
+}  // namespace ringclu::kernels

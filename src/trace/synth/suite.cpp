@@ -1,0 +1,185 @@
+#include "trace/synth/suite.h"
+
+#include <array>
+
+#include "trace/synth/kernels.h"
+#include "util/assert.h"
+
+namespace ringclu {
+namespace {
+
+namespace k = kernels;
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+constexpr std::array<BenchmarkDesc, 26> kSuite{{
+    {"ammp", true},     {"applu", true},   {"apsi", true},
+    {"art", true},      {"bzip2", false},  {"crafty", false},
+    {"eon", false},     {"equake", true},  {"facerec", true},
+    {"fma3d", true},    {"galgel", true},  {"gap", false},
+    {"gcc", false},     {"gzip", false},   {"lucas", true},
+    {"mcf", false},     {"mesa", true},    {"mgrid", true},
+    {"parser", false},  {"perlbmk", false}, {"sixtrack", true},
+    {"swim", true},     {"twolf", false},  {"vortex", false},
+    {"vpr", false},     {"wupwise", true},
+}};
+
+SegmentSpec seg(Kernel kernel, double weight, int min_iters, int max_iters) {
+  SegmentSpec segment;
+  segment.kernel = std::move(kernel);
+  segment.weight = weight;
+  segment.min_iters = min_iters;
+  segment.max_iters = max_iters;
+  return segment;
+}
+
+}  // namespace
+
+std::span<const BenchmarkDesc> spec2000_benchmarks() { return kSuite; }
+
+bool is_fp_benchmark(std::string_view name) {
+  for (const BenchmarkDesc& desc : kSuite) {
+    if (desc.name == name) return desc.is_fp;
+  }
+  RINGCLU_UNREACHABLE("unknown benchmark name");
+}
+
+ProgramSpec make_program_spec(std::string_view name) {
+  ProgramSpec p;
+  p.name = std::string(name);
+  p.is_fp = is_fp_benchmark(name);
+
+  // ---- Floating point ---------------------------------------------------
+  if (name == "ammp") {
+    p.segments = {seg(k::particle_gather(4 * MiB), 3, 48, 160),
+                  seg(k::fp_poly(), 1, 64, 192),
+                  seg(k::dot_reduce(1 * MiB), 1, 64, 192)};
+  } else if (name == "applu") {
+    p.segments = {seg(k::stencil3(2 * MiB), 3, 96, 256),
+                  seg(k::daxpy(2 * MiB), 2, 96, 256),
+                  seg(k::dot_reduce(512 * KiB), 1, 64, 160)};
+  } else if (name == "apsi") {
+    p.segments = {seg(k::fp_div_mix(1 * MiB), 1, 32, 96),
+                  seg(k::stencil3(1 * MiB), 2, 64, 192),
+                  seg(k::fp_mixed(512 * KiB), 1, 64, 160)};
+  } else if (name == "art") {
+    p.segments = {seg(k::particle_gather(8 * MiB), 2, 48, 128),
+                  seg(k::dot_reduce(4 * MiB), 2, 96, 256)};
+  } else if (name == "equake") {
+    p.segments = {seg(k::particle_gather(4 * MiB), 2, 48, 128),
+                  seg(k::daxpy(1 * MiB), 1, 96, 224),
+                  seg(k::dot_reduce(1 * MiB), 1, 64, 160)};
+  } else if (name == "facerec") {
+    p.segments = {seg(k::butterfly(1 * MiB), 2, 64, 192),
+                  seg(k::daxpy(512 * KiB), 2, 96, 224),
+                  seg(k::fp_mixed(256 * KiB), 1, 64, 160)};
+  } else if (name == "fma3d") {
+    p.segments = {seg(k::butterfly(2 * MiB), 2, 48, 160),
+                  seg(k::stencil3(1 * MiB), 2, 64, 192),
+                  seg(k::fp_mixed(1 * MiB), 1, 48, 128)};
+    p.use_calls = true;
+    p.code_spread = 1024;
+  } else if (name == "galgel") {
+    p.segments = {seg(k::butterfly(512 * KiB), 2, 64, 192),
+                  seg(k::daxpy(256 * KiB), 2, 96, 256),
+                  seg(k::dot_reduce(256 * KiB), 1, 64, 192)};
+  } else if (name == "lucas") {
+    p.segments = {seg(k::fp_poly(), 3, 96, 256),
+                  seg(k::dot_reduce(512 * KiB), 1, 64, 160),
+                  seg(k::daxpy(1 * MiB), 1, 96, 224)};
+  } else if (name == "mesa") {
+    p.segments = {seg(k::fp_mixed(512 * KiB), 3, 48, 144),
+                  seg(k::int_wide(), 1, 32, 96),
+                  seg(k::daxpy(256 * KiB), 1, 64, 160)};
+    p.use_calls = true;
+  } else if (name == "mgrid") {
+    p.segments = {seg(k::stencil3(4 * MiB), 4, 128, 320),
+                  seg(k::daxpy(2 * MiB), 1, 96, 256)};
+  } else if (name == "sixtrack") {
+    p.segments = {seg(k::fp_mixed(1 * MiB), 2, 64, 160),
+                  seg(k::fp_poly(), 1, 64, 192),
+                  seg(k::butterfly(512 * KiB), 1, 48, 144)};
+  } else if (name == "swim") {
+    p.segments = {seg(k::daxpy(4 * MiB), 3, 128, 320),
+                  seg(k::stencil3(2 * MiB), 2, 96, 256)};
+  } else if (name == "wupwise") {
+    p.segments = {seg(k::daxpy(1 * MiB), 2, 96, 256),
+                  seg(k::butterfly(1 * MiB), 2, 64, 192),
+                  seg(k::dot_reduce(512 * KiB), 1, 64, 160)};
+  }
+
+  // ---- Integer ----------------------------------------------------------
+  else if (name == "bzip2") {
+    p.segments = {seg(k::copy_loop(256 * KiB), 2, 32, 96),
+                  seg(k::int_chain(0.18), 3, 24, 80),
+                  seg(k::hash_lookup(1 * MiB, 0.18), 1, 16, 64)};
+  } else if (name == "crafty") {
+    p.segments = {seg(k::bitboard(), 3, 16, 56),
+                  seg(k::branchy_blocks(512 * KiB), 2, 12, 48),
+                  seg(k::int_wide(), 1, 16, 48)};
+    p.use_calls = true;
+    p.code_spread = 512;
+  } else if (name == "eon") {
+    p.segments = {seg(k::int_wide(), 2, 24, 72),
+                  seg(k::fp_mixed(256 * KiB), 1, 32, 96),
+                  seg(k::branchy_blocks(128 * KiB), 1, 12, 40)};
+    p.use_calls = true;
+  } else if (name == "gap") {
+    p.segments = {seg(k::hash_lookup(2 * MiB, 0.20), 2, 16, 56),
+                  seg(k::int_chain(0.15), 1, 24, 72),
+                  seg(k::copy_loop(512 * KiB), 1, 32, 96)};
+  } else if (name == "gcc") {
+    // Large code footprint: many distinct regions, sparse layout.
+    p.segments = {seg(k::branchy_blocks(1 * MiB), 2, 8, 32),
+                  seg(k::branchy_blocks(512 * KiB), 2, 8, 32),
+                  seg(k::string_scan(512 * KiB), 1, 16, 48),
+                  seg(k::int_chain(0.25), 2, 12, 40),
+                  seg(k::copy_loop(256 * KiB), 1, 16, 56),
+                  seg(k::lut_fsm(512 * KiB, 0.22), 1, 12, 40)};
+    p.use_calls = true;
+    p.code_spread = 4096;
+  } else if (name == "gzip") {
+    p.segments = {seg(k::int_chain(0.16), 3, 32, 96),
+                  seg(k::copy_loop(512 * KiB), 2, 32, 96),
+                  seg(k::string_scan(256 * KiB), 1, 24, 72)};
+  } else if (name == "mcf") {
+    p.segments = {seg(k::ptr_chase(8 * MiB), 3, 32, 96),
+                  seg(k::int_chain(0.20), 1, 16, 56)};
+  } else if (name == "parser") {
+    p.segments = {seg(k::hash_lookup(1 * MiB, 0.18), 2, 12, 40),
+                  seg(k::string_scan(512 * KiB), 2, 24, 72),
+                  seg(k::branchy_blocks(512 * KiB), 1, 8, 32)};
+    p.use_calls = true;
+  } else if (name == "perlbmk") {
+    p.segments = {seg(k::string_scan(256 * KiB), 2, 24, 72),
+                  seg(k::lut_fsm(512 * KiB, 0.22), 2, 12, 48),
+                  seg(k::branchy_blocks(256 * KiB), 1, 8, 32)};
+    p.use_calls = true;
+    p.code_spread = 2048;
+  } else if (name == "twolf") {
+    p.segments = {seg(k::lut_fsm(1 * MiB, 0.25), 2, 12, 48),
+                  seg(k::hash_lookup(512 * KiB, 0.22), 1, 12, 40),
+                  seg(k::int_chain(0.18), 1, 24, 64)};
+  } else if (name == "vortex") {
+    p.segments = {seg(k::string_scan(512 * KiB), 1, 24, 72),
+                  seg(k::copy_loop(1 * MiB), 2, 32, 96),
+                  seg(k::hash_lookup(2 * MiB, 0.15), 1, 12, 48)};
+    p.use_calls = true;
+  } else if (name == "vpr") {
+    p.segments = {seg(k::lut_fsm(512 * KiB, 0.22), 2, 12, 48),
+                  seg(k::branchy_blocks(256 * KiB), 1, 8, 32),
+                  seg(k::int_wide(), 1, 16, 56)};
+  } else {
+    RINGCLU_UNREACHABLE("unknown benchmark name");
+  }
+
+  return p;
+}
+
+std::unique_ptr<TraceSource> make_benchmark_trace(std::string_view name,
+                                                  std::uint64_t seed) {
+  return std::make_unique<SyntheticProgram>(make_program_spec(name), seed);
+}
+
+}  // namespace ringclu

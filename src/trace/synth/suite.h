@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file suite.h
+/// The synthetic stand-in for the SPEC2000 suite: 26 program profiles (12
+/// integer, 14 floating point) with the names and qualitative behaviour of
+/// the originals (ILP, branchiness, working sets, code footprint).  See
+/// DESIGN.md §1 for the substitution rationale.
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "trace/synth/program.h"
+#include "trace/trace_source.h"
+
+namespace ringclu {
+
+struct BenchmarkDesc {
+  std::string_view name;
+  bool is_fp;
+};
+
+/// All 26 benchmarks in the paper's Figure 11 order (alphabetical).
+[[nodiscard]] std::span<const BenchmarkDesc> spec2000_benchmarks();
+
+/// True when \p name names an FP benchmark.  \pre name is in the suite.
+[[nodiscard]] bool is_fp_benchmark(std::string_view name);
+
+/// Builds the profile for one benchmark.  \pre name is in the suite.
+[[nodiscard]] ProgramSpec make_program_spec(std::string_view name);
+
+/// Convenience: profile + deterministic seed -> trace source.
+[[nodiscard]] std::unique_ptr<TraceSource> make_benchmark_trace(
+    std::string_view name, std::uint64_t seed);
+
+}  // namespace ringclu

@@ -1,0 +1,171 @@
+#include "trace/trace_file.h"
+
+#include "util/assert.h"
+
+namespace ringclu {
+namespace {
+
+/// Zig-zag encoding so small negative PC deltas stay short.
+constexpr std::uint64_t zigzag(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+// Flags byte layout.
+constexpr std::uint8_t kHasDst = 1u << 0;
+constexpr std::uint8_t kHasSrc0 = 1u << 1;
+constexpr std::uint8_t kHasSrc1 = 1u << 2;
+constexpr std::uint8_t kTaken = 1u << 3;
+
+std::uint8_t encode_reg(RegId reg) {
+  return static_cast<std::uint8_t>(reg.flat());
+}
+
+RegId decode_reg(std::uint8_t flat) {
+  const RegClass cls =
+      flat >= kArchRegsPerClass ? RegClass::Fp : RegClass::Int;
+  return RegId::make(cls, flat % kArchRegsPerClass);
+}
+
+}  // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  RINGCLU_EXPECTS(file_ != nullptr);
+  const std::uint32_t magic = kTraceMagic;
+  const std::uint16_t version = kTraceVersion;
+  const std::uint16_t pad = 0;
+  const std::uint64_t count = 0;  // patched in close()
+  std::fwrite(&magic, sizeof magic, 1, file_);
+  std::fwrite(&version, sizeof version, 1, file_);
+  std::fwrite(&pad, sizeof pad, 1, file_);
+  std::fwrite(&count, sizeof count, 1, file_);
+}
+
+TraceFileWriter::~TraceFileWriter() { close(); }
+
+void TraceFileWriter::put_varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(value) | 0x80;
+    std::fputc(byte, file_);
+    value >>= 7;
+  }
+  std::fputc(static_cast<std::uint8_t>(value), file_);
+}
+
+void TraceFileWriter::append(const MicroOp& op) {
+  RINGCLU_EXPECTS(file_ != nullptr);
+  std::uint8_t flags = 0;
+  if (op.dst.valid()) flags |= kHasDst;
+  if (op.src[0].valid()) flags |= kHasSrc0;
+  if (op.src[1].valid()) flags |= kHasSrc1;
+  if (op.taken) flags |= kTaken;
+  std::fputc(flags, file_);
+  std::fputc(static_cast<std::uint8_t>(op.cls), file_);
+  std::fputc(static_cast<std::uint8_t>(op.branch_kind), file_);
+  put_varint(zigzag(static_cast<std::int64_t>(op.pc - last_pc_)));
+  last_pc_ = op.pc;
+  if (op.dst.valid()) std::fputc(encode_reg(op.dst), file_);
+  if (op.src[0].valid()) std::fputc(encode_reg(op.src[0]), file_);
+  if (op.src[1].valid()) std::fputc(encode_reg(op.src[1]), file_);
+  if (op.is_mem()) {
+    put_varint(zigzag(static_cast<std::int64_t>(op.mem_addr - last_addr_)));
+    std::fputc(op.mem_size, file_);
+    last_addr_ = op.mem_addr;
+  }
+  if (op.is_branch()) {
+    put_varint(op.target);
+  }
+  ++count_;
+}
+
+void TraceFileWriter::close() {
+  if (file_ == nullptr) return;
+  std::fseek(file_, 8, SEEK_SET);
+  std::fwrite(&count_, sizeof count_, 1, file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+TraceFileReader::TraceFileReader(const std::string& path) : path_(path) {
+  const std::size_t slash = path.find_last_of('/');
+  name_ = slash == std::string::npos ? path : path.substr(slash + 1);
+  file_ = std::fopen(path.c_str(), "rb");
+  RINGCLU_EXPECTS(file_ != nullptr);
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint16_t pad = 0;
+  RINGCLU_EXPECTS(std::fread(&magic, sizeof magic, 1, file_) == 1);
+  RINGCLU_EXPECTS(magic == kTraceMagic);
+  RINGCLU_EXPECTS(std::fread(&version, sizeof version, 1, file_) == 1);
+  RINGCLU_EXPECTS(version == kTraceVersion);
+  RINGCLU_EXPECTS(std::fread(&pad, sizeof pad, 1, file_) == 1);
+  RINGCLU_EXPECTS(std::fread(&total_, sizeof total_, 1, file_) == 1);
+}
+
+TraceFileReader::~TraceFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::uint64_t TraceFileReader::get_varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const int byte = std::fgetc(file_);
+    RINGCLU_EXPECTS(byte != EOF);
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    RINGCLU_EXPECTS(shift < 64);
+  }
+  return value;
+}
+
+bool TraceFileReader::next(MicroOp& out) {
+  if (consumed_ >= total_) return false;
+  out = MicroOp{};
+  const int flags = std::fgetc(file_);
+  RINGCLU_EXPECTS(flags != EOF);
+  const int cls = std::fgetc(file_);
+  const int branch_kind = std::fgetc(file_);
+  RINGCLU_EXPECTS(cls != EOF && branch_kind != EOF);
+  out.cls = static_cast<OpClass>(cls);
+  out.branch_kind = static_cast<BranchKind>(branch_kind);
+  out.taken = (flags & kTaken) != 0;
+  last_pc_ += static_cast<std::uint64_t>(
+      unzigzag(get_varint()));
+  out.pc = last_pc_;
+  if (flags & kHasDst) {
+    out.dst = decode_reg(static_cast<std::uint8_t>(std::fgetc(file_)));
+  }
+  if (flags & kHasSrc0) {
+    out.src[0] = decode_reg(static_cast<std::uint8_t>(std::fgetc(file_)));
+  }
+  if (flags & kHasSrc1) {
+    out.src[1] = decode_reg(static_cast<std::uint8_t>(std::fgetc(file_)));
+  }
+  if (out.is_mem()) {
+    last_addr_ += static_cast<std::uint64_t>(unzigzag(get_varint()));
+    out.mem_addr = last_addr_;
+    out.mem_size = static_cast<std::uint8_t>(std::fgetc(file_));
+  }
+  if (out.is_branch()) {
+    out.target = get_varint();
+  }
+  ++consumed_;
+  return true;
+}
+
+void TraceFileReader::reset() {
+  std::fseek(file_, 16, SEEK_SET);
+  consumed_ = 0;
+  last_pc_ = 0;
+  last_addr_ = 0;
+}
+
+}  // namespace ringclu

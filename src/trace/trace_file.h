@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file trace_file.h
+/// Compact binary trace format so generated workloads can be captured once
+/// and replayed (or inspected) later.  Layout: 16-byte header (magic,
+/// version, op count) followed by one variable-length record per micro-op
+/// (flags byte, op class, registers, then only the fields the op uses,
+/// varint-encoded deltas for PCs and addresses).
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/trace_source.h"
+
+namespace ringclu {
+
+inline constexpr std::uint32_t kTraceMagic = 0x52434C54;  // "RCLT"
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/// Streams micro-ops to a file.
+class TraceFileWriter {
+ public:
+  explicit TraceFileWriter(const std::string& path);
+  ~TraceFileWriter();
+
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  void append(const MicroOp& op);
+
+  /// Finalizes the header (op count) and closes the file.  Called by the
+  /// destructor if not called explicitly.
+  void close();
+
+  [[nodiscard]] std::uint64_t ops_written() const { return count_; }
+
+ private:
+  void put_varint(std::uint64_t value);
+
+  std::FILE* file_ = nullptr;
+  std::uint64_t count_ = 0;
+  std::uint64_t last_pc_ = 0;
+  std::uint64_t last_addr_ = 0;
+};
+
+/// Replays a trace file as a TraceSource.
+class TraceFileReader final : public TraceSource {
+ public:
+  explicit TraceFileReader(const std::string& path);
+  ~TraceFileReader() override;
+
+  TraceFileReader(const TraceFileReader&) = delete;
+  TraceFileReader& operator=(const TraceFileReader&) = delete;
+
+  bool next(MicroOp& out) override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] std::uint64_t total_ops() const { return total_; }
+
+ private:
+  [[nodiscard]] std::uint64_t get_varint();
+
+  std::string path_;
+  std::string name_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t total_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t last_pc_ = 0;
+  std::uint64_t last_addr_ = 0;
+};
+
+}  // namespace ringclu

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file trace_source.h
+/// Abstract supplier of dynamic micro-op streams.  Implementations:
+/// SyntheticProgram (the SPEC2000-like generator) and TraceFileReader.
+
+#include <string_view>
+
+#include "isa/micro_op.h"
+
+namespace ringclu {
+
+/// A (possibly infinite) correct-path dynamic instruction stream.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produces the next micro-op.  Returns false at end of stream
+  /// (synthetic programs never end; the simulator stops at its budget).
+  virtual bool next(MicroOp& out) = 0;
+
+  /// Rewinds to the beginning of the stream (deterministic replay).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace ringclu

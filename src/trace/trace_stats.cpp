@@ -1,0 +1,50 @@
+#include "trace/trace_stats.h"
+
+#include <array>
+
+#include "util/format.h"
+
+namespace ringclu {
+
+std::string TraceMix::summary() const {
+  return str_format(
+      "ops=%llu fp=%.1f%% mem=%.1f%% br=%.1f%% taken=%.1f%% depdist=%.1f",
+      static_cast<unsigned long long>(total), fp_fraction() * 100.0,
+      mem_fraction() * 100.0, branch_fraction() * 100.0,
+      by_class[static_cast<std::size_t>(OpClass::Branch)] == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(branches_taken) /
+                static_cast<double>(
+                    by_class[static_cast<std::size_t>(OpClass::Branch)]),
+      mean_dep_distance());
+}
+
+TraceMix profile_trace(TraceSource& source, std::uint64_t sample_ops) {
+  TraceMix mix;
+  // Last-writer table for dependence distances.
+  std::array<std::uint64_t, kNumFlatArchRegs> last_writer{};
+  last_writer.fill(0);
+
+  MicroOp op;
+  for (std::uint64_t n = 1; n <= sample_ops && source.next(op); ++n) {
+    ++mix.total;
+    ++mix.by_class[static_cast<std::size_t>(op.cls)];
+    if (op.is_branch() && op.taken) ++mix.branches_taken;
+    for (const RegId& src : op.src) {
+      if (!src.valid()) continue;
+      ++mix.src_operand_count;
+      const std::uint64_t writer =
+          last_writer[static_cast<std::size_t>(src.flat())];
+      if (writer != 0) {
+        mix.dep_distance_sum += n - writer;
+        ++mix.dep_distance_samples;
+      }
+    }
+    if (op.dst.valid()) {
+      last_writer[static_cast<std::size_t>(op.dst.flat())] = n;
+    }
+  }
+  return mix;
+}
+
+}  // namespace ringclu

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file trace_stats.h
+/// Instruction-mix profiling of a trace stream, used to validate that the
+/// synthetic benchmarks have the qualitative shape the paper's workloads
+/// had (FP share, load/store share, branch share, dependence distances).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/micro_op.h"
+#include "trace/trace_source.h"
+
+namespace ringclu {
+
+/// Aggregate mix statistics over a stream prefix.
+struct TraceMix {
+  std::uint64_t total = 0;
+  std::array<std::uint64_t, kNumOpClasses> by_class{};
+  std::uint64_t branches_taken = 0;
+  std::uint64_t src_operand_count = 0;
+  /// Sum over register-source operands of the dynamic distance (in
+  /// instructions) to their producer; measures dependence tightness.
+  std::uint64_t dep_distance_sum = 0;
+  std::uint64_t dep_distance_samples = 0;
+
+  [[nodiscard]] double fraction(OpClass cls) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(
+                            by_class[static_cast<std::size_t>(cls)]) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double fp_fraction() const {
+    return fraction(OpClass::FpAdd) + fraction(OpClass::FpMult) +
+           fraction(OpClass::FpDiv);
+  }
+  [[nodiscard]] double mem_fraction() const {
+    return fraction(OpClass::Load) + fraction(OpClass::Store);
+  }
+  [[nodiscard]] double branch_fraction() const {
+    return fraction(OpClass::Branch);
+  }
+  [[nodiscard]] double mean_dep_distance() const {
+    return dep_distance_samples == 0
+               ? 0.0
+               : static_cast<double>(dep_distance_sum) /
+                     static_cast<double>(dep_distance_samples);
+  }
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Profiles the first \p sample_ops micro-ops of \p source.
+[[nodiscard]] TraceMix profile_trace(TraceSource& source,
+                                     std::uint64_t sample_ops);
+
+}  // namespace ringclu

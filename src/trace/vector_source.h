@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file vector_source.h
+/// A TraceSource over an in-memory vector of micro-ops, optionally looped.
+/// Used for crafted cycle-accurate timing tests and as a convenient way to
+/// feed hand-built instruction sequences to the simulator.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace_source.h"
+#include "util/assert.h"
+
+namespace ringclu {
+
+class VectorTraceSource final : public TraceSource {
+ public:
+  /// \p loop = true replays the sequence forever (PCs repeat, like a loop
+  /// body); false ends the stream after one pass.
+  explicit VectorTraceSource(std::vector<MicroOp> ops, bool loop = true,
+                             std::string name = "vector")
+      : ops_(std::move(ops)), loop_(loop), name_(std::move(name)) {
+    RINGCLU_EXPECTS(!ops_.empty());
+  }
+
+  bool next(MicroOp& out) override {
+    if (cursor_ >= ops_.size()) {
+      if (!loop_) return false;
+      cursor_ = 0;
+    }
+    out = ops_[cursor_++];
+    return true;
+  }
+
+  void reset() override { cursor_ = 0; }
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  std::vector<MicroOp> ops_;
+  bool loop_;
+  std::string name_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace ringclu

@@ -1,0 +1,16 @@
+#include "util/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ringclu {
+
+void contract_failure(const char* kind, const char* condition,
+                      const char* file, int line) {
+  std::fprintf(stderr, "ringclu: %s violated: %s (%s:%d)\n", kind, condition,
+               file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ringclu

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file assert.h
+/// Always-on contract checks in the style of the C++ Core Guidelines
+/// (I.6 Expects / I.8 Ensures).  Simulation correctness matters more than the
+/// (small) cost of the checks, so they are enabled in every build type.
+
+namespace ringclu {
+
+/// Prints a diagnostic and aborts.  Used by the contract macros below.
+[[noreturn]] void contract_failure(const char* kind, const char* condition,
+                                   const char* file, int line);
+
+}  // namespace ringclu
+
+/// Precondition check: argument/state expected by the callee.
+#define RINGCLU_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::ringclu::contract_failure("Precondition", #cond, __FILE__,   \
+                                        __LINE__))
+
+/// Postcondition check: guarantee established by the callee.
+#define RINGCLU_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::ringclu::contract_failure("Postcondition", #cond, __FILE__,  \
+                                        __LINE__))
+
+/// Internal invariant check.
+#define RINGCLU_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::ringclu::contract_failure("Invariant", #cond, __FILE__,      \
+                                        __LINE__))
+
+/// Marks unreachable control flow.
+#define RINGCLU_UNREACHABLE(msg)                                           \
+  ::ringclu::contract_failure("Unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,108 @@
+#include "util/config.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/assert.h"
+
+extern char** environ;
+
+namespace ringclu {
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+bool Config::parse_tokens(const std::vector<std::string>& tokens) {
+  for (const auto& token : tokens) {
+    if (!parse_token(token)) return false;
+  }
+  return true;
+}
+
+bool Config::parse_token(std::string_view token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0) return false;
+  set(std::string(token.substr(0, eq)), std::string(token.substr(eq + 1)));
+  return true;
+}
+
+void Config::import_env(std::string_view prefix) {
+  for (char** env = environ; environ != nullptr && *env != nullptr; ++env) {
+    std::string_view entry(*env);
+    if (entry.substr(0, prefix.size()) != prefix) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq <= prefix.size()) continue;
+    set(to_lower(entry.substr(prefix.size(), eq - prefix.size())),
+        std::string(entry.substr(eq + 1)));
+  }
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Config::contains(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(std::string_view key,
+                               std::string_view fallback) const {
+  auto value = get(key);
+  return value ? *value : std::string(fallback);
+}
+
+std::int64_t Config::get_int(std::string_view key,
+                             std::int64_t fallback) const {
+  auto value = get(key);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->c_str(), &end, 0);
+  RINGCLU_EXPECTS(end != nullptr && *end == '\0' && !value->empty());
+  return parsed;
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  auto value = get(key);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  RINGCLU_EXPECTS(end != nullptr && *end == '\0' && !value->empty());
+  return parsed;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  auto value = get(key);
+  if (!value) return fallback;
+  const std::string lowered = to_lower(*value);
+  if (lowered == "1" || lowered == "true" || lowered == "yes" ||
+      lowered == "on") {
+    return true;
+  }
+  if (lowered == "0" || lowered == "false" || lowered == "no" ||
+      lowered == "off") {
+    return false;
+  }
+  RINGCLU_EXPECTS(false && "unparseable boolean config value");
+  return fallback;
+}
+
+std::vector<std::string> Config::entries() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key + "=" + value);
+  return out;
+}
+
+}  // namespace ringclu

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file config.h
+/// Flat string key/value configuration store with typed accessors.
+/// Used for simulator parameter overrides ("key=value" tokens on the command
+/// line or from RINGCLU_* environment variables).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ringclu {
+
+/// A flat, ordered key/value configuration.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses a list of "key=value" tokens.  Tokens without '=' are rejected.
+  /// Returns false (and stops) on the first malformed token.
+  bool parse_tokens(const std::vector<std::string>& tokens);
+
+  /// Parses a single "key=value" token.
+  bool parse_token(std::string_view token);
+
+  /// Imports every environment variable starting with \p prefix, mapping
+  /// e.g. RINGCLU_INSTRS=5 to key "instrs" (prefix stripped, lower-cased).
+  void import_env(std::string_view prefix);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Raw lookup.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Typed lookups; return \p fallback when the key is missing.
+  /// \pre if present, the value must parse as the requested type.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// All entries in key order, as "key=value" strings.
+  [[nodiscard]] std::vector<std::string> entries() const;
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace ringclu

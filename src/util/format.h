@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file format.h
+/// printf-style string formatting plus small text helpers used by the
+/// statistics tables and reports.
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ringclu {
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of str_format.
+[[nodiscard]] std::string str_vformat(const char* fmt, std::va_list args);
+
+/// Joins \p parts with \p sep.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Formats a ratio as a signed percentage, e.g. 0.153 -> "+15.3%".
+[[nodiscard]] std::string pct(double fraction, int decimals = 1);
+
+/// Formats a count with thousands separators, e.g. 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(long long value);
+
+/// Left/right pads \p text with spaces to \p width (no trimming).
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+/// True if \p text starts with \p prefix (C++20 shim kept for readability).
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Splits on a delimiter, skipping empty tokens.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+}  // namespace ringclu

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file log.h
+/// Minimal leveled logging to stderr.  Default level is Warn so simulations
+/// stay quiet; tools raise it via set_log_level or RINGCLU_LOG=debug.
+
+#include <string_view>
+
+namespace ringclu {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; unknown strings keep Warn.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name);
+
+/// printf-style logging; evaluated only when \p level >= current level.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace ringclu
+
+#define RINGCLU_LOG_DEBUG(...) \
+  ::ringclu::log_message(::ringclu::LogLevel::Debug, __VA_ARGS__)
+#define RINGCLU_LOG_INFO(...) \
+  ::ringclu::log_message(::ringclu::LogLevel::Info, __VA_ARGS__)
+#define RINGCLU_LOG_WARN(...) \
+  ::ringclu::log_message(::ringclu::LogLevel::Warn, __VA_ARGS__)
+#define RINGCLU_LOG_ERROR(...) \
+  ::ringclu::log_message(::ringclu::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,148 @@
+// Tests for src/area: Table 1 values and floorplan/wire-length invariants.
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.h"
+#include "area/floorplan.h"
+
+namespace ringclu {
+namespace {
+
+TEST(AreaModel, Table1IssueQueue) {
+  // 16 entries x (12 CAM bits x 22,300 + 24 RAM bits x 13,900) = 9,619,200.
+  const auto parts = cluster_component_areas();
+  EXPECT_EQ(parts[0].name, "issue queue");
+  EXPECT_DOUBLE_EQ(parts[0].area, 9619200.0);
+  EXPECT_DOUBLE_EQ(parts[0].width, 1000.0);
+  EXPECT_NEAR(parts[0].height, 9619.2, 0.1);
+}
+
+TEST(AreaModel, Table1RegisterFile) {
+  // 48 regs x 64 bits x 40,600 = 124,723,200; square block.
+  const auto parts = cluster_component_areas();
+  EXPECT_DOUBLE_EQ(parts[2].area, 124723200.0);
+  EXPECT_NEAR(parts[2].height, 11168.0, 1.0);
+  EXPECT_NEAR(parts[2].height, parts[2].width, 1e-9);
+}
+
+TEST(AreaModel, Table1FunctionalUnits) {
+  const auto parts = cluster_component_areas();
+  EXPECT_DOUBLE_EQ(parts[3].area, 154240000.0);  // int ALU
+  EXPECT_DOUBLE_EQ(parts[4].area, 117760000.0);  // int multiplier
+  EXPECT_DOUBLE_EQ(parts[5].area, 291200000.0);  // FPU
+  EXPECT_NEAR(parts[5].height, 17065.0, 1.0);    // the paper's ~17,100
+}
+
+TEST(AreaModel, CommQueueDiscrepancyIsFlagged) {
+  const auto parts = cluster_component_areas();
+  EXPECT_EQ(parts[1].name, "comm queue");
+  // The formula value...
+  EXPECT_DOUBLE_EQ(parts[1].area, 4142400.0);
+  // ...differs from the figure printed in the paper, which we surface.
+  EXPECT_DOUBLE_EQ(parts[1].paper_reported_area, 8006400.0);
+}
+
+TEST(AreaModel, TotalIsSumOfParts) {
+  const auto parts = cluster_component_areas();
+  const double expected = 2 * parts[0].area + parts[1].area +
+                          2 * parts[2].area + parts[3].area + parts[4].area +
+                          parts[5].area;
+  EXPECT_DOUBLE_EQ(cluster_total_area(), expected);
+}
+
+TEST(AreaModel, ScalesWithParameters) {
+  ClusterAreaParams params;
+  params.regs = 64;  // 4-cluster configuration
+  const auto parts = cluster_component_areas(params);
+  EXPECT_DOUBLE_EQ(parts[2].area, 64.0 * 64 * 40600);
+}
+
+bool overlap(const PlacedBlock& a, const PlacedBlock& b) {
+  return a.x < b.right() && b.x < a.right() && a.y < b.top() && b.y < a.top();
+}
+
+class FloorplanShapeTest
+    : public ::testing::TestWithParam<std::pair<ModuleShape, ModuleDatapath>> {
+};
+
+TEST_P(FloorplanShapeTest, BlocksDoNotOverlapAndFitBoundingBox) {
+  const auto [shape, datapath] = GetParam();
+  const ClusterModule module = floorplan_module(shape, datapath);
+  ASSERT_FALSE(module.blocks.empty());
+  for (std::size_t i = 0; i < module.blocks.size(); ++i) {
+    const PlacedBlock& a = module.blocks[i];
+    EXPECT_GE(a.x, 0.0);
+    EXPECT_GE(a.y, 0.0);
+    EXPECT_LE(a.right(), module.width + 1e-6);
+    EXPECT_LE(a.top(), module.height + 1e-6);
+    for (std::size_t j = i + 1; j < module.blocks.size(); ++j) {
+      EXPECT_FALSE(overlap(a, module.blocks[j]))
+          << a.name << " overlaps " << module.blocks[j].name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, FloorplanShapeTest,
+    ::testing::Values(
+        std::make_pair(ModuleShape::Straight, ModuleDatapath::Unified),
+        std::make_pair(ModuleShape::Corner, ModuleDatapath::Unified),
+        std::make_pair(ModuleShape::Straight, ModuleDatapath::IntOnly),
+        std::make_pair(ModuleShape::Corner, ModuleDatapath::IntOnly),
+        std::make_pair(ModuleShape::Straight, ModuleDatapath::FpOnly),
+        std::make_pair(ModuleShape::Corner, ModuleDatapath::FpOnly)));
+
+TEST(Floorplan, SplitModulesOmitOtherDatapath) {
+  const ClusterModule int_module =
+      floorplan_module(ModuleShape::Straight, ModuleDatapath::IntOnly);
+  for (const PlacedBlock& block : int_module.blocks) {
+    EXPECT_EQ(block.name.find("FP"), std::string::npos) << block.name;
+  }
+}
+
+TEST(WireStudy, StraightToStraightMatchesPaper) {
+  // Paper: 17,400 lambda (integer mult output to next module's int units).
+  const WireLengthStudy study = run_wire_length_study();
+  EXPECT_NEAR(study.unified_straight_to_straight, 17400.0, 600.0);
+}
+
+TEST(WireStudy, SplitFpRingMatchesPaper) {
+  // Paper: ~11,200 lambda worst case for the split rings.
+  const WireLengthStudy study = run_wire_length_study();
+  EXPECT_NEAR(study.split_fp_worst, 11200.0, 600.0);
+}
+
+TEST(WireStudy, SplitRingsShortenWorstCase) {
+  const WireLengthStudy study = run_wire_length_study();
+  EXPECT_LT(study.split_fp_worst, study.unified_worst_with_corner);
+  EXPECT_LT(study.split_int_worst, study.unified_worst_with_corner);
+}
+
+TEST(WireStudy, NeighborBypassComparableToIntraCluster) {
+  // The feasibility argument of Section 3.2.
+  const WireLengthStudy study = run_wire_length_study();
+  EXPECT_GT(study.conventional_reference, 0.0);
+  EXPECT_LE(study.unified_straight_to_straight,
+            2.0 * study.conventional_reference);
+}
+
+TEST(RingPlacement, FourClustersAllCorners) {
+  const auto shapes = ring_placement(4);
+  ASSERT_EQ(shapes.size(), 4u);
+  for (const ModuleShape shape : shapes) {
+    EXPECT_EQ(shape, ModuleShape::Corner);
+  }
+}
+
+TEST(RingPlacement, EightClustersMixStraightAndCorner) {
+  const auto shapes = ring_placement(8);
+  ASSERT_EQ(shapes.size(), 8u);
+  int corners = 0;
+  for (const ModuleShape shape : shapes) {
+    if (shape == ModuleShape::Corner) ++corners;
+  }
+  EXPECT_EQ(corners, 2);  // Figure 3's 3+1+3+1 arrangement
+}
+
+}  // namespace
+}  // namespace ringclu

@@ -1,0 +1,217 @@
+// Tests for src/cluster: value map (copies, readers, eviction), register
+// files, issue queues, functional-unit pools.
+
+#include <gtest/gtest.h>
+
+#include "cluster/fu.h"
+#include "cluster/issue_queue.h"
+#include "cluster/regfile.h"
+#include "cluster/value_map.h"
+
+namespace ringclu {
+namespace {
+
+TEST(ValueMap, CreateMapsHomeOnly) {
+  ValueMap values(8);
+  const ValueId v = values.create(RegClass::Int, 3);
+  const ValueInfo& info = values.info(v);
+  EXPECT_EQ(info.home, 3);
+  EXPECT_TRUE(info.mapped_in(3));
+  EXPECT_FALSE(info.mapped_in(4));
+  EXPECT_FALSE(info.readable_in(3, 1000));  // not scheduled yet
+  EXPECT_FALSE(info.produced);
+}
+
+TEST(ValueMap, ReadableAfterSchedule) {
+  ValueMap values(4);
+  const ValueId v = values.create(RegClass::Fp, 0);
+  values.set_readable(v, 0, 10);
+  EXPECT_FALSE(values.info(v).readable_in(0, 9));
+  EXPECT_TRUE(values.info(v).readable_in(0, 10));
+}
+
+TEST(ValueMap, CopiesTrackMappedMask) {
+  ValueMap values(4);
+  const ValueId v = values.create(RegClass::Int, 1);
+  values.add_copy(v, 3);
+  EXPECT_TRUE(values.info(v).mapped_in(3));
+  EXPECT_FALSE(values.info(v).readable_in(3, 100));  // in flight
+  values.set_readable(v, 3, 50);
+  EXPECT_TRUE(values.info(v).readable_in(3, 50));
+}
+
+TEST(ValueMap, SlotReuseAfterRelease) {
+  ValueMap values(4);
+  const ValueId a = values.create(RegClass::Int, 0);
+  values.release(a);
+  const ValueId b = values.create(RegClass::Fp, 1);
+  EXPECT_EQ(a, b);  // slot reused
+  EXPECT_EQ(values.info(b).cls, RegClass::Fp);
+  EXPECT_EQ(values.live_count(), 1u);
+}
+
+TEST(ValueMap, ReaderCounting) {
+  ValueMap values(4);
+  const ValueId v = values.create(RegClass::Int, 2);
+  values.add_reader(v, 2);
+  values.add_reader(v, 2);
+  EXPECT_EQ(values.info(v).pending_readers[2], 2);
+  values.remove_reader(v, 2);
+  EXPECT_EQ(values.info(v).pending_readers[2], 1);
+}
+
+TEST(ValueMap, EvictionRequiresIdleDeliveredCopy) {
+  ValueMap values(4);
+  const ValueId v = values.create(RegClass::Int, 0);
+  values.add_copy(v, 2);
+  // In flight: not evictable.
+  EXPECT_EQ(values.find_evictable(RegClass::Int, 2, 100), kInvalidValue);
+  values.set_readable(v, 2, 10);
+  // Readable and idle: evictable.
+  EXPECT_EQ(values.find_evictable(RegClass::Int, 2, 100), v);
+  // With a pending reader: not evictable.
+  values.add_reader(v, 2);
+  EXPECT_EQ(values.find_evictable(RegClass::Int, 2, 100), kInvalidValue);
+}
+
+TEST(ValueMap, HomeIsNeverEvictable) {
+  ValueMap values(4);
+  const ValueId v = values.create(RegClass::Int, 1);
+  values.set_readable(v, 1, 0);
+  EXPECT_EQ(values.find_evictable(RegClass::Int, 1, 100), kInvalidValue);
+}
+
+TEST(ValueMap, EvictionRespectsClass) {
+  ValueMap values(4);
+  const ValueId v = values.create(RegClass::Fp, 0);
+  values.add_copy(v, 2);
+  values.set_readable(v, 2, 0);
+  EXPECT_EQ(values.find_evictable(RegClass::Int, 2, 100), kInvalidValue);
+  EXPECT_EQ(values.find_evictable(RegClass::Fp, 2, 100), v);
+}
+
+TEST(ValueMap, EvictionExclusionList) {
+  ValueMap values(4);
+  const ValueId v = values.create(RegClass::Int, 0);
+  values.add_copy(v, 2);
+  values.set_readable(v, 2, 0);
+  const ValueId exclude[] = {v};
+  EXPECT_EQ(values.find_evictable(RegClass::Int, 2, 100, exclude),
+            kInvalidValue);
+}
+
+TEST(ValueMap, EvictCopyClearsState) {
+  ValueMap values(4);
+  const ValueId v = values.create(RegClass::Int, 0);
+  values.add_copy(v, 2);
+  values.set_readable(v, 2, 0);
+  values.evict_copy(v, 2);
+  EXPECT_FALSE(values.info(v).mapped_in(2));
+  EXPECT_FALSE(values.info(v).readable_in(2, 1000));
+  EXPECT_TRUE(values.info(v).mapped_in(0));  // home untouched
+}
+
+TEST(RegFileSet, AllocateRelease) {
+  RegFileSet regs(4, 48);
+  EXPECT_EQ(regs.free_count(0, RegClass::Int), 48);
+  regs.allocate(0, RegClass::Int);
+  EXPECT_EQ(regs.free_count(0, RegClass::Int), 47);
+  EXPECT_EQ(regs.free_count(0, RegClass::Fp), 48);  // classes independent
+  EXPECT_EQ(regs.free_count(1, RegClass::Int), 48);  // clusters independent
+  regs.release(0, RegClass::Int);
+  EXPECT_EQ(regs.free_count(0, RegClass::Int), 48);
+}
+
+TEST(RegFileSet, TotalInUse) {
+  RegFileSet regs(2, 48);
+  regs.allocate(0, RegClass::Int);
+  regs.allocate(1, RegClass::Fp);
+  EXPECT_EQ(regs.total_in_use(), 2);
+}
+
+TEST(RegFileSet, CanAllocateAtExhaustion) {
+  RegFileSet regs(2, 33);
+  for (int i = 0; i < 33; ++i) regs.allocate(0, RegClass::Int);
+  EXPECT_FALSE(regs.can_allocate(0, RegClass::Int));
+  EXPECT_TRUE(regs.can_allocate(0, RegClass::Fp));
+}
+
+TEST(IssueQueue, AgeOrderMaintained) {
+  IssueQueue queue(4);
+  queue.insert({10, 1});
+  queue.insert({11, 2});
+  queue.insert({12, 3});
+  EXPECT_EQ(queue.at(0).seq, 1u);
+  queue.remove_at(1);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.at(0).seq, 1u);
+  EXPECT_EQ(queue.at(1).seq, 3u);
+}
+
+TEST(IssueQueue, CapacityEnforced) {
+  IssueQueue queue(2);
+  queue.insert({0, 1});
+  EXPECT_FALSE(queue.full());
+  queue.insert({1, 2});
+  EXPECT_TRUE(queue.full());
+}
+
+TEST(CommQueue, InsertRemove) {
+  CommQueue queue(2);
+  CommOp op;
+  op.value = 7;
+  op.src_cluster = 1;
+  op.dst_cluster = 3;
+  queue.insert(op);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.at(0).value, 7u);
+  queue.remove_at(0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(FuPool, GroupMapping) {
+  EXPECT_EQ(fu_group_for(OpClass::IntAlu), FuGroup::IntAlu);
+  EXPECT_EQ(fu_group_for(OpClass::Load), FuGroup::IntAlu);
+  EXPECT_EQ(fu_group_for(OpClass::Store), FuGroup::IntAlu);
+  EXPECT_EQ(fu_group_for(OpClass::Branch), FuGroup::IntAlu);
+  EXPECT_EQ(fu_group_for(OpClass::IntMult), FuGroup::IntMult);
+  EXPECT_EQ(fu_group_for(OpClass::IntDiv), FuGroup::IntMult);
+  EXPECT_EQ(fu_group_for(OpClass::FpAdd), FuGroup::FpAdd);
+  EXPECT_EQ(fu_group_for(OpClass::FpMult), FuGroup::FpMult);
+  EXPECT_EQ(fu_group_for(OpClass::FpDiv), FuGroup::FpMult);
+}
+
+TEST(FuPool, PipelinedUnitsAcceptOnePerCycle) {
+  FuPool pool(1);
+  EXPECT_TRUE(pool.available(OpClass::IntAlu, 10));
+  pool.acquire(OpClass::IntAlu, 10);
+  EXPECT_FALSE(pool.available(OpClass::IntAlu, 10));
+  EXPECT_TRUE(pool.available(OpClass::IntAlu, 11));  // pipelined
+}
+
+TEST(FuPool, NonPipelinedDivBlocksForFullLatency) {
+  FuPool pool(1);
+  pool.acquire(OpClass::FpDiv, 10);
+  EXPECT_FALSE(pool.available(OpClass::FpDiv, 10 + 11));
+  EXPECT_TRUE(pool.available(OpClass::FpDiv, 10 + 12));
+  // Different group unaffected.
+  EXPECT_TRUE(pool.available(OpClass::FpAdd, 10));
+}
+
+TEST(FuPool, WidthTwoAllowsTwoPerCycle) {
+  FuPool pool(2);
+  pool.acquire(OpClass::IntAlu, 5);
+  EXPECT_TRUE(pool.available(OpClass::IntAlu, 5));
+  pool.acquire(OpClass::IntAlu, 5);
+  EXPECT_FALSE(pool.available(OpClass::IntAlu, 5));
+}
+
+TEST(FuPool, MultAndDivShareUnits) {
+  FuPool pool(1);
+  pool.acquire(OpClass::IntDiv, 0);  // ties up the mult/div unit 20 cycles
+  EXPECT_FALSE(pool.available(OpClass::IntMult, 10));
+  EXPECT_TRUE(pool.available(OpClass::IntMult, 20));
+}
+
+}  // namespace
+}  // namespace ringclu

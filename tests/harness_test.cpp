@@ -1,0 +1,143 @@
+// Tests for src/harness: result serialization, the cached runner and the
+// figure aggregation helpers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+namespace ringclu {
+namespace {
+
+SimResult make_result(const std::string& config, const std::string& bench,
+                      std::uint64_t cycles, std::uint64_t committed) {
+  SimResult result;
+  result.config_name = config;
+  result.benchmark = bench;
+  result.counters.cycles = cycles;
+  result.counters.committed = committed;
+  result.counters.comms = committed / 4;
+  result.counters.comm_distance_sum = committed / 2;
+  result.counters.dispatched_per_cluster = {1, 2, 3, 4};
+  return result;
+}
+
+TEST(Serialization, RoundTrip) {
+  const SimResult original = make_result("Ring_8clus_1bus_2IW", "swim",
+                                         123456, 50000);
+  const SimResult copy = deserialize_result(serialize_result(original));
+  EXPECT_EQ(copy.config_name, original.config_name);
+  EXPECT_EQ(copy.benchmark, original.benchmark);
+  EXPECT_EQ(copy.counters.cycles, original.counters.cycles);
+  EXPECT_EQ(copy.counters.committed, original.counters.committed);
+  EXPECT_EQ(copy.counters.comms, original.counters.comms);
+  EXPECT_EQ(copy.counters.dispatched_per_cluster,
+            original.counters.dispatched_per_cluster);
+  EXPECT_DOUBLE_EQ(copy.ipc(), original.ipc());
+}
+
+TEST(Runner, CachesResultsAcrossInstances) {
+  const std::string cache = "/tmp/ringclu_harness_test_cache.tsv";
+  std::remove(cache.c_str());
+
+  RunnerOptions options;
+  options.instrs = 3000;
+  options.warmup = 300;
+  options.threads = 2;
+  options.cache_path = cache;
+  options.verbose = false;
+
+  ExperimentRunner first(options);
+  const std::vector<SimResult> a = first.run_matrix(
+      std::vector<std::string>{"Ring_4clus_1bus_2IW"},
+      std::vector<std::string>{"gzip", "swim"});
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(cache));
+
+  // A second runner must reproduce identical numbers purely from cache.
+  ExperimentRunner second(options);
+  const std::vector<SimResult> b = second.run_matrix(
+      std::vector<std::string>{"Ring_4clus_1bus_2IW"},
+      std::vector<std::string>{"gzip", "swim"});
+  ASSERT_EQ(b.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(a[i].counters.cycles, b[i].counters.cycles);
+    EXPECT_EQ(a[i].counters.comms, b[i].counters.comms);
+  }
+  std::remove(cache.c_str());
+}
+
+TEST(Runner, DifferentInstrBudgetMissesCache) {
+  const std::string cache = "/tmp/ringclu_harness_test_cache2.tsv";
+  std::remove(cache.c_str());
+  RunnerOptions options;
+  options.instrs = 2000;
+  options.warmup = 200;
+  options.cache_path = cache;
+  options.verbose = false;
+  ExperimentRunner runner(options);
+  const SimResult small =
+      runner.run_one(ArchConfig::preset("Ring_4clus_1bus_2IW"), "gzip");
+  options.instrs = 4000;
+  ExperimentRunner bigger(options);
+  const SimResult large =
+      bigger.run_one(ArchConfig::preset("Ring_4clus_1bus_2IW"), "gzip");
+  EXPECT_GT(large.counters.committed, small.counters.committed);
+  std::remove(cache.c_str());
+}
+
+TEST(Runner, DefaultBenchmarksAreTheSuite) {
+  // (Assumes RINGCLU_BENCHMARKS is unset in the test environment.)
+  const std::vector<std::string> names =
+      ExperimentRunner::default_benchmarks();
+  EXPECT_GE(names.size(), 1u);
+  if (names.size() == 26) {
+    EXPECT_EQ(names.front(), "ammp");
+    EXPECT_EQ(names.back(), "wupwise");
+  }
+}
+
+TEST(Report, GroupMeansSplitIntFp) {
+  std::vector<SimResult> results;
+  results.push_back(make_result("c", "swim", 100, 200));   // FP: ipc 2
+  results.push_back(make_result("c", "gzip", 100, 100));   // INT: ipc 1
+  EXPECT_DOUBLE_EQ(group_mean(results, BenchGroup::Fp,
+                              [](const SimResult& r) { return r.ipc(); }),
+                   2.0);
+  EXPECT_DOUBLE_EQ(group_mean(results, BenchGroup::Int,
+                              [](const SimResult& r) { return r.ipc(); }),
+                   1.0);
+  EXPECT_DOUBLE_EQ(group_mean(results, BenchGroup::All,
+                              [](const SimResult& r) { return r.ipc(); }),
+                   1.5);
+}
+
+TEST(Report, SpeedupGeometricMean) {
+  std::vector<SimResult> ring;
+  std::vector<SimResult> conv;
+  ring.push_back(make_result("r", "swim", 100, 220));  // 2.2 IPC
+  conv.push_back(make_result("c", "swim", 100, 200));  // 2.0 IPC
+  ring.push_back(make_result("r", "gzip", 100, 110));
+  conv.push_back(make_result("c", "gzip", 100, 100));
+  EXPECT_NEAR(group_speedup(ring, conv, BenchGroup::All), 0.10, 1e-9);
+  EXPECT_NEAR(group_speedup(ring, conv, BenchGroup::Fp), 0.10, 1e-9);
+}
+
+TEST(Report, GroupNames) {
+  EXPECT_EQ(group_name(BenchGroup::All), "AVERAGE");
+  EXPECT_EQ(group_name(BenchGroup::Int), "INT");
+  EXPECT_EQ(group_name(BenchGroup::Fp), "FP");
+}
+
+TEST(Report, FindResult) {
+  std::vector<SimResult> results;
+  results.push_back(make_result("c", "swim", 1, 1));
+  results.push_back(make_result("c", "art", 1, 1));
+  EXPECT_EQ(find_result(results, "art").benchmark, "art");
+}
+
+}  // namespace
+}  // namespace ringclu

@@ -1,0 +1,98 @@
+// Tests for src/isa: op-class properties, registers, micro-ops.
+
+#include <gtest/gtest.h>
+
+#include "isa/micro_op.h"
+#include "isa/op_class.h"
+#include "isa/reg.h"
+
+namespace ringclu {
+namespace {
+
+TEST(OpClass, LatenciesMatchTable2) {
+  EXPECT_EQ(op_latency(OpClass::IntAlu), 1);
+  EXPECT_EQ(op_latency(OpClass::IntMult), 3);
+  EXPECT_EQ(op_latency(OpClass::IntDiv), 20);
+  EXPECT_EQ(op_latency(OpClass::FpAdd), 2);
+  EXPECT_EQ(op_latency(OpClass::FpMult), 4);
+  EXPECT_EQ(op_latency(OpClass::FpDiv), 12);
+}
+
+TEST(OpClass, DividesAreNonPipelined) {
+  EXPECT_TRUE(op_is_nonpipelined(OpClass::IntDiv));
+  EXPECT_TRUE(op_is_nonpipelined(OpClass::FpDiv));
+  EXPECT_FALSE(op_is_nonpipelined(OpClass::IntMult));
+  EXPECT_FALSE(op_is_nonpipelined(OpClass::FpMult));
+  EXPECT_FALSE(op_is_nonpipelined(OpClass::Load));
+}
+
+TEST(OpClass, UnitAssignment) {
+  EXPECT_EQ(op_unit(OpClass::IntAlu), UnitKind::Int);
+  EXPECT_EQ(op_unit(OpClass::FpAdd), UnitKind::Fp);
+  EXPECT_EQ(op_unit(OpClass::FpDiv), UnitKind::Fp);
+  // Memory ops and branches do their work on integer units.
+  EXPECT_EQ(op_unit(OpClass::Load), UnitKind::Int);
+  EXPECT_EQ(op_unit(OpClass::Store), UnitKind::Int);
+  EXPECT_EQ(op_unit(OpClass::Branch), UnitKind::Int);
+}
+
+TEST(OpClass, Predicates) {
+  EXPECT_TRUE(op_is_mem(OpClass::Load));
+  EXPECT_TRUE(op_is_mem(OpClass::Store));
+  EXPECT_FALSE(op_is_mem(OpClass::IntAlu));
+  EXPECT_TRUE(op_is_branch(OpClass::Branch));
+  EXPECT_FALSE(op_is_branch(OpClass::Load));
+}
+
+TEST(OpClass, NamesAreDistinct) {
+  EXPECT_NE(op_name(OpClass::IntAlu), op_name(OpClass::FpAdd));
+  EXPECT_EQ(op_name(OpClass::Load), "load");
+}
+
+TEST(RegId, InvalidByDefault) {
+  EXPECT_FALSE(RegId{}.valid());
+  EXPECT_FALSE(RegId::invalid().valid());
+}
+
+TEST(RegId, MakeAndFlat) {
+  const RegId r = RegId::int_reg(5);
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r.flat(), 5);
+  const RegId f = RegId::fp_reg(5);
+  EXPECT_EQ(f.flat(), kArchRegsPerClass + 5);
+  EXPECT_NE(r, f);
+}
+
+TEST(RegId, FlatCoversBothClasses) {
+  EXPECT_EQ(kNumFlatArchRegs, 64);
+  EXPECT_EQ(RegId::int_reg(0).flat(), 0);
+  EXPECT_EQ(RegId::fp_reg(31).flat(), 63);
+}
+
+TEST(MicroOp, OperandCounting) {
+  MicroOp op;
+  EXPECT_EQ(op.num_srcs(), 0);
+  EXPECT_FALSE(op.has_dst());
+  op.src[0] = RegId::int_reg(1);
+  EXPECT_EQ(op.num_srcs(), 1);
+  op.src[1] = RegId::fp_reg(2);
+  EXPECT_EQ(op.num_srcs(), 2);
+  op.dst = RegId::int_reg(0);
+  EXPECT_TRUE(op.has_dst());
+}
+
+TEST(MicroOp, KindPredicates) {
+  MicroOp op;
+  op.cls = OpClass::Load;
+  EXPECT_TRUE(op.is_mem());
+  EXPECT_TRUE(op.is_load());
+  EXPECT_FALSE(op.is_store());
+  op.cls = OpClass::Store;
+  EXPECT_TRUE(op.is_store());
+  op.cls = OpClass::Branch;
+  EXPECT_TRUE(op.is_branch());
+  EXPECT_FALSE(op.is_mem());
+}
+
+}  // namespace
+}  // namespace ringclu

@@ -1,0 +1,176 @@
+// Tests for src/mem: set-associative cache, hierarchy latencies, LSQ.
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "mem/lsq.h"
+
+namespace ringclu {
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  SetAssocCache cache({1024, 32, 2});
+  EXPECT_FALSE(cache.access(0x100));
+  EXPECT_TRUE(cache.access(0x100));
+  EXPECT_TRUE(cache.access(0x11f));  // same 32-byte line
+  EXPECT_FALSE(cache.access(0x120));  // next line
+}
+
+TEST(Cache, LruEviction) {
+  // 2 ways, 32-byte lines, 4 sets (1024/32/2 = 16 sets... use small cache).
+  SetAssocCache cache({128, 32, 2});  // 2 sets
+  const std::uint64_t set_stride = 2 * 32;
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(set_stride));
+  EXPECT_TRUE(cache.access(0));  // refresh LRU of line 0
+  EXPECT_FALSE(cache.access(2 * set_stride));  // evicts set_stride line
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(set_stride));  // was evicted
+}
+
+TEST(Cache, StatsAccumulate) {
+  SetAssocCache cache({1024, 32, 2});
+  (void)cache.access(0);
+  (void)cache.access(0);
+  (void)cache.access(64);
+  EXPECT_EQ(cache.accesses(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_NEAR(cache.miss_rate(), 2.0 / 3.0, 1e-9);
+  cache.reset_stats();
+  EXPECT_EQ(cache.accesses(), 0u);
+}
+
+TEST(Cache, ContainsDoesNotTouchState) {
+  SetAssocCache cache({1024, 32, 2});
+  EXPECT_FALSE(cache.contains(0x40));
+  (void)cache.access(0x40);
+  EXPECT_TRUE(cache.contains(0x40));
+  EXPECT_EQ(cache.accesses(), 1u);  // contains() did not count
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  SetAssocCache cache({1024, 32, 2});
+  (void)cache.access(0x40);
+  cache.flush();
+  EXPECT_FALSE(cache.contains(0x40));
+}
+
+TEST(Cache, DistinctSetsDoNotConflict) {
+  SetAssocCache cache({128, 32, 2});  // 2 sets
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(32));  // other set
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(32));
+}
+
+TEST(Hierarchy, LatenciesComposePerTable2) {
+  MemoryHierarchy mem;
+  // Cold: L1 miss + L2 miss.
+  EXPECT_EQ(mem.data_access(0x1000), 2 + 10 + 100);
+  // Now in both: L1 hit.
+  EXPECT_EQ(mem.data_access(0x1000), 2);
+  // I-side cold at a different line: 1 + 10 + 100; L2 holds only that line.
+  EXPECT_EQ(mem.inst_access(0x8000), 1 + 10 + 100);
+  EXPECT_EQ(mem.inst_access(0x8000), 1);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  MemoryHierarchy mem;
+  (void)mem.data_access(0x1000);  // in L1 + L2
+  // Evict from L1 (32KB 4-way, 32B lines -> 256 sets, stride 8KB) by
+  // touching 4 more lines in the same set.
+  for (int w = 1; w <= 4; ++w) {
+    (void)mem.data_access(0x1000 + static_cast<std::uint64_t>(w) * 8192);
+  }
+  // L1 miss, L2 hit.
+  EXPECT_EQ(mem.data_access(0x1000), 2 + 10);
+}
+
+TEST(Lsq, AllocateTracksCapacity) {
+  LoadStoreQueue lsq(2);
+  lsq.allocate(1, false);
+  EXPECT_FALSE(lsq.full());
+  lsq.allocate(2, true);
+  EXPECT_TRUE(lsq.full());
+  EXPECT_TRUE(lsq.release(1) == false);  // load
+  EXPECT_FALSE(lsq.full());
+}
+
+TEST(Lsq, LoadProceedsWithNoStores) {
+  LoadStoreQueue lsq;
+  lsq.allocate(1, false);
+  lsq.set_address(1, 0x100, 8);
+  EXPECT_EQ(lsq.query_load(1), LoadGate::Proceed);
+}
+
+TEST(Lsq, LoadWaitsForUnknownOlderStoreAddress) {
+  LoadStoreQueue lsq;
+  lsq.allocate(1, true);   // older store, address unknown
+  lsq.allocate(2, false);  // the load
+  lsq.set_address(2, 0x100, 8);
+  EXPECT_EQ(lsq.query_load(2), LoadGate::MustWait);
+  lsq.set_address(1, 0x900, 8);  // disjoint
+  EXPECT_EQ(lsq.query_load(2), LoadGate::Proceed);
+}
+
+TEST(Lsq, ExactMatchForwards) {
+  LoadStoreQueue lsq;
+  lsq.allocate(1, true);
+  lsq.allocate(2, false);
+  lsq.set_address(1, 0x100, 8);
+  lsq.set_address(2, 0x100, 8);
+  EXPECT_EQ(lsq.query_load(2), LoadGate::Forward);
+}
+
+TEST(Lsq, PartialOverlapMustWait) {
+  LoadStoreQueue lsq;
+  lsq.allocate(1, true);
+  lsq.allocate(2, false);
+  lsq.set_address(1, 0x104, 4);  // store covers [0x104, 0x108)
+  lsq.set_address(2, 0x100, 8);  // load covers [0x100, 0x108): partial
+  EXPECT_EQ(lsq.query_load(2), LoadGate::MustWait);
+}
+
+TEST(Lsq, YoungestMatchingStoreWins) {
+  LoadStoreQueue lsq;
+  lsq.allocate(1, true);
+  lsq.allocate(2, true);
+  lsq.allocate(3, false);
+  lsq.set_address(1, 0x100, 8);
+  lsq.set_address(3, 0x100, 8);
+  // The store between them has an unknown address: must wait even though
+  // an older exact match exists.
+  EXPECT_EQ(lsq.query_load(3), LoadGate::MustWait);
+  lsq.set_address(2, 0x100, 8);
+  EXPECT_EQ(lsq.query_load(3), LoadGate::Forward);
+}
+
+TEST(Lsq, YoungerStoresDoNotGateLoads) {
+  LoadStoreQueue lsq;
+  lsq.allocate(1, false);
+  lsq.allocate(2, true);  // younger store, unknown address
+  lsq.set_address(1, 0x100, 8);
+  EXPECT_EQ(lsq.query_load(1), LoadGate::Proceed);
+}
+
+TEST(Lsq, ReleaseReportsStores) {
+  LoadStoreQueue lsq;
+  lsq.allocate(1, true);
+  lsq.allocate(2, false);
+  EXPECT_TRUE(lsq.release(1));
+  EXPECT_FALSE(lsq.release(2));
+  EXPECT_EQ(lsq.size(), 0u);
+}
+
+TEST(Lsq, SmallerStoreCoveringLoadForwards) {
+  LoadStoreQueue lsq;
+  lsq.allocate(1, true);
+  lsq.allocate(2, false);
+  lsq.set_address(1, 0x100, 8);
+  lsq.set_address(2, 0x100, 4);  // load narrower than store, same base
+  EXPECT_EQ(lsq.query_load(2), LoadGate::Forward);
+}
+
+}  // namespace
+}  // namespace ringclu

@@ -1,0 +1,157 @@
+// Tests for src/stats: histogram, table rendering and the NREADY matcher
+// (including a brute-force property check).
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "stats/histogram.h"
+#include "stats/nready.h"
+#include "stats/table.h"
+#include "util/rng.h"
+
+namespace ringclu {
+namespace {
+
+TEST(Histogram, MeanAndBuckets) {
+  Histogram hist(8);
+  hist.add(1);
+  hist.add(3);
+  hist.add(3);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.bucket(3), 2u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 7.0 / 3.0);
+}
+
+TEST(Histogram, ClampsOverflowIntoLastBucket) {
+  Histogram hist(4);
+  hist.add(100);
+  EXPECT_EQ(hist.bucket(3), 1u);
+}
+
+TEST(Histogram, WeightedSamples) {
+  Histogram hist(4);
+  hist.add(2, 10);
+  EXPECT_EQ(hist.count(), 10u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 2.0);
+}
+
+TEST(Histogram, Percentile) {
+  Histogram hist(10);
+  for (int i = 0; i < 100; ++i) hist.add(i % 10);
+  EXPECT_EQ(hist.percentile(0.5), 4);
+  EXPECT_EQ(hist.percentile(1.0), 9);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram hist(4);
+  hist.add(1);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(RunningMean, Weighted) {
+  RunningMean mean;
+  mean.add(1.0, 1.0);
+  mean.add(3.0, 3.0);
+  EXPECT_DOUBLE_EQ(mean.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(mean.total(), 10.0);
+}
+
+TEST(TextTable, AlignedRendering) {
+  TextTable table({"a", "bb"});
+  table.begin_row();
+  table.add_cell("xxx");
+  table.add_cell(static_cast<long long>(7));
+  const std::string out = table.render_aligned();
+  EXPECT_NE(out.find("xxx  7"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvRendering) {
+  TextTable table({"x", "y"});
+  table.begin_row();
+  table.add_cell(1.5, 1);
+  table.add_cell("z");
+  EXPECT_EQ(table.render_csv(), "x,y\n1.5,z\n");
+}
+
+TEST(TextTable, MarkdownRendering) {
+  TextTable table({"h"});
+  table.begin_row();
+  table.add_cell("v");
+  EXPECT_EQ(table.render_markdown(), "| h |\n|---|\n| v |\n");
+}
+
+TEST(Nready, ZeroWhenNoDemand) {
+  const std::uint32_t demand[4] = {0, 0, 0, 0};
+  const std::uint32_t supply[4] = {2, 2, 2, 2};
+  EXPECT_EQ(nready_matching(demand, supply), 0u);
+}
+
+TEST(Nready, ZeroWhenNoSupply) {
+  const std::uint32_t demand[4] = {3, 1, 0, 2};
+  const std::uint32_t supply[4] = {0, 0, 0, 0};
+  EXPECT_EQ(nready_matching(demand, supply), 0u);
+}
+
+TEST(Nready, SameClusterCannotAbsorbItself) {
+  // All demand and all supply in cluster 0: nothing can move.
+  const std::uint32_t demand[4] = {5, 0, 0, 0};
+  const std::uint32_t supply[4] = {5, 0, 0, 0};
+  EXPECT_EQ(nready_matching(demand, supply), 0u);
+}
+
+TEST(Nready, SimpleCrossMatch) {
+  const std::uint32_t demand[2] = {3, 0};
+  const std::uint32_t supply[2] = {0, 2};
+  EXPECT_EQ(nready_matching(demand, supply), 2u);
+}
+
+TEST(Nready, MixedDiagonal) {
+  // Demand {2,2}, supply {1,1}: each side must go to the other cluster.
+  const std::uint32_t demand[2] = {2, 2};
+  const std::uint32_t supply[2] = {1, 1};
+  EXPECT_EQ(nready_matching(demand, supply), 2u);
+}
+
+TEST(Nready, SingleClusterReturnsZero) {
+  const std::uint32_t demand[1] = {4};
+  const std::uint32_t supply[1] = {4};
+  EXPECT_EQ(nready_matching(demand, supply), 0u);
+}
+
+/// Brute-force optimum via recursion (tiny instances only).
+std::uint64_t brute_force(std::array<std::uint32_t, 4> demand,
+                          std::array<std::uint32_t, 4> supply) {
+  std::uint64_t best = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (demand[i] == 0) continue;
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (j == i || supply[j] == 0) continue;
+      auto d = demand;
+      auto s = supply;
+      --d[i];
+      --s[j];
+      best = std::max(best, 1 + brute_force(d, s));
+    }
+  }
+  return best;
+}
+
+TEST(Nready, ClosedFormMatchesBruteForceOnRandomInstances) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::array<std::uint32_t, 4> demand{};
+    std::array<std::uint32_t, 4> supply{};
+    for (auto& value : demand) value = static_cast<std::uint32_t>(rng.uniform(4));
+    for (auto& value : supply) value = static_cast<std::uint32_t>(rng.uniform(4));
+    const std::uint64_t computed = nready_matching(demand, supply);
+    const std::uint64_t exact = brute_force(demand, supply);
+    EXPECT_EQ(computed, exact) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ringclu

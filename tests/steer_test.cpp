@@ -1,0 +1,454 @@
+// Tests for src/steer: the Ring dependence-based policy (including the
+// paper's Figure 2 worked example), the Conv DCOUNT policy, SSA and the
+// ablation policies.
+
+#include <gtest/gtest.h>
+
+#include "cluster/regfile.h"
+#include "cluster/value_map.h"
+#include "interconnect/bus_set.h"
+#include "steer/conv_steering.h"
+#include "steer/dcount.h"
+#include "steer/extra_policies.h"
+#include "steer/ring_steering.h"
+#include "steer/ssa_steering.h"
+#include "steer/steer_common.h"
+
+namespace ringclu {
+namespace {
+
+/// Capacity oracle backed by a real RegFileSet with configurable issue/comm
+/// queue state.
+class TestOracle final : public SteerOracle {
+ public:
+  TestOracle(int clusters, int regs) : regs_(clusters, regs) {
+    iq_ok_.assign(static_cast<std::size_t>(clusters), true);
+    comm_free_.assign(static_cast<std::size_t>(clusters), 16);
+  }
+
+  bool iq_can_accept(int cluster, UnitKind) const override {
+    return iq_ok_[static_cast<std::size_t>(cluster)];
+  }
+  int comm_free_entries(int cluster) const override {
+    return comm_free_[static_cast<std::size_t>(cluster)];
+  }
+  bool regs_obtainable(int cluster, RegClass cls, int count) const override {
+    return regs_.free_count(cluster, cls) >= count;
+  }
+  int free_regs(int cluster, RegClass cls) const override {
+    return regs_.free_count(cluster, cls);
+  }
+  int free_regs_total(int cluster) const override {
+    return regs_.free_count(cluster, RegClass::Int) +
+           regs_.free_count(cluster, RegClass::Fp);
+  }
+
+  RegFileSet regs_;
+  std::vector<bool> iq_ok_;
+  std::vector<int> comm_free_;
+};
+
+/// A small machine harness that applies steering decisions the way the
+/// processor would (register allocation, copies), so multi-instruction
+/// scenarios stay consistent.
+struct Machine {
+  Machine(ArchKind arch, int clusters, BusOrientation orientation,
+          int buses = 1)
+      : values(clusters),
+        oracle(clusters, 48),
+        bus_set(clusters, buses, orientation, 1) {
+    context.values = &values;
+    context.buses = &bus_set;
+    context.oracle = &oracle;
+    context.arch = arch;
+    context.num_clusters = clusters;
+  }
+
+  /// Applies a decision for an instruction with the given request;
+  /// returns the new destination value (or kInvalidValue).
+  ValueId apply(const SteerRequest& request, const SteerDecision& decision) {
+    EXPECT_FALSE(decision.stall);
+    for (const SteerComm& comm : decision.comms) {
+      oracle.regs_.allocate(decision.cluster,
+                            request.src_cls[comm.operand]);
+      values.add_copy(request.srcs[comm.operand], decision.cluster);
+      values.set_readable(request.srcs[comm.operand], decision.cluster, 0);
+    }
+    if (!request.has_dst) return kInvalidValue;
+    const int home = dest_home_cluster(context.arch, decision.cluster,
+                                       context.num_clusters);
+    oracle.regs_.allocate(home, request.dst_cls);
+    const ValueId value = values.create(request.dst_cls, home);
+    values.set_readable(value, home, 0);
+    values.info(value).produced = true;
+    return value;
+  }
+
+  ValueMap values;
+  TestOracle oracle;
+  BusSet bus_set;
+  SteerContext context;
+};
+
+SteerRequest req0(RegClass dst = RegClass::Int) {
+  SteerRequest request;
+  request.cls = OpClass::IntAlu;
+  request.has_dst = true;
+  request.dst_cls = dst;
+  return request;
+}
+
+SteerRequest req1(ValueId a, RegClass dst = RegClass::Int) {
+  SteerRequest request = req0(dst);
+  request.srcs.push_back(a);
+  request.src_cls.push_back(RegClass::Int);
+  return request;
+}
+
+SteerRequest req2(ValueId a, ValueId b, RegClass dst = RegClass::Int) {
+  SteerRequest request = req1(a, dst);
+  request.srcs.push_back(b);
+  request.src_cls.push_back(RegClass::Int);
+  return request;
+}
+
+// --- The paper's Figure 2 worked example (4 clusters, Ring) --------------
+
+TEST(RingSteeringFigure2, FullWorkedExample) {
+  Machine m(ArchKind::Ring, 4, BusOrientation::AllForward);
+  RingSteering policy(4);
+
+  // I1. R1 = 1 — no sources; ties broken round-robin starting at 0.
+  SteerDecision d1 = policy.steer(req0(), m.context);
+  EXPECT_EQ(d1.cluster, 0);
+  const ValueId r1 = m.apply(req0(), d1);
+  policy.on_dispatch(d1.cluster);
+  EXPECT_EQ(m.values.info(r1).home, 1);  // value lands in cluster 1
+
+  // I2. R2 = R1 + 1 — R1 is local to cluster 1.
+  SteerDecision d2 = policy.steer(req1(r1), m.context);
+  EXPECT_EQ(d2.cluster, 1);
+  EXPECT_EQ(d2.comms.size(), 0u);
+  const ValueId r2 = m.apply(req1(r1), d2);
+  policy.on_dispatch(d2.cluster);
+  EXPECT_EQ(m.values.info(r2).home, 2);
+
+  // I3. R3 = R1 + R2 — no cluster has both; cluster 2 needs only one hop
+  // for R1 (1 -> 2), cluster 1 would need three hops for R2 (2 -> 1).
+  SteerDecision d3 = policy.steer(req2(r1, r2), m.context);
+  EXPECT_EQ(d3.cluster, 2);
+  ASSERT_EQ(d3.comms.size(), 1u);
+  EXPECT_EQ(d3.comms[0].from_cluster, 1);  // R1 copied from cluster 1
+  const ValueId r3 = m.apply(req2(r1, r2), d3);
+  policy.on_dispatch(d3.cluster);
+  EXPECT_TRUE(m.values.info(r1).mapped_in(2));  // copy created
+
+  // I4. R4 = R1 + R3 — R3 is local to 3; R1 is one hop away (from 2).
+  SteerDecision d4 = policy.steer(req2(r1, r3), m.context);
+  EXPECT_EQ(d4.cluster, 3);
+  ASSERT_EQ(d4.comms.size(), 1u);
+  EXPECT_EQ(d4.comms[0].from_cluster, 2);  // nearest copy of R1
+  const ValueId r4 = m.apply(req2(r1, r3), d4);
+  policy.on_dispatch(d4.cluster);
+  EXPECT_EQ(m.values.info(r4).home, 0);  // "R4" appears in cluster 0
+
+  // I5. R5 = R1 * 3 — R1 mapped in {1,2,3}; cluster 3 wins because its
+  // destination cluster (0) has the most free registers.
+  SteerDecision d5 = policy.steer(req1(r1), m.context);
+  EXPECT_EQ(d5.cluster, 3);
+  EXPECT_EQ(d5.comms.size(), 0u);
+  const ValueId r5 = m.apply(req1(r1), d5);
+  EXPECT_EQ(m.values.info(r5).home, 0);  // "R4,R5" in cluster 0
+}
+
+// --- Ring steering rules --------------------------------------------------
+
+TEST(RingSteering, OneSourceNeverCommunicates) {
+  Machine m(ArchKind::Ring, 4, BusOrientation::AllForward);
+  RingSteering policy(4);
+  const ValueId v = m.values.create(RegClass::Int, 2);
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_EQ(d.cluster, 2);
+  EXPECT_TRUE(d.comms.empty());
+}
+
+TEST(RingSteering, TwoSourcesNeverNeedTwoComms) {
+  Machine m(ArchKind::Ring, 8, BusOrientation::AllForward);
+  RingSteering policy(8);
+  const ValueId a = m.values.create(RegClass::Int, 1);
+  const ValueId b = m.values.create(RegClass::Int, 5);
+  const SteerDecision d = policy.steer(req2(a, b), m.context);
+  EXPECT_FALSE(d.stall);
+  EXPECT_LE(d.comms.size(), 1u);
+  // Placed where one of the operands is mapped.
+  EXPECT_TRUE(d.cluster == 1 || d.cluster == 5);
+}
+
+TEST(RingSteering, BothMappedClusterPreferred) {
+  Machine m(ArchKind::Ring, 8, BusOrientation::AllForward);
+  RingSteering policy(8);
+  const ValueId a = m.values.create(RegClass::Int, 4);
+  const ValueId b = m.values.create(RegClass::Int, 4);
+  const SteerDecision d = policy.steer(req2(a, b), m.context);
+  EXPECT_EQ(d.cluster, 4);
+  EXPECT_TRUE(d.comms.empty());
+}
+
+TEST(RingSteering, MinimizesRingDistanceForMissingOperand) {
+  Machine m(ArchKind::Ring, 8, BusOrientation::AllForward);
+  RingSteering policy(8);
+  // a at cluster 2, b at cluster 3: placing at 3 costs 1 hop for a (2->3);
+  // placing at 2 costs 7 hops for b (3->2 forward).
+  const ValueId a = m.values.create(RegClass::Int, 2);
+  const ValueId b = m.values.create(RegClass::Int, 3);
+  const SteerDecision d = policy.steer(req2(a, b), m.context);
+  EXPECT_EQ(d.cluster, 3);
+  ASSERT_EQ(d.comms.size(), 1u);
+  EXPECT_EQ(d.comms[0].operand, 0);  // a is the one copied
+}
+
+TEST(RingSteering, StallsWhenOnlyCandidateFull) {
+  Machine m(ArchKind::Ring, 4, BusOrientation::AllForward);
+  RingSteering policy(4);
+  const ValueId v = m.values.create(RegClass::Int, 2);
+  m.oracle.iq_ok_[2] = false;  // the only mapped cluster cannot accept
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_TRUE(d.stall);
+}
+
+TEST(RingSteering, ZeroSourceSpreadsRoundRobinOnTies) {
+  Machine m(ArchKind::Ring, 4, BusOrientation::AllForward);
+  RingSteering policy(4);
+  std::vector<int> chosen;
+  for (int i = 0; i < 4; ++i) {
+    const SteerDecision d = policy.steer(req0(), m.context);
+    chosen.push_back(d.cluster);
+    policy.on_dispatch(d.cluster);  // advances the tie-break pointer
+  }
+  // All free counts stay equal (nothing applied), so the rotation visits
+  // every cluster.
+  EXPECT_EQ(chosen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(RingSteering, DestRegisterPressureDrivesChoice) {
+  Machine m(ArchKind::Ring, 4, BusOrientation::AllForward);
+  RingSteering policy(4);
+  const ValueId v = m.values.create(RegClass::Int, 1);
+  m.values.add_copy(v, 2);
+  // Deplete cluster 2's INT registers: steering to 1 (dest cluster 2)
+  // becomes unattractive; steering to 2 (dest cluster 3) wins.
+  for (int i = 0; i < 40; ++i) m.oracle.regs_.allocate(2, RegClass::Int);
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_EQ(d.cluster, 2);
+}
+
+// --- Conv steering rules ---------------------------------------------------
+
+TEST(ConvSteering, PendingOperandAttractsConsumer) {
+  Machine m(ArchKind::Conv, 8, BusOrientation::AllForward);
+  ConvSteering policy(8, /*dcount_threshold=*/1000);
+  const ValueId v = m.values.create(RegClass::Int, 6);
+  // Not produced: the consumer chases the producer's cluster.
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_EQ(d.cluster, 6);
+  EXPECT_TRUE(d.comms.empty());
+}
+
+TEST(ConvSteering, AvailableOperandsMinimizeLongestDistance) {
+  Machine m(ArchKind::Conv, 8, BusOrientation::AllForward);
+  ConvSteering policy(8, 1000);
+  const ValueId v = m.values.create(RegClass::Int, 3);
+  m.values.info(v).produced = true;
+  // Mapped only at 3: distance 0 at cluster 3, shortest elsewhere grows.
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_EQ(d.cluster, 3);
+}
+
+TEST(ConvSteering, ImbalanceOverrideForcesLeastLoaded) {
+  Machine m(ArchKind::Conv, 4, BusOrientation::AllForward);
+  ConvSteering policy(4, /*dcount_threshold=*/2);
+  const ValueId v = m.values.create(RegClass::Int, 0);
+  m.values.info(v).produced = true;
+  // Load cluster 0 heavily.
+  for (int i = 0; i < 16; ++i) policy.on_dispatch(0);
+  ASSERT_GT(policy.dcount().imbalance(), 2.0);
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  // Dependence would say cluster 0, but balance wins.
+  EXPECT_NE(d.cluster, 0);
+  EXPECT_EQ(d.cluster, policy.dcount().least_loaded());
+  EXPECT_EQ(d.comms.size(), 1u);  // balance costs a communication
+}
+
+TEST(ConvSteering, TwoRemoteOperandsMayNeedTwoComms) {
+  Machine m(ArchKind::Conv, 8, BusOrientation::AllForward);
+  ConvSteering policy(8, 2);
+  const ValueId a = m.values.create(RegClass::Int, 2);
+  const ValueId b = m.values.create(RegClass::Int, 6);
+  m.values.info(a).produced = true;
+  m.values.info(b).produced = true;
+  for (int i = 0; i < 16; ++i) policy.on_dispatch(2);
+  for (int i = 0; i < 16; ++i) policy.on_dispatch(6);
+  const SteerDecision d = policy.steer(req2(a, b), m.context);
+  EXPECT_FALSE(d.stall);
+  if (d.cluster != 2 && d.cluster != 6) {
+    EXPECT_EQ(d.comms.size(), 2u);  // Conv can need two communications
+  }
+}
+
+TEST(ConvSteering, NoSourcePicksLeastLoaded) {
+  Machine m(ArchKind::Conv, 4, BusOrientation::AllForward);
+  ConvSteering policy(4, 1000);
+  policy.on_dispatch(0);
+  policy.on_dispatch(1);
+  policy.on_dispatch(2);
+  const SteerDecision d = policy.steer(req0(), m.context);
+  EXPECT_EQ(d.cluster, 3);
+}
+
+// --- DCOUNT ---------------------------------------------------------------
+
+TEST(Dcount, SumStaysZero) {
+  DcountTracker dcount(4);
+  dcount.on_dispatch(0);
+  dcount.on_dispatch(0);
+  dcount.on_dispatch(2);
+  std::int64_t sum = 0;
+  for (int c = 0; c < 4; ++c) sum += dcount.count(c);
+  EXPECT_EQ(sum, 0);
+}
+
+TEST(Dcount, ImbalanceGrowsWithConcentration) {
+  DcountTracker dcount(4);
+  EXPECT_DOUBLE_EQ(dcount.imbalance(), 0.0);
+  for (int i = 0; i < 8; ++i) dcount.on_dispatch(1);
+  EXPECT_DOUBLE_EQ(dcount.imbalance(), 8.0);  // (24 - (-8)) / 4
+  EXPECT_EQ(dcount.least_loaded(), 0);        // lowest index among ties
+}
+
+TEST(Dcount, BalancedDispatchKeepsImbalanceZero) {
+  DcountTracker dcount(4);
+  for (int round = 0; round < 10; ++round) {
+    for (int c = 0; c < 4; ++c) dcount.on_dispatch(c);
+  }
+  EXPECT_DOUBLE_EQ(dcount.imbalance(), 0.0);
+}
+
+TEST(Dcount, SaturationBoundsCounters) {
+  DcountTracker dcount(2, /*saturation=*/4);
+  for (int i = 0; i < 100; ++i) dcount.on_dispatch(0);
+  EXPECT_LE(dcount.count(0), 8);
+  EXPECT_GE(dcount.count(1), -8);
+}
+
+TEST(Dcount, ResetClears) {
+  DcountTracker dcount(4);
+  dcount.on_dispatch(0);
+  dcount.reset();
+  EXPECT_DOUBLE_EQ(dcount.imbalance(), 0.0);
+}
+
+// --- SSA -------------------------------------------------------------------
+
+TEST(SimpleSteering, LowestIndexMappedClusterWins) {
+  Machine m(ArchKind::Conv, 8, BusOrientation::AllForward);
+  SimpleSteering policy(8);
+  const ValueId v = m.values.create(RegClass::Int, 3);
+  m.values.add_copy(v, 6);
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_EQ(d.cluster, 3);
+}
+
+TEST(SimpleSteering, LeftmostOperandDecides) {
+  Machine m(ArchKind::Conv, 8, BusOrientation::AllForward);
+  SimpleSteering policy(8);
+  const ValueId a = m.values.create(RegClass::Int, 5);
+  const ValueId b = m.values.create(RegClass::Int, 1);
+  const SteerDecision d = policy.steer(req2(a, b), m.context);
+  EXPECT_EQ(d.cluster, 5);  // leftmost operand is a, despite b being lower
+}
+
+TEST(SimpleSteering, RoundRobinForNoOperands) {
+  Machine m(ArchKind::Conv, 4, BusOrientation::AllForward);
+  SimpleSteering policy(4);
+  std::vector<int> chosen;
+  for (int i = 0; i < 5; ++i) {
+    chosen.push_back(policy.steer(req0(), m.context).cluster);
+  }
+  EXPECT_EQ(chosen, (std::vector<int>{0, 1, 2, 3, 0}));
+}
+
+TEST(SimpleSteering, StallsWhenChosenClusterFull) {
+  Machine m(ArchKind::Conv, 4, BusOrientation::AllForward);
+  SimpleSteering policy(4);
+  const ValueId v = m.values.create(RegClass::Int, 1);
+  m.oracle.iq_ok_[1] = false;
+  EXPECT_TRUE(policy.steer(req1(v), m.context).stall);
+}
+
+// --- Ablation policies ------------------------------------------------------
+
+TEST(RoundRobinSteering, CyclesAndSkipsFullClusters) {
+  Machine m(ArchKind::Conv, 4, BusOrientation::AllForward);
+  RoundRobinSteering policy(4);
+  m.oracle.iq_ok_[1] = false;
+  std::vector<int> chosen;
+  for (int i = 0; i < 3; ++i) {
+    chosen.push_back(policy.steer(req0(), m.context).cluster);
+  }
+  EXPECT_EQ(chosen, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(RandomSteering, OnlyPicksViableClusters) {
+  Machine m(ArchKind::Conv, 4, BusOrientation::AllForward);
+  RandomSteering policy(4, 123);
+  m.oracle.iq_ok_[0] = false;
+  m.oracle.iq_ok_[2] = false;
+  for (int i = 0; i < 50; ++i) {
+    const SteerDecision d = policy.steer(req0(), m.context);
+    EXPECT_TRUE(d.cluster == 1 || d.cluster == 3);
+  }
+}
+
+TEST(SteeringFactory, BuildsExpectedPolicies) {
+  auto ring = make_steering_policy(SteerAlgo::Enhanced, ArchKind::Ring, 8,
+                                   8, 1);
+  EXPECT_EQ(ring->name(), "ring_dependence");
+  auto conv = make_steering_policy(SteerAlgo::Enhanced, ArchKind::Conv, 8,
+                                   8, 1);
+  EXPECT_EQ(conv->name(), "conv_dcount");
+  auto ssa = make_steering_policy(SteerAlgo::Simple, ArchKind::Ring, 8, 8, 1);
+  EXPECT_EQ(ssa->name(), "ssa");
+}
+
+// --- plan_candidate capacity checks ----------------------------------------
+
+TEST(PlanCandidate, RejectsWhenCommQueueFull) {
+  Machine m(ArchKind::Ring, 4, BusOrientation::AllForward);
+  const ValueId a = m.values.create(RegClass::Int, 1);
+  const ValueId b = m.values.create(RegClass::Int, 2);
+  m.oracle.comm_free_[1] = 0;  // the copy source for a has no comm entries
+  SteerDecision decision;
+  // Placing at 2 needs a comm from cluster 1 (operand a): rejected.
+  EXPECT_FALSE(plan_candidate(req2(a, b), 2, m.context, decision));
+}
+
+TEST(PlanCandidate, RejectsWhenDestRegistersExhausted) {
+  Machine m(ArchKind::Ring, 4, BusOrientation::AllForward);
+  const ValueId v = m.values.create(RegClass::Int, 1);
+  for (int i = 0; i < 48; ++i) m.oracle.regs_.allocate(2, RegClass::Int);
+  SteerDecision decision;
+  // Steering to 1 puts the destination in cluster 2, which is full.
+  EXPECT_FALSE(plan_candidate(req1(v), 1, m.context, decision));
+}
+
+TEST(PlanOperand, PicksNearestMappedCluster) {
+  Machine m(ArchKind::Ring, 8, BusOrientation::AllForward);
+  const ValueId v = m.values.create(RegClass::Int, 1);
+  m.values.add_copy(v, 5);
+  const CommPlanStep step = plan_operand(v, 6, m.context);
+  EXPECT_EQ(step.from_cluster, 5);  // 5 -> 6 is one hop; 1 -> 6 is five
+  EXPECT_EQ(step.distance, 1);
+}
+
+}  // namespace
+}  // namespace ringclu

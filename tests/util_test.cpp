@@ -1,0 +1,221 @@
+// Tests for src/util: RNG, config, formatting, StaticVector, logging.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/config.h"
+#include "util/format.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/static_vector.h"
+
+namespace ringclu {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(13), 13u);
+  }
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(Rng, Real01InUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.real01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng rng(19);
+  const double weights[] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.weighted_pick(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Rng, DeriveSeedIsStable) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(1, 3));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(2, 2));
+}
+
+TEST(Rng, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(fnv1a("swim"), fnv1a("mgrid"));
+  EXPECT_EQ(fnv1a("swim"), fnv1a("swim"));
+}
+
+TEST(Config, ParsesTokens) {
+  Config config;
+  EXPECT_TRUE(config.parse_tokens({"a=1", "b=hello", "c=2.5"}));
+  EXPECT_EQ(config.get_int("a", 0), 1);
+  EXPECT_EQ(config.get_string("b", ""), "hello");
+  EXPECT_DOUBLE_EQ(config.get_double("c", 0.0), 2.5);
+}
+
+TEST(Config, RejectsMalformedTokens) {
+  Config config;
+  EXPECT_FALSE(config.parse_token("novalue"));
+  EXPECT_FALSE(config.parse_token("=startswitheq"));
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  Config config;
+  EXPECT_EQ(config.get_int("missing", 42), 42);
+  EXPECT_EQ(config.get_string("missing", "x"), "x");
+  EXPECT_TRUE(config.get_bool("missing", true));
+}
+
+TEST(Config, ParsesBooleans) {
+  Config config;
+  config.set("t1", "true");
+  config.set("t2", "1");
+  config.set("t3", "ON");
+  config.set("f1", "false");
+  config.set("f2", "0");
+  config.set("f3", "off");
+  EXPECT_TRUE(config.get_bool("t1", false));
+  EXPECT_TRUE(config.get_bool("t2", false));
+  EXPECT_TRUE(config.get_bool("t3", false));
+  EXPECT_FALSE(config.get_bool("f1", true));
+  EXPECT_FALSE(config.get_bool("f2", true));
+  EXPECT_FALSE(config.get_bool("f3", true));
+}
+
+TEST(Config, EntriesAreSorted) {
+  Config config;
+  config.set("zebra", "1");
+  config.set("apple", "2");
+  const auto entries = config.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], "apple=2");
+  EXPECT_EQ(entries[1], "zebra=1");
+}
+
+TEST(Config, LaterSetWins) {
+  Config config;
+  config.set("k", "1");
+  config.set("k", "2");
+  EXPECT_EQ(config.get_int("k", 0), 2);
+}
+
+TEST(Format, StrFormatBasics) {
+  EXPECT_EQ(str_format("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(str_format("%.2f", 1.005), "1.00");
+  EXPECT_EQ(str_format("empty"), "empty");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Format, Pct) {
+  EXPECT_EQ(pct(0.153), "+15.3%");
+  EXPECT_EQ(pct(-0.02), "-2.0%");
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(pad_left("x", 3), "  x");
+  EXPECT_EQ(pad_right("x", 3), "x  ");
+  EXPECT_EQ(pad_left("long", 2), "long");
+}
+
+TEST(Format, Split) {
+  const auto parts = split("a_bb__c", '_');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "bb");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StaticVector, PushAndIterate) {
+  StaticVector<int, 4> vec;
+  vec.push_back(1);
+  vec.push_back(2);
+  EXPECT_EQ(vec.size(), 2u);
+  int sum = 0;
+  for (int value : vec) sum += value;
+  EXPECT_EQ(sum, 3);
+}
+
+TEST(StaticVector, Contains) {
+  StaticVector<int, 4> vec{5, 7};
+  EXPECT_TRUE(vec.contains(5));
+  EXPECT_FALSE(vec.contains(6));
+}
+
+TEST(StaticVector, ClearAndPop) {
+  StaticVector<int, 2> vec{1, 2};
+  vec.pop_back();
+  EXPECT_EQ(vec.size(), 1u);
+  EXPECT_EQ(vec.back(), 1);
+  vec.clear();
+  EXPECT_TRUE(vec.empty());
+}
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::Warn);
+}
+
+}  // namespace
+}  // namespace ringclu

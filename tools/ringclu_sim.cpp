@@ -1,0 +1,129 @@
+/// \file ringclu_sim.cpp
+/// The command-line driver: simulate one (configuration, workload) pair
+/// with arbitrary parameter overrides.
+///
+///   ringclu_sim <preset> <benchmark|trace.rct> [key=value ...]
+///   ringclu_sim --list
+///
+/// Overrides (key=value):
+///   instrs, warmup, seed          run control
+///   clusters, width, buses, hop   machine geometry
+///   regs, iq, comm_iq, rob, lsq   structure sizes
+///   dcount_threshold              Conv imbalance threshold
+///   eviction, eager_release       copy policies (bool)
+///   report=summary|detailed|csv   output format
+///
+/// Examples:
+///   ringclu_sim Ring_8clus_1bus_2IW swim instrs=1000000
+///   ringclu_sim Conv_8clus_1bus_2IW gcc dcount_threshold=32 report=detailed
+///   ringclu_sim Ring_4clus_1bus_2IW /tmp/capture.rct
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/processor.h"
+#include "harness/runner.h"
+#include "trace/synth/suite.h"
+#include "trace/trace_file.h"
+#include "util/config.h"
+
+namespace {
+
+using namespace ringclu;
+
+int list_everything() {
+  std::printf("presets (suffixes: +SSA, @2cyc):\n");
+  for (const std::string& name : ArchConfig::paper_preset_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("benchmarks:\n ");
+  for (const BenchmarkDesc& desc : spec2000_benchmarks()) {
+    std::printf(" %s%s", std::string(desc.name).c_str(),
+                desc.is_fp ? "(fp)" : "");
+  }
+  std::printf("\n");
+  return 0;
+}
+
+bool is_trace_file(const std::string& name) {
+  return name.size() > 4 && name.substr(name.size() - 4) == ".rct";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
+    return list_everything();
+  }
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: ringclu_sim <preset> <benchmark|trace.rct> "
+                 "[key=value ...]\n       ringclu_sim --list\n");
+    return 2;
+  }
+
+  Config options;
+  for (int i = 3; i < argc; ++i) {
+    if (!options.parse_token(argv[i])) {
+      std::fprintf(stderr, "bad override (want key=value): %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  ArchConfig config = ArchConfig::preset(argv[1]);
+  config.num_clusters = static_cast<int>(
+      options.get_int("clusters", config.num_clusters));
+  config.issue_width =
+      static_cast<int>(options.get_int("width", config.issue_width));
+  config.num_buses =
+      static_cast<int>(options.get_int("buses", config.num_buses));
+  config.hop_latency =
+      static_cast<int>(options.get_int("hop", config.hop_latency));
+  config.regs_per_class =
+      static_cast<int>(options.get_int("regs", config.regs_per_class));
+  config.iq_int = config.iq_fp =
+      static_cast<int>(options.get_int("iq", config.iq_int));
+  config.iq_comm =
+      static_cast<int>(options.get_int("comm_iq", config.iq_comm));
+  config.rob_size =
+      static_cast<int>(options.get_int("rob", config.rob_size));
+  config.lsq_size =
+      static_cast<int>(options.get_int("lsq", config.lsq_size));
+  config.dcount_threshold = static_cast<int>(
+      options.get_int("dcount_threshold", config.dcount_threshold));
+  config.copy_eviction = options.get_bool("eviction", config.copy_eviction);
+  config.eager_copy_release =
+      options.get_bool("eager_release", config.eager_copy_release);
+  config.validate();
+
+  const std::uint64_t instrs =
+      static_cast<std::uint64_t>(options.get_int("instrs", 200000));
+  const std::uint64_t warmup = static_cast<std::uint64_t>(
+      options.get_int("warmup", static_cast<std::int64_t>(instrs / 10)));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(options.get_int("seed", 42));
+
+  const std::string workload = argv[2];
+  std::unique_ptr<TraceSource> trace;
+  if (is_trace_file(workload)) {
+    trace = std::make_unique<TraceFileReader>(workload);
+  } else {
+    trace = make_benchmark_trace(workload, seed);
+  }
+
+  Processor processor(config, seed);
+  const SimResult result = processor.run(*trace, warmup, instrs);
+
+  const std::string report = options.get_string("report", "detailed");
+  if (report == "summary") {
+    std::printf("%s\n", result.summary().c_str());
+  } else if (report == "csv") {
+    std::printf("%s\n", serialize_result(result).c_str());
+  } else {
+    std::printf("%s", config.describe().c_str());
+    std::printf("\n%s", result.detailed_report().c_str());
+  }
+  return 0;
+}
