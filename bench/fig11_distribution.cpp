@@ -20,7 +20,9 @@ int main() {
       "Figure 11: distribution of dispatched instructions across clusters\n"
       "(Ring_8clus_1bus_2IW; row = benchmark, columns = cluster shares)\n");
   std::vector<std::string> headers{"benchmark"};
-  for (int c = 0; c < 8; ++c) headers.push_back("c" + std::to_string(c));
+  for (int c = 0; c < 8; ++c) {
+    headers.push_back(ringclu::str_format("c%d", c));
+  }
   headers.push_back("max-min");
   ringclu::TextTable table(headers);
   for (const ringclu::SimResult& result : results) {

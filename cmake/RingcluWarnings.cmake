@@ -1,0 +1,19 @@
+# Shared warning configuration.  The whole tree compiles clean under this
+# set (verified with GCC 12); keep it strict so regressions surface at the
+# first build, not in review.
+#
+# Usage: target_link_libraries(<target> PRIVATE ringclu::warnings)
+
+add_library(ringclu_warnings INTERFACE)
+add_library(ringclu::warnings ALIAS ringclu_warnings)
+
+target_compile_options(ringclu_warnings INTERFACE
+  -Wall
+  -Wextra
+  -Wpedantic
+  -Wshadow
+  -Wnon-virtual-dtor
+  -Wextra-semi
+  -Wcast-qual
+  -Wdouble-promotion
+)

@@ -50,6 +50,10 @@ struct SimCounters {
 
   /// Field-wise difference (this - baseline); used to subtract warmup.
   [[nodiscard]] SimCounters minus(const SimCounters& baseline) const;
+
+  /// Bit-identical comparison, the determinism-regression contract.
+  [[nodiscard]] friend bool operator==(const SimCounters&,
+                                       const SimCounters&) = default;
 };
 
 /// A finished run.

@@ -38,7 +38,8 @@ std::string serialize_result(const SimResult& result) {
   const SimCounters& c = result.counters;
   std::string line = result.config_name + "\t" + result.benchmark;
   auto add = [&line](std::uint64_t value) {
-    line += "\t" + std::to_string(value);
+    line += '\t';
+    line += std::to_string(value);
   };
   add(c.cycles);
   add(c.committed);

@@ -1,0 +1,41 @@
+// Tests for src/util/assert: the always-on contract macros must be silent
+// on satisfied conditions and abort with a labelled diagnostic otherwise.
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace ringclu {
+namespace {
+
+TEST(ContractMacros, SatisfiedConditionsAreSilent) {
+  RINGCLU_EXPECTS(1 + 1 == 2);
+  RINGCLU_ENSURES(true);
+  RINGCLU_ASSERT(42 > 0);
+  SUCCEED();
+}
+
+TEST(ContractMacros, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  RINGCLU_EXPECTS(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ContractDeathTest, ExpectsAbortsWithKindAndCondition) {
+  EXPECT_DEATH(RINGCLU_EXPECTS(2 + 2 == 5), "Precondition.*2 \\+ 2 == 5");
+}
+
+TEST(ContractDeathTest, EnsuresAbortsWithKind) {
+  EXPECT_DEATH(RINGCLU_ENSURES(false), "Postcondition");
+}
+
+TEST(ContractDeathTest, AssertAbortsWithKind) {
+  EXPECT_DEATH(RINGCLU_ASSERT(false), "Invariant");
+}
+
+TEST(ContractDeathTest, UnreachableAbortsWithMessage) {
+  EXPECT_DEATH(RINGCLU_UNREACHABLE("impossible state"), "impossible state");
+}
+
+}  // namespace
+}  // namespace ringclu

@@ -1,0 +1,101 @@
+// Golden-reference regression: pins the exact counter output of the
+// simulator for a matrix of (preset, benchmark) pairs at a fixed budget.
+// Any semantic change to the pipeline, steering, interconnect or memory
+// model shows up here as a diff against tests/golden/*.tsv — later
+// performance/refactoring PRs must either leave these bytes untouched or
+// update the goldens deliberately (and justify the change in review).
+//
+// To regenerate after an intentional change:
+//   RINGCLU_REGEN_GOLDEN=1 build/tests/golden_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/arch_config.h"
+#include "core/processor.h"
+#include "harness/runner.h"
+#include "trace/synth/suite.h"
+
+#ifndef RINGCLU_GOLDEN_DIR
+#error "RINGCLU_GOLDEN_DIR must point at the golden data directory"
+#endif
+
+namespace ringclu {
+namespace {
+
+constexpr std::uint64_t kWarmup = 1500;
+constexpr std::uint64_t kInstrs = 15000;
+constexpr std::uint64_t kSeed = 42;
+
+struct Scenario {
+  const char* preset;
+  const char* benchmark;
+  const char* golden;  ///< file name under tests/golden/
+};
+
+constexpr Scenario kScenarios[] = {
+    {"Ring_8clus_1bus_2IW", "gcc", "ring_8c1b2w_gcc.tsv"},
+    {"Conv_8clus_1bus_2IW", "gcc", "conv_8c1b2w_gcc.tsv"},
+    {"Ring_4clus_1bus_2IW", "swim", "ring_4c1b2w_swim.tsv"},
+    {"Conv_8clus_2bus_1IW", "art", "conv_8c2b1w_art.tsv"},
+    {"Ring_8clus_1bus_2IW+SSA", "mcf", "ring_8c1b2w_ssa_mcf.tsv"},
+    {"Conv_8clus_1bus_2IW@2cyc", "gzip", "conv_8c1b2w_2cyc_gzip.tsv"},
+};
+
+std::string simulate_line(const Scenario& scenario) {
+  const ArchConfig config = ArchConfig::preset(scenario.preset);
+  auto trace = make_benchmark_trace(scenario.benchmark, kSeed);
+  Processor processor(config, kSeed);
+  SimResult result = processor.run(*trace, kWarmup, kInstrs);
+  result.config_name = scenario.preset;
+  result.benchmark = scenario.benchmark;
+  return serialize_result(result);
+}
+
+std::string golden_path(const Scenario& scenario) {
+  return std::string(RINGCLU_GOLDEN_DIR) + "/" + scenario.golden;
+}
+
+bool regen_requested() {
+  const char* regen = std::getenv("RINGCLU_REGEN_GOLDEN");
+  return regen != nullptr && regen[0] == '1';
+}
+
+class GoldenTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(GoldenTest, CountersMatchGoldenFile) {
+  const Scenario& scenario = GetParam();
+  const std::string actual = simulate_line(scenario);
+
+  if (regen_requested()) {
+    std::ofstream out(golden_path(scenario), std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << golden_path(scenario);
+    out << actual << "\n";
+    GTEST_SKIP() << "regenerated " << scenario.golden;
+  }
+
+  std::ifstream in(golden_path(scenario));
+  ASSERT_TRUE(in) << "missing golden file " << golden_path(scenario)
+                  << " — run with RINGCLU_REGEN_GOLDEN=1 to create it";
+  std::string expected;
+  std::getline(in, expected);
+  EXPECT_EQ(actual, expected)
+      << "simulator output changed for " << scenario.preset << "/"
+      << scenario.benchmark
+      << "; if intentional, regenerate with RINGCLU_REGEN_GOLDEN=1";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, GoldenTest, ::testing::ValuesIn(kScenarios),
+    [](const ::testing::TestParamInfo<Scenario>& param_info) {
+      std::string name = param_info.param.golden;
+      name = name.substr(0, name.size() - 4);  // drop ".tsv"
+      return name;
+    });
+
+}  // namespace
+}  // namespace ringclu

@@ -51,8 +51,7 @@ TEST(RingBus, DeliveryAfterDistanceTimesHop) {
 TEST(RingBus, BackwardDelivery) {
   PipelinedRingBus bus(4, 1, RingDirection::Backward);
   bus.inject(1, 0, 9);
-  std::vector<BusDelivery> out;
-  bus.tick(out);
+  const std::vector<BusDelivery> out = tick(bus, 1);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].dst_cluster, 0);
 }
@@ -99,9 +98,7 @@ TEST(RingBus, UpstreamTrafficBlocksInjection) {
 TEST(RingBus, OccupancyStats) {
   PipelinedRingBus bus(4, 1, RingDirection::Forward);
   bus.inject(0, 1, 1);
-  std::vector<BusDelivery> out;
-  bus.tick(out);
-  bus.tick(out);
+  tick(bus, 2);
   EXPECT_EQ(bus.injections(), 1u);
   EXPECT_EQ(bus.ticks(), 2u);
   EXPECT_EQ(bus.busy_slot_cycles(), 1u);  // occupied during one tick only

@@ -241,8 +241,8 @@ INSTANTIATE_TEST_SUITE_P(
     Suite, AllBenchmarksRunTest,
     ::testing::ValuesIn(spec2000_benchmarks().begin(),
                         spec2000_benchmarks().end()),
-    [](const ::testing::TestParamInfo<BenchmarkDesc>& info) {
-      return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<BenchmarkDesc>& param_info) {
+      return std::string(param_info.param.name);
     });
 
 class AllPresetsRunTest : public ::testing::TestWithParam<std::string> {};
@@ -256,8 +256,8 @@ TEST_P(AllPresetsRunTest, PresetSimulatesCleanly) {
 INSTANTIATE_TEST_SUITE_P(
     Table3, AllPresetsRunTest,
     ::testing::ValuesIn(ArchConfig::paper_preset_names()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 }  // namespace

@@ -1,0 +1,99 @@
+// Direct tests for src/core/sim_result: derived metrics, the warmup
+// subtraction, equality (the determinism contract) and report formatting.
+// These were previously only exercised indirectly through processor runs.
+
+#include <gtest/gtest.h>
+
+#include "core/sim_result.h"
+
+namespace ringclu {
+namespace {
+
+SimResult sample() {
+  SimResult result;
+  result.config_name = "Ring_8clus_1bus_2IW";
+  result.benchmark = "gcc";
+  SimCounters& c = result.counters;
+  c.cycles = 1000;
+  c.committed = 1500;
+  c.comms = 300;
+  c.comm_distance_sum = 600;
+  c.comm_contention_sum = 150;
+  c.nready_sum = 4000;
+  c.dispatched_per_cluster = {400, 400, 400, 300};
+  c.branches = 200;
+  c.mispredicts = 10;
+  c.loads = 450;
+  c.stores = 220;
+  c.l1d_accesses = 670;
+  c.l1d_misses = 67;
+  c.rob_occupancy_sum = 64000;
+  return result;
+}
+
+TEST(SimResultMetrics, RatiosMatchCounters) {
+  const SimResult r = sample();
+  EXPECT_DOUBLE_EQ(r.ipc(), 1.5);
+  EXPECT_DOUBLE_EQ(r.comms_per_instr(), 0.2);
+  EXPECT_DOUBLE_EQ(r.avg_comm_distance(), 2.0);
+  EXPECT_DOUBLE_EQ(r.avg_comm_contention(), 0.5);
+  EXPECT_DOUBLE_EQ(r.nready_avg(), 4.0);
+  EXPECT_DOUBLE_EQ(r.mispredict_rate(), 0.05);
+  EXPECT_DOUBLE_EQ(r.avg_rob_occupancy(), 64.0);
+}
+
+TEST(SimResultMetrics, EmptyRunYieldsZeroNotNan) {
+  const SimResult r;  // all counters zero
+  EXPECT_DOUBLE_EQ(r.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(r.comms_per_instr(), 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_comm_distance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mispredict_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.dispatch_share(0), 0.0);
+}
+
+TEST(SimResultMetrics, DispatchSharesSumToOne) {
+  const SimResult r = sample();
+  double total = 0.0;
+  for (int c = 0; c < 4; ++c) total += r.dispatch_share(c);
+  EXPECT_DOUBLE_EQ(total, 1.0);
+  EXPECT_DOUBLE_EQ(r.dispatch_share(3), 0.2);
+}
+
+TEST(SimCountersOps, MinusSubtractsEveryField) {
+  const SimResult warm = sample();
+  SimResult end = sample();
+  end.counters.cycles += 100;
+  end.counters.committed += 600;
+  end.counters.dispatched_per_cluster[2] += 50;
+  const SimCounters measured = end.counters.minus(warm.counters);
+  EXPECT_EQ(measured.cycles, 100u);
+  EXPECT_EQ(measured.committed, 600u);
+  EXPECT_EQ(measured.dispatched_per_cluster,
+            (std::vector<std::uint64_t>{0, 0, 50, 0}));
+  EXPECT_EQ(measured.comms, 0u);
+}
+
+TEST(SimCountersOps, EqualityIsFieldWise) {
+  const SimResult a = sample();
+  SimResult b = sample();
+  EXPECT_TRUE(a.counters == b.counters);
+  b.counters.dispatched_per_cluster[1] += 1;
+  EXPECT_FALSE(a.counters == b.counters);
+}
+
+TEST(SimResultReports, SummaryNamesConfigAndMetrics) {
+  const std::string text = sample().summary();
+  EXPECT_NE(text.find("Ring_8clus_1bus_2IW/gcc"), std::string::npos);
+  EXPECT_NE(text.find("ipc=1.500"), std::string::npos);
+  EXPECT_NE(text.find("comms/instr=0.200"), std::string::npos);
+}
+
+TEST(SimResultReports, DetailedReportHasStallAndShareLines) {
+  const std::string text = sample().detailed_report();
+  EXPECT_NE(text.find("stalls:"), std::string::npos);
+  EXPECT_NE(text.find("l1d_miss=10.0%"), std::string::npos);
+  EXPECT_NE(text.find("dispatch share:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringclu

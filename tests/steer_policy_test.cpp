@@ -1,0 +1,238 @@
+// Focused steering-policy tests: the DCOUNT imbalance threshold boundary in
+// ConvSteering (strict >, exact trip point) and the fallback scans of the
+// ablation policies in extra_policies.cpp (full-cluster skipping, stall when
+// nothing is viable, seed determinism).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/regfile.h"
+#include "cluster/value_map.h"
+#include "interconnect/bus_set.h"
+#include "steer/conv_steering.h"
+#include "steer/extra_policies.h"
+#include "steer/steer_common.h"
+
+namespace ringclu {
+namespace {
+
+/// Capacity oracle with per-cluster toggles, backed by a real RegFileSet.
+class TestOracle final : public SteerOracle {
+ public:
+  TestOracle(int clusters, int regs) : regs_(clusters, regs) {
+    iq_ok_.assign(static_cast<std::size_t>(clusters), true);
+    comm_free_.assign(static_cast<std::size_t>(clusters), 16);
+  }
+
+  bool iq_can_accept(int cluster, UnitKind) const override {
+    return iq_ok_[static_cast<std::size_t>(cluster)];
+  }
+  int comm_free_entries(int cluster) const override {
+    return comm_free_[static_cast<std::size_t>(cluster)];
+  }
+  bool regs_obtainable(int cluster, RegClass cls, int count) const override {
+    return regs_.free_count(cluster, cls) >= count;
+  }
+  int free_regs(int cluster, RegClass cls) const override {
+    return regs_.free_count(cluster, cls);
+  }
+  int free_regs_total(int cluster) const override {
+    return regs_.free_count(cluster, RegClass::Int) +
+           regs_.free_count(cluster, RegClass::Fp);
+  }
+
+  RegFileSet regs_;
+  std::vector<bool> iq_ok_;
+  std::vector<int> comm_free_;
+};
+
+struct Machine {
+  Machine(ArchKind arch, int clusters)
+      : values(clusters),
+        oracle(clusters, 48),
+        bus_set(clusters, 1, BusOrientation::AllForward, 1) {
+    context.values = &values;
+    context.buses = &bus_set;
+    context.oracle = &oracle;
+    context.arch = arch;
+    context.num_clusters = clusters;
+  }
+
+  ValueMap values;
+  TestOracle oracle;
+  BusSet bus_set;
+  SteerContext context;
+};
+
+SteerRequest req0() {
+  SteerRequest request;
+  request.cls = OpClass::IntAlu;
+  request.has_dst = true;
+  request.dst_cls = RegClass::Int;
+  return request;
+}
+
+SteerRequest req1(ValueId a) {
+  SteerRequest request = req0();
+  request.srcs.push_back(a);
+  request.src_cls.push_back(RegClass::Int);
+  return request;
+}
+
+// --- ConvSteering DCOUNT threshold boundary --------------------------------
+//
+// With N clusters, each dispatch to one cluster adds (N-1) to its counter
+// and subtracts 1 everywhere else, so k consecutive dispatches to a single
+// cluster of a 4-cluster machine give imbalance() == k exactly.  The
+// override fires on imbalance() strictly greater than the threshold.
+
+TEST(ConvDcountThreshold, AtThresholdDependenceStillWins) {
+  Machine m(ArchKind::Conv, 4);
+  ConvSteering policy(4, /*dcount_threshold=*/3);
+  const ValueId v = m.values.create(RegClass::Int, 0);
+  m.values.info(v).produced = true;
+  for (int i = 0; i < 3; ++i) policy.on_dispatch(0);
+  ASSERT_DOUBLE_EQ(policy.dcount().imbalance(), 3.0);  // == threshold
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_EQ(d.cluster, 0);  // strict >: no override yet
+  EXPECT_TRUE(d.comms.empty());
+}
+
+TEST(ConvDcountThreshold, OneDispatchPastThresholdTripsOverride) {
+  Machine m(ArchKind::Conv, 4);
+  ConvSteering policy(4, /*dcount_threshold=*/3);
+  const ValueId v = m.values.create(RegClass::Int, 0);
+  m.values.info(v).produced = true;
+  for (int i = 0; i < 4; ++i) policy.on_dispatch(0);
+  ASSERT_DOUBLE_EQ(policy.dcount().imbalance(), 4.0);  // > threshold
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_NE(d.cluster, 0);  // balance overrides the dependence choice
+  EXPECT_EQ(d.cluster, policy.dcount().least_loaded());
+}
+
+TEST(ConvDcountThreshold, ZeroThresholdBalancesImmediately) {
+  Machine m(ArchKind::Conv, 4);
+  ConvSteering policy(4, /*dcount_threshold=*/0);
+  const ValueId v = m.values.create(RegClass::Int, 0);
+  m.values.info(v).produced = true;
+  policy.on_dispatch(0);  // imbalance() == 1 > 0
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_NE(d.cluster, 0);
+}
+
+TEST(ConvDcountThreshold, HugeThresholdNeverOverrides) {
+  Machine m(ArchKind::Conv, 4);
+  ConvSteering policy(4, /*dcount_threshold=*/1 << 20);
+  const ValueId v = m.values.create(RegClass::Int, 2);
+  m.values.info(v).produced = true;
+  for (int i = 0; i < 500; ++i) policy.on_dispatch(2);
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_EQ(d.cluster, 2);  // dependence keeps winning forever
+}
+
+TEST(ConvDcountThreshold, OverrideSkipsFullLeastLoadedCluster) {
+  Machine m(ArchKind::Conv, 4);
+  ConvSteering policy(4, /*dcount_threshold=*/1);
+  const ValueId v = m.values.create(RegClass::Int, 0);
+  m.values.info(v).produced = true;
+  for (int i = 0; i < 8; ++i) policy.on_dispatch(0);
+  const int least = policy.dcount().least_loaded();
+  m.oracle.iq_ok_[static_cast<std::size_t>(least)] = false;
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_FALSE(d.stall);
+  EXPECT_NE(d.cluster, least);  // next-least-loaded viable cluster
+}
+
+// --- RoundRobinSteering fallback scan --------------------------------------
+
+TEST(RoundRobinFallback, ResumesAfterSkippedCluster) {
+  Machine m(ArchKind::Conv, 4);
+  RoundRobinSteering policy(4);
+  m.oracle.iq_ok_[0] = false;
+  m.oracle.iq_ok_[1] = false;
+  // First dispatch skips 0 and 1, lands on 2; the pointer then resumes at 3.
+  EXPECT_EQ(policy.steer(req0(), m.context).cluster, 2);
+  m.oracle.iq_ok_[0] = true;
+  m.oracle.iq_ok_[1] = true;
+  EXPECT_EQ(policy.steer(req0(), m.context).cluster, 3);
+  EXPECT_EQ(policy.steer(req0(), m.context).cluster, 0);
+}
+
+TEST(RoundRobinFallback, StallsWhenEveryClusterFull) {
+  Machine m(ArchKind::Conv, 4);
+  RoundRobinSteering policy(4);
+  for (int c = 0; c < 4; ++c) m.oracle.iq_ok_[static_cast<std::size_t>(c)] = false;
+  const SteerDecision d = policy.steer(req0(), m.context);
+  EXPECT_TRUE(d.stall);
+  EXPECT_EQ(d.cluster, -1);
+}
+
+TEST(RoundRobinFallback, StallLeavesPointerUntouched) {
+  Machine m(ArchKind::Conv, 4);
+  RoundRobinSteering policy(4);
+  EXPECT_EQ(policy.steer(req0(), m.context).cluster, 0);
+  for (int c = 0; c < 4; ++c) m.oracle.iq_ok_[static_cast<std::size_t>(c)] = false;
+  EXPECT_TRUE(policy.steer(req0(), m.context).stall);
+  for (int c = 0; c < 4; ++c) m.oracle.iq_ok_[static_cast<std::size_t>(c)] = true;
+  EXPECT_EQ(policy.steer(req0(), m.context).cluster, 1);  // resumes, not reset
+}
+
+TEST(RoundRobinFallback, PlansCommForRemoteOperand) {
+  Machine m(ArchKind::Conv, 4);
+  RoundRobinSteering policy(4);
+  const ValueId v = m.values.create(RegClass::Int, 3);
+  m.values.info(v).produced = true;
+  const SteerDecision d = policy.steer(req1(v), m.context);
+  EXPECT_EQ(d.cluster, 0);  // dependence-blind: pointer wins
+  ASSERT_EQ(d.comms.size(), 1u);
+  EXPECT_EQ(d.comms[0].from_cluster, 3);
+}
+
+// --- RandomSteering fallback scan ------------------------------------------
+
+TEST(RandomFallback, FindsTheOnlyViableCluster) {
+  Machine m(ArchKind::Conv, 8);
+  RandomSteering policy(8, /*seed=*/99);
+  for (int c = 0; c < 8; ++c) {
+    m.oracle.iq_ok_[static_cast<std::size_t>(c)] = (c == 5);
+  }
+  for (int i = 0; i < 32; ++i) {
+    const SteerDecision d = policy.steer(req0(), m.context);
+    ASSERT_FALSE(d.stall);
+    EXPECT_EQ(d.cluster, 5);  // whatever the draw, the scan reaches 5
+  }
+}
+
+TEST(RandomFallback, StallsWhenEveryClusterFull) {
+  Machine m(ArchKind::Conv, 4);
+  RandomSteering policy(4, 7);
+  for (int c = 0; c < 4; ++c) m.oracle.iq_ok_[static_cast<std::size_t>(c)] = false;
+  EXPECT_TRUE(policy.steer(req0(), m.context).stall);
+}
+
+TEST(RandomFallback, SameSeedSameSequence) {
+  Machine m(ArchKind::Conv, 8);
+  RandomSteering a(8, 1234);
+  RandomSteering b(8, 1234);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.steer(req0(), m.context).cluster,
+              b.steer(req0(), m.context).cluster);
+  }
+}
+
+TEST(RandomFallback, CoversAllClustersEventually) {
+  Machine m(ArchKind::Conv, 4);
+  RandomSteering policy(4, 2024);
+  std::vector<bool> seen(4, false);
+  for (int i = 0; i < 200; ++i) {
+    const SteerDecision d = policy.steer(req0(), m.context);
+    ASSERT_FALSE(d.stall);
+    seen[static_cast<std::size_t>(d.cluster)] = true;
+  }
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), true), 4);
+}
+
+}  // namespace
+}  // namespace ringclu

@@ -224,8 +224,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, SuiteMixTest,
     ::testing::ValuesIn(spec2000_benchmarks().begin(),
                         spec2000_benchmarks().end()),
-    [](const ::testing::TestParamInfo<BenchmarkDesc>& info) {
-      return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<BenchmarkDesc>& param_info) {
+      return std::string(param_info.param.name);
     });
 
 TEST(TraceFile, RoundTripPreservesStream) {
