@@ -1,0 +1,166 @@
+// Simulator-throughput driver: how fast does the simulator itself run?
+//
+// Simulates the full 26-benchmark suite on the paper's two head-to-head
+// 8-cluster machines (Ring and Conv, 1 bus, 2-wide) with no result cache,
+// and reports simulated-instructions-per-second — the number the
+// event-driven scheduler refactor is measured by.  Emits a machine-readable
+// BENCH_throughput.json next to the working directory so successive runs
+// seed a performance trajectory.
+//
+// Wall time is summed over the individual Processor::run calls (per-run
+// timers), so the aggregate is per-core simulation speed and is comparable
+// across RINGCLU_THREADS settings; end-to-end elapsed time is reported
+// separately.
+//
+// Knobs: RINGCLU_INSTRS / RINGCLU_WARMUP / RINGCLU_SEED / RINGCLU_THREADS.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/arch_config.h"
+#include "core/processor.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "trace/synth/suite.h"
+#include "util/format.h"
+
+namespace {
+
+using namespace ringclu;
+
+struct ConfigStats {
+  std::string name;
+  std::uint64_t instrs = 0;
+  double wall = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const RunnerOptions options = RunnerOptions::from_env();
+  const std::vector<std::string> presets = {"Ring_8clus_1bus_2IW",
+                                            "Conv_8clus_1bus_2IW"};
+  const std::vector<std::string> benchmarks =
+      ExperimentRunner::default_benchmarks();
+
+  struct Job {
+    std::size_t slot;
+    const std::string* preset;
+    const std::string* benchmark;
+  };
+  std::vector<Job> jobs;
+  for (const std::string& preset : presets) {
+    for (const std::string& benchmark : benchmarks) {
+      jobs.push_back(Job{jobs.size(), &preset, &benchmark});
+    }
+  }
+  std::vector<SimResult> results(jobs.size());
+
+  std::fprintf(stderr,
+               "[throughput] %zu runs (%llu instrs + %llu warmup each, "
+               "%d thread(s))...\n",
+               jobs.size(), static_cast<unsigned long long>(options.instrs),
+               static_cast<unsigned long long>(options.warmup),
+               options.threads);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= jobs.size()) return;
+      const Job& job = jobs[index];
+      const ArchConfig config = ArchConfig::preset(*job.preset);
+      auto trace = make_benchmark_trace(*job.benchmark, options.seed);
+      Processor processor(config, options.seed);
+      results[job.slot] =
+          processor.run(*trace, options.warmup, options.instrs);
+    }
+  };
+  const int workers =
+      std::max(1, std::min<int>(options.threads,
+                                static_cast<int>(jobs.size())));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<ConfigStats> per_config;
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    ConfigStats stats;
+    stats.name = presets[i];
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+      const SimResult& result = results[i * benchmarks.size() + b];
+      stats.instrs += result.total_committed;
+      stats.wall += result.wall_seconds;
+    }
+    per_config.push_back(stats);
+  }
+
+  std::printf("Simulator throughput (%zu benchmarks x %zu configs)\n",
+              benchmarks.size(), presets.size());
+  for (const ConfigStats& stats : per_config) {
+    std::printf("  %-24s %8.1fM instrs  %6.2fs  %6.2fM instrs/s\n",
+                stats.name.c_str(), static_cast<double>(stats.instrs) / 1e6,
+                stats.wall,
+                stats.wall <= 0.0
+                    ? 0.0
+                    : static_cast<double>(stats.instrs) / stats.wall / 1e6);
+  }
+  std::printf("%s\n", throughput_summary(results).c_str());
+  std::printf("end-to-end elapsed: %.2fs (%d worker thread(s))\n", elapsed,
+              workers);
+
+  const double ips = aggregate_sim_ips(results);
+  std::FILE* json = std::fopen("BENCH_throughput.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "[throughput] cannot write BENCH_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"schema_version\": %d,\n", kSimSchemaVersion);
+  std::fprintf(json, "  \"instrs_per_run\": %llu,\n",
+               static_cast<unsigned long long>(options.instrs));
+  std::fprintf(json, "  \"warmup_per_run\": %llu,\n",
+               static_cast<unsigned long long>(options.warmup));
+  std::fprintf(json, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(options.seed));
+  std::fprintf(json, "  \"threads\": %d,\n", workers);
+  std::fprintf(json, "  \"benchmarks\": %zu,\n", benchmarks.size());
+  std::fprintf(json, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < per_config.size(); ++i) {
+    const ConfigStats& stats = per_config[i];
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"sim_instrs\": %llu, "
+                 "\"wall_seconds\": %.6f, \"sim_instrs_per_second\": %.1f}%s\n",
+                 stats.name.c_str(),
+                 static_cast<unsigned long long>(stats.instrs), stats.wall,
+                 stats.wall <= 0.0
+                     ? 0.0
+                     : static_cast<double>(stats.instrs) / stats.wall,
+                 i + 1 < per_config.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::uint64_t total_instrs = 0;
+  double total_wall = 0.0;
+  for (const ConfigStats& stats : per_config) {
+    total_instrs += stats.instrs;
+    total_wall += stats.wall;
+  }
+  std::fprintf(json, "  \"total_sim_instrs\": %llu,\n",
+               static_cast<unsigned long long>(total_instrs));
+  std::fprintf(json, "  \"total_wall_seconds\": %.6f,\n", total_wall);
+  std::fprintf(json, "  \"sim_instrs_per_second\": %.1f,\n", ips);
+  std::fprintf(json, "  \"end_to_end_seconds\": %.6f\n", elapsed);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::fprintf(stderr, "[throughput] wrote BENCH_throughput.json\n");
+  return 0;
+}

@@ -5,6 +5,7 @@
 /// selected oldest-first among ready entries; communication instructions
 /// live in a separate queue (Table 2: 16 comm entries per cluster).
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +46,16 @@ class IssueQueue {
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
   }
 
+  /// Removes the entry with sequence number \p seq (binary search; entries
+  /// are seq-sorted because dispatch is in order).  \pre present.
+  void remove_seq(std::uint64_t seq) {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), seq,
+        [](const IqEntry& entry, std::uint64_t key) { return entry.seq < key; });
+    RINGCLU_EXPECTS(it != entries_.end() && it->seq == seq);
+    entries_.erase(it);
+  }
+
   [[nodiscard]] const IqEntry& at(std::size_t index) const {
     RINGCLU_EXPECTS(index < entries_.size());
     return entries_[index];
@@ -64,6 +75,9 @@ class IssueQueue {
 /// the value is readable there and a bus slot is free.
 struct CommOp {
   ValueId value = kInvalidValue;
+  /// Core-wide creation id: monotonic, so queue order == id order and the
+  /// scheduler's ready lists can address a comm stably across removals.
+  std::uint64_t id = 0;
   std::uint8_t src_cluster = 0;
   std::uint8_t dst_cluster = 0;
   std::int64_t created_cycle = 0;
@@ -86,12 +100,23 @@ class CommQueue {
 
   void insert(const CommOp& op) {
     RINGCLU_EXPECTS(!full());
+    RINGCLU_EXPECTS(entries_.empty() || entries_.back().id < op.id);
     entries_.push_back(op);
   }
 
   void remove_at(std::size_t index) {
     RINGCLU_EXPECTS(index < entries_.size());
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+
+  /// Position of the comm with creation id \p id (binary search over the
+  /// id-sorted entries).  \pre present.
+  [[nodiscard]] std::size_t index_of(std::uint64_t id) const {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), id,
+        [](const CommOp& op, std::uint64_t key) { return op.id < key; });
+    RINGCLU_EXPECTS(it != entries_.end() && it->id == id);
+    return static_cast<std::size_t>(it - entries_.begin());
   }
 
   [[nodiscard]] CommOp& at(std::size_t index) {

@@ -11,10 +11,4 @@ RegFileSet::RegFileSet(int num_clusters, int regs_per_class)
   RINGCLU_EXPECTS(regs_per_class >= kArchRegsPerClass / 4);
 }
 
-int RegFileSet::total_in_use() const {
-  int used = 0;
-  for (int free : free_) used += regs_per_class_ - free;
-  return used;
-}
-
 }  // namespace ringclu

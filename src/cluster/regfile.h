@@ -33,19 +33,22 @@ class RegFileSet {
     int& free = free_[index(cluster, cls)];
     RINGCLU_EXPECTS(free > 0);
     --free;
+    ++in_use_;
   }
 
   void release(int cluster, RegClass cls) {
     int& free = free_[index(cluster, cls)];
     RINGCLU_EXPECTS(free < regs_per_class_);
     ++free;
+    --in_use_;
   }
 
   [[nodiscard]] int num_clusters() const { return num_clusters_; }
   [[nodiscard]] int regs_per_class() const { return regs_per_class_; }
 
-  /// Total registers in use across all clusters (both classes).
-  [[nodiscard]] int total_in_use() const;
+  /// Total registers in use across all clusters (both classes).  Maintained
+  /// incrementally: this is read every cycle for the occupancy integral.
+  [[nodiscard]] int total_in_use() const { return in_use_; }
 
  private:
   [[nodiscard]] std::size_t index(int cluster, RegClass cls) const {
@@ -57,6 +60,7 @@ class RegFileSet {
   int num_clusters_;
   int regs_per_class_;
   std::vector<int> free_;
+  int in_use_ = 0;
 };
 
 }  // namespace ringclu

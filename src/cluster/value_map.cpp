@@ -1,10 +1,25 @@
 #include "cluster/value_map.h"
 
+#include <bit>
+
 namespace ringclu {
 
-ValueMap::ValueMap(int num_clusters) : num_clusters_(num_clusters) {
+ValueMap::ValueMap(int num_clusters)
+    : num_clusters_(num_clusters),
+      idle_copies_(static_cast<std::size_t>(num_clusters) * kNumRegClasses,
+                   0) {
   RINGCLU_EXPECTS(num_clusters >= 1 && num_clusters <= kMaxClusters);
   values_.reserve(512);
+}
+
+void ValueMap::adjust_idle(const ValueInfo& value, int cluster, int delta) {
+  if (static_cast<int>(value.home) == cluster) return;
+  if (value.readable_cycle[static_cast<std::size_t>(cluster)] ==
+      kNeverReadable) {
+    return;
+  }
+  if (value.pending_readers[static_cast<std::size_t>(cluster)] != 0) return;
+  idle_copies_[idle_index(cluster, value.cls)] += delta;
 }
 
 ValueId ValueMap::create(RegClass cls, int home_cluster) {
@@ -16,12 +31,13 @@ ValueId ValueMap::create(RegClass cls, int home_cluster) {
   } else {
     id = static_cast<ValueId>(values_.size());
     values_.emplace_back();
+    waiters_.emplace_back();
   }
   ValueInfo& value = values_[id];
-  value = ValueInfo{};
   value.cls = cls;
   value.home = static_cast<std::uint8_t>(home_cluster);
   value.mapped_mask = static_cast<std::uint16_t>(1u << home_cluster);
+  value.produced = false;
   value.live = true;
   value.readable_cycle.fill(kNeverReadable);
   value.pending_readers.fill(0);
@@ -31,9 +47,16 @@ ValueId ValueMap::create(RegClass cls, int home_cluster) {
 
 void ValueMap::release(ValueId id) {
   ValueInfo& value = info(id);
-  for (int c = 0; c < num_clusters_; ++c) {
+  // Only mapped clusters can hold pending readers (add_reader requires a
+  // mapping), so iterating the mapped mask covers the reader check too.
+  for (std::uint16_t mask = value.mapped_mask; mask != 0; mask &= mask - 1) {
+    const int c = std::countr_zero(mask);
     RINGCLU_EXPECTS(value.pending_readers[static_cast<std::size_t>(c)] == 0);
+    adjust_idle(value, c, -1);
   }
+  // No pending readers implies no subscribed waiters (every waiter holds a
+  // pending reader in its cluster until it fires).
+  RINGCLU_EXPECTS(waiters_[id].empty());
   value.live = false;
   free_slots_.push_back(id);
   --live_count_;
@@ -48,12 +71,38 @@ void ValueMap::add_copy(ValueId id, int cluster) {
 void ValueMap::set_readable(ValueId id, int cluster, std::int64_t cycle) {
   ValueInfo& value = info(id);
   RINGCLU_EXPECTS(value.mapped_in(cluster));
+  adjust_idle(value, cluster, -1);  // no-op unless re-scheduling a readable
   value.readable_cycle[static_cast<std::size_t>(cluster)] = cycle;
+  adjust_idle(value, cluster, +1);  // now counted if this made it idle
+
+  std::vector<ValueWaiter>& waiters = waiters_[id];
+  if (waiters.empty()) return;
+  // Move matching-cluster waiters to the fired list (subscription order);
+  // waiters on other clusters stay subscribed.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < waiters.size(); ++i) {
+    if (static_cast<int>(waiters[i].cluster) == cluster) {
+      fired_.push_back(waiters[i].token);
+    } else {
+      waiters[kept++] = waiters[i];
+    }
+  }
+  waiters.resize(kept);
+}
+
+void ValueMap::add_waiter(ValueId id, int cluster, std::uint64_t token) {
+  ValueInfo& value = info(id);
+  RINGCLU_EXPECTS(value.mapped_in(cluster));
+  RINGCLU_EXPECTS(value.readable_cycle[static_cast<std::size_t>(cluster)] ==
+                  kNeverReadable);
+  waiters_[id].push_back(
+      ValueWaiter{static_cast<std::uint8_t>(cluster), token});
 }
 
 void ValueMap::add_reader(ValueId id, int cluster) {
   ValueInfo& value = info(id);
   RINGCLU_EXPECTS(value.mapped_in(cluster));
+  adjust_idle(value, cluster, -1);  // a reader un-idles the copy
   ++value.pending_readers[static_cast<std::size_t>(cluster)];
 }
 
@@ -62,10 +111,12 @@ void ValueMap::remove_reader(ValueId id, int cluster) {
   auto& count = value.pending_readers[static_cast<std::size_t>(cluster)];
   RINGCLU_EXPECTS(count > 0);
   --count;
+  adjust_idle(value, cluster, +1);  // last reader gone: idle again
 }
 
 ValueId ValueMap::find_evictable(RegClass cls, int cluster, std::int64_t now,
                                  std::span<const ValueId> exclude) const {
+  if (idle_copy_count(cluster, cls) == 0) return kInvalidValue;
   for (ValueId id = 0; id < values_.size(); ++id) {
     const ValueInfo& value = values_[id];
     if (!value.live || value.cls != cls) continue;
@@ -83,12 +134,21 @@ ValueId ValueMap::find_evictable(RegClass cls, int cluster, std::int64_t now,
   return kInvalidValue;
 }
 
+int ValueMap::total_mapped_count() const {
+  int total = 0;
+  for (const ValueInfo& value : values_) {
+    if (value.live) total += std::popcount(value.mapped_mask);
+  }
+  return total;
+}
+
 void ValueMap::evict_copy(ValueId id, int cluster) {
   ValueInfo& value = info(id);
   RINGCLU_EXPECTS(value.mapped_in(cluster));
   RINGCLU_EXPECTS(value.home != cluster);
   RINGCLU_EXPECTS(value.pending_readers[static_cast<std::size_t>(cluster)] ==
                   0);
+  adjust_idle(value, cluster, -1);
   value.mapped_mask &= static_cast<std::uint16_t>(~(1u << cluster));
   value.readable_cycle[static_cast<std::size_t>(cluster)] = kNeverReadable;
 }

@@ -50,7 +50,23 @@ struct ValueInfo {
   }
 };
 
+/// A consumer blocked until a value becomes readable in a cluster.  The
+/// token is opaque to the ValueMap; the core encodes what to wake (issue
+/// queue entry, store-data read, pending communication).
+struct ValueWaiter {
+  std::uint8_t cluster = 0;
+  std::uint64_t token = 0;
+};
+
 /// Dense table of live values with slot reuse.
+///
+/// Besides the mapping/readability bookkeeping, the map is the wakeup
+/// scoreboard of the event-driven scheduler: consumers that find a source
+/// unreadable subscribe a waiter, and the set_readable() call that
+/// schedules the value's readability fires exactly those waiters.  A waiter
+/// is always protected by a pending reader in the same cluster, so a
+/// subscribed (value, cluster) mapping can neither be evicted nor released
+/// while the waiter is outstanding.
 class ValueMap {
  public:
   explicit ValueMap(int num_clusters);
@@ -74,8 +90,22 @@ class ValueMap {
   /// Adds a copy mapping in \p cluster (in flight until scheduled readable).
   void add_copy(ValueId id, int cluster);
 
-  /// Schedules readability of the value in \p cluster at \p cycle.
+  /// Schedules readability of the value in \p cluster at \p cycle.  Any
+  /// waiters subscribed to (id, cluster) are moved to the fired list for
+  /// the core to drain (see fired_waiters()).
   void set_readable(ValueId id, int cluster, std::int64_t cycle);
+
+  /// Subscribes \p token to fire when (id, cluster) becomes readable.
+  /// \pre the value is mapped in \p cluster and not yet scheduled readable.
+  void add_waiter(ValueId id, int cluster, std::uint64_t token);
+
+  /// Waiter tokens fired by set_readable() since the last drain.  The
+  /// caller processes and clears this between calls; processing order must
+  /// not matter to the caller (tokens fire in subscription order per call
+  /// but calls interleave arbitrarily).
+  [[nodiscard]] std::vector<std::uint64_t>& fired_waiters() {
+    return fired_;
+  }
 
   /// Registers / completes a pending read in \p cluster.
   void add_reader(ValueId id, int cluster);
@@ -90,15 +120,55 @@ class ValueMap {
       RegClass cls, int cluster, std::int64_t now,
       std::span<const ValueId> exclude = {}) const;
 
+  /// Number of idle copies (victim candidates ignoring any exclusion) of
+  /// class \p cls in \p cluster, maintained incrementally so capacity
+  /// oracles need not scan the table.  Relies on the core's invariant that
+  /// a copy only ever becomes readable at the cycle of the call that
+  /// schedules it (bus deliveries land "now"), so idleness is not
+  /// time-dependent.
+  [[nodiscard]] int idle_copy_count(int cluster, RegClass cls) const {
+    return idle_copies_[idle_index(cluster, cls)];
+  }
+
+  /// True when \p id is currently an idle copy of class \p cls in
+  /// \p cluster (i.e. would be counted by idle_copy_count).
+  [[nodiscard]] bool is_idle_copy(ValueId id, int cluster,
+                                  RegClass cls) const {
+    const ValueInfo& value = info(id);
+    return value.cls == cls && value.mapped_in(cluster) &&
+           static_cast<int>(value.home) != cluster &&
+           value.readable_cycle[static_cast<std::size_t>(cluster)] !=
+               kNeverReadable &&
+           value.pending_readers[static_cast<std::size_t>(cluster)] == 0;
+  }
+
   /// Removes the copy in \p cluster (register freeing is the caller's job).
   void evict_copy(ValueId id, int cluster);
 
   [[nodiscard]] std::size_t live_count() const { return live_count_; }
   [[nodiscard]] int num_clusters() const { return num_clusters_; }
 
+  /// Total (value, cluster) register mappings across live values; equals the
+  /// physical registers in use when core/value bookkeeping is consistent.
+  [[nodiscard]] int total_mapped_count() const;
+
  private:
+  [[nodiscard]] std::size_t idle_index(int cluster, RegClass cls) const {
+    return static_cast<std::size_t>(cluster) * kNumRegClasses +
+           static_cast<std::size_t>(cls);
+  }
+  /// Adjusts the idle-copy counter for (id, cluster) by \p delta if the
+  /// value is currently an idle copy there.
+  void adjust_idle(const ValueInfo& value, int cluster, int delta);
+
   int num_clusters_;
   std::vector<ValueInfo> values_;
+  /// Idle copies per (cluster, class); see idle_copy_count().
+  std::vector<int> idle_copies_;
+  /// Waiters per value slot, parallel to values_ (kept out of ValueInfo so
+  /// slot reuse preserves vector capacity).
+  std::vector<std::vector<ValueWaiter>> waiters_;
+  std::vector<std::uint64_t> fired_;
   std::vector<ValueId> free_slots_;
   std::size_t live_count_ = 0;
 };

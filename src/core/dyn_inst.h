@@ -45,6 +45,14 @@ struct DynInst {
   /// cache cluster).
   std::int64_t mem_ready_cycle = -1;
 
+  // Event-driven wakeup bookkeeping (while waiting in an issue queue).
+  /// Source operands not yet scheduled readable in this cluster; the entry
+  /// enters its cluster's ready list when this reaches zero.
+  std::uint32_t wait_srcs = 0;
+  /// Max known operand-readable cycle so far; the operand-ready cycle once
+  /// wait_srcs == 0.
+  std::int64_t ready_at = -1;
+
   [[nodiscard]] bool done() const { return state == InstState::Done; }
 };
 

@@ -1,5 +1,8 @@
 #include "core/processor.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "util/assert.h"
 #include "util/rng.h"
 #include "stats/nready.h"
@@ -27,6 +30,7 @@ Processor::Processor(const ArchConfig& config, std::uint64_t seed)
       frontend_(config.bpred),
       rob_(static_cast<std::size_t>(config.rob_size)) {
   config_.validate();
+  event_ring_.resize(kEventRingSize);
   clusters_.reserve(static_cast<std::size_t>(config.num_clusters));
   for (int c = 0; c < config.num_clusters; ++c) {
     clusters_.emplace_back(config.iq_int, config.iq_fp, config.iq_comm,
@@ -73,14 +77,18 @@ bool Processor::regs_obtainable(int cluster, RegClass cls, int count) const {
   if (free >= count) return true;
   if (!config_.copy_eviction) return false;
   const int deficit = count - free;
-  const std::span<const ValueId> exclude(steering_srcs_.begin(),
-                                         steering_srcs_.size());
-  const ValueId candidate =
-      values_.find_evictable(cls, cluster, cycle_, exclude);
-  // find_evictable returns the first candidate; for deficits > 1 we need to
-  // know there are enough.  Deficits above 1 are rare (dest + copies in one
-  // cluster), so a conservative answer for them is fine.
-  return candidate != kInvalidValue && deficit <= 1;
+  // Existence check via the maintained idle-copy counter (no table scan),
+  // discounting the dispatching instruction's own sources, which must
+  // never be victimized on its behalf.
+  int candidates = values_.idle_copy_count(cluster, cls);
+  for (const ValueId banned : steering_srcs_) {
+    if (candidates <= 0) break;
+    if (values_.is_idle_copy(banned, cluster, cls)) --candidates;
+  }
+  // For deficits > 1 we would need to know there are enough victims.
+  // Deficits above 1 are rare (dest + copies in one cluster), so a
+  // conservative answer for them is fine.
+  return candidates > 0 && deficit <= 1;
 }
 
 int Processor::free_regs(int cluster, RegClass cls) const {
@@ -131,9 +139,119 @@ void Processor::release_value(ValueId id) {
 
 void Processor::schedule(std::int64_t cycle, EventKind kind,
                          std::uint32_t rob_index) {
-  RINGCLU_ASSERT(cycle > cycle_ ||
-                 (cycle == cycle_ && kind == EventKind::Complete));
-  events_.push(Event{cycle, kind, rob_index, rob_.at(rob_index).seq});
+  // Strictly future: the calendar ring drains the current cycle's bucket
+  // once, so a same-cycle event scheduled after do_events would strand
+  // until the ring wraps.  Same-cycle completions go through
+  // complete_instruction()/try_complete_store() directly instead.
+  RINGCLU_ASSERT(cycle > cycle_);
+  const Event event{cycle, kind, rob_index, rob_.at(rob_index).seq};
+  if (cycle - cycle_ < static_cast<std::int64_t>(kEventRingSize)) {
+    event_ring_[static_cast<std::size_t>(cycle) & (kEventRingSize - 1)]
+        .push_back(event);
+  } else {
+    overflow_events_.push(event);
+  }
+  ++events_pending_;
+}
+
+// --- Event-driven wakeup plumbing ----------------------------------------
+//
+// The scheduler never scans queues for readiness.  Each issue-queue entry
+// counts its not-yet-readable sources (DynInst::wait_srcs); the
+// set_readable call that schedules a source's readability fires waiters,
+// and the last-fired source moves the entry into its cluster's ready list
+// — immediately when the readable cycle has already passed (bus
+// deliveries land before issue in the same cycle), or via an IqReady event
+// on the existing events_ queue otherwise.  Pending stores and comms wake
+// the same way; loads are pure time buckets (their window is known at
+// address generation).  This is cycle-exact with the historical scans
+// because a waiting consumer holds a pending reader, which pins the
+// (value, cluster) mapping until the value has been readable and read.
+
+void Processor::set_readable_waking(ValueId id, int cluster,
+                                    std::int64_t cycle) {
+  values_.set_readable(id, cluster, cycle);
+  std::vector<std::uint64_t>& fired = values_.fired_waiters();
+  if (fired.empty()) return;
+  for (const std::uint64_t token : fired) handle_wake(token, cycle);
+  fired.clear();
+}
+
+void Processor::handle_wake(std::uint64_t token, std::int64_t readable_cycle) {
+  const WakeKind kind = static_cast<WakeKind>(token >> 62);
+  const int cluster = static_cast<int>((token >> 58) & 0xfu);
+  const std::uint64_t index = token & ((1ull << 58) - 1);
+  switch (kind) {
+    case WakeKind::IqEntry: {
+      const std::uint32_t rob_index = static_cast<std::uint32_t>(index);
+      DynInst& inst = rob_.at(rob_index);
+      RINGCLU_ASSERT(inst.wait_srcs > 0);
+      inst.ready_at = std::max(inst.ready_at, readable_cycle);
+      if (--inst.wait_srcs == 0) schedule_iq_ready(rob_index, inst.ready_at);
+      break;
+    }
+    case WakeKind::StoreData: {
+      const std::uint32_t rob_index = static_cast<std::uint32_t>(index);
+      // Completion happens in the memory stage of the readable cycle, like
+      // the historical pending-store sweep (never earlier in the cycle, or
+      // the store would commit a cycle early).
+      store_due_.push(TimedRef{std::max(readable_cycle, cycle_),
+                               rob_.at(rob_index).seq, rob_index});
+      break;
+    }
+    case WakeKind::Comm: {
+      if (readable_cycle <= cycle_) {
+        insert_comm_ready(cluster, index);
+      } else {
+        comm_due_.push(CommDue{readable_cycle, index,
+                               static_cast<std::uint8_t>(cluster)});
+      }
+      break;
+    }
+  }
+}
+
+void Processor::schedule_iq_ready(std::uint32_t rob_index,
+                                  std::int64_t ready_cycle) {
+  if (ready_cycle <= cycle_) {
+    push_ready(rob_index);
+  } else {
+    schedule(ready_cycle, EventKind::IqReady, rob_index);
+  }
+}
+
+void Processor::push_ready(std::uint32_t rob_index) {
+  DynInst& inst = rob_.at(rob_index);
+  RINGCLU_ASSERT(inst.state == InstState::Dispatched);
+  Cluster& cluster = clusters_[static_cast<std::size_t>(inst.cluster)];
+  std::vector<ReadyRef>& list = op_unit(inst.op.cls) == UnitKind::Int
+                                    ? cluster.int_ready
+                                    : cluster.fp_ready;
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), inst.seq,
+      [](const ReadyRef& ref, std::uint64_t seq) { return ref.seq < seq; });
+  list.insert(it, ReadyRef{rob_index, inst.seq});
+  ++ready_total_;
+}
+
+void Processor::insert_comm_ready(int cluster, std::uint64_t id) {
+  Cluster& cl = clusters_[static_cast<std::size_t>(cluster)];
+  std::vector<std::uint64_t>& ready = cl.comm_ready;
+  ready.insert(std::lower_bound(ready.begin(), ready.end(), id), id);
+  ++ready_total_;
+  // A comm enters the ready list exactly at its first ready cycle; stamp
+  // the contention baseline here so issue need not revisit blocked comms.
+  CommOp& comm = cl.comm_queue.at(cl.comm_queue.index_of(id));
+  RINGCLU_ASSERT(comm.first_ready_cycle < 0);
+  comm.first_ready_cycle = cycle_;
+}
+
+void Processor::drain_comm_wakeups() {
+  while (!comm_due_.empty() && comm_due_.top().cycle <= cycle_) {
+    const CommDue due = comm_due_.top();
+    comm_due_.pop();
+    insert_comm_ready(due.cluster, due.id);
+  }
 }
 
 // --- Events --------------------------------------------------------------
@@ -150,9 +268,22 @@ void Processor::complete_instruction(std::uint32_t rob_index) {
 }
 
 void Processor::do_events() {
-  while (!events_.empty() && events_.top().cycle <= cycle_) {
-    const Event event = events_.top();
-    events_.pop();
+  if (events_pending_ == 0) return;
+  std::vector<Event>& bucket =
+      event_ring_[static_cast<std::size_t>(cycle_) & (kEventRingSize - 1)];
+  // Far-scheduled events whose cycle has arrived merge into the bucket.
+  while (!overflow_events_.empty() &&
+         overflow_events_.top().cycle <= cycle_) {
+    bucket.push_back(overflow_events_.top());
+    overflow_events_.pop();
+  }
+  if (bucket.empty()) return;
+  std::sort(bucket.begin(), bucket.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  // Handlers cannot grow this bucket: schedule() rejects same-cycle events
+  // (index loop kept as belt-and-braces against iterator invalidation).
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    const Event event = bucket[i];
     RINGCLU_ASSERT(event.cycle == cycle_);
     DynInst& inst = rob_.at(event.rob_index);
     RINGCLU_ASSERT(inst.seq == event.seq);
@@ -164,16 +295,41 @@ void Processor::do_events() {
         lsq_.set_address(inst.seq, inst.op.mem_addr, inst.op.mem_size);
         if (inst.op.is_store()) {
           // The store retires from the cluster once its data has also been
-          // read; the cache write happens at commit.
-          if (try_complete_store(event.rob_index)) break;
-          pending_stores_.push_back(event.rob_index);
+          // read; the cache write happens at commit.  If the data is not
+          // readable yet, park the store on its data value's wakeup (or a
+          // time bucket when the readable cycle is already known) instead
+          // of a per-cycle sweep.
+          if (inst.store_data != kInvalidValue) {
+            const std::int64_t readable =
+                values_.info(inst.store_data)
+                    .readable_cycle[static_cast<std::size_t>(inst.cluster)];
+            if (readable > cycle_) {
+              if (readable == kNeverReadable) {
+                values_.add_waiter(
+                    inst.store_data, inst.cluster,
+                    wake_token(WakeKind::StoreData, 0, event.rob_index));
+              } else {
+                store_due_.push(
+                    TimedRef{readable, inst.seq, event.rob_index});
+              }
+              break;
+            }
+          }
+          const bool completed = try_complete_store(event.rob_index);
+          RINGCLU_ASSERT(completed);
         } else {
           inst.mem_ready_cycle = cycle_ + config_.dcache_transfer;
-          pending_loads_.push_back(event.rob_index);
+          load_due_.push(
+              TimedRef{inst.mem_ready_cycle, inst.seq, event.rob_index});
         }
+        break;
+      case EventKind::IqReady:
+        push_ready(event.rob_index);
         break;
     }
   }
+  events_pending_ -= bucket.size();
+  bucket.clear();
 }
 
 // --- Commit --------------------------------------------------------------
@@ -210,8 +366,10 @@ void Processor::do_bus() {
   deliveries_.clear();
   buses_.tick(deliveries_);
   for (const BusDelivery& delivery : deliveries_) {
-    values_.set_readable(static_cast<ValueId>(delivery.payload),
-                         delivery.dst_cluster, cycle_);
+    // Readable this very cycle: consumers wake straight into their ready
+    // lists (issue runs later in the cycle), matching the historical scan.
+    set_readable_waking(static_cast<ValueId>(delivery.payload),
+                        delivery.dst_cluster, cycle_);
   }
 }
 
@@ -233,22 +391,32 @@ bool Processor::try_complete_store(std::uint32_t rob_index) {
 }
 
 void Processor::do_memory() {
-  for (std::size_t i = 0; i < pending_stores_.size();) {
-    if (try_complete_store(pending_stores_[i])) {
-      pending_stores_.erase(pending_stores_.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-    } else {
-      ++i;
-    }
+  // Stores whose data value became readable this cycle complete now; the
+  // (cycle, seq) heap order reproduces the historical sweep's same-cycle
+  // ordering, and store completions commute anyway (per-value reader
+  // bookkeeping only).
+  while (!store_due_.empty() && store_due_.top().cycle <= cycle_) {
+    const TimedRef due = store_due_.top();
+    store_due_.pop();
+    RINGCLU_ASSERT(rob_.at(due.rob_index).seq == due.seq);
+    const bool completed = try_complete_store(due.rob_index);
+    RINGCLU_ASSERT(completed);
   }
 
-  for (std::size_t i = 0; i < pending_loads_.size();) {
-    const std::uint32_t rob_index = pending_loads_[i];
+  // Loads whose address has reached the cache cluster join the active list
+  // in arrival order (all loads share dcache_transfer, so (due cycle, seq)
+  // order equals the historical pending-list order); the active list then
+  // retries disambiguation gates and d-cache ports each cycle.
+  while (!load_due_.empty() && load_due_.top().cycle <= cycle_) {
+    const TimedRef due = load_due_.top();
+    load_due_.pop();
+    RINGCLU_ASSERT(rob_.at(due.rob_index).seq == due.seq);
+    active_loads_.push_back(due.rob_index);
+  }
+
+  for (std::size_t i = 0; i < active_loads_.size();) {
+    const std::uint32_t rob_index = active_loads_[i];
     DynInst& inst = rob_.at(rob_index);
-    if (cycle_ < inst.mem_ready_cycle) {
-      ++i;
-      continue;
-    }
     const LoadGate gate = lsq_.query_load(inst.seq);
     if (gate == LoadGate::MustWait) {
       lsq_.count_load_wait();
@@ -269,10 +437,10 @@ void Processor::do_memory() {
     }
     const std::int64_t data_ready =
         cycle_ + latency + config_.dcache_transfer;
-    values_.set_readable(inst.dst_value, dest_home(inst.cluster), data_ready);
+    set_readable_waking(inst.dst_value, dest_home(inst.cluster), data_ready);
     schedule(data_ready, EventKind::Complete, rob_index);
-    pending_loads_.erase(pending_loads_.begin() +
-                         static_cast<std::ptrdiff_t>(i));
+    active_loads_.erase(active_loads_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
   }
 }
 
@@ -286,6 +454,10 @@ void Processor::issue_instruction(int cluster, std::uint32_t rob_index) {
   clusters_[static_cast<std::size_t>(cluster)].fus.acquire(inst.op.cls,
                                                            cycle_);
   for (const ValueId src : inst.srcs) {
+    // Ready-list membership is the scheduler's readiness claim; keep the
+    // historical source check as an always-on invariant (a waiting
+    // consumer's sources cannot regress: its pending readers pin them).
+    RINGCLU_ASSERT(values_.info(src).readable_in(cluster, cycle_));
     values_.remove_reader(src, cluster);
     maybe_eager_release(src, cluster);
   }
@@ -302,29 +474,21 @@ void Processor::issue_instruction(int cluster, std::uint32_t rob_index) {
     // Result becomes readable in the wakeup cluster exactly when the value
     // leaves the functional unit: dependent instructions there can issue
     // back to back.
-    values_.set_readable(inst.dst_value, dest_home(cluster),
-                         cycle_ + latency);
+    set_readable_waking(inst.dst_value, dest_home(cluster),
+                        cycle_ + latency);
   }
   schedule(cycle_ + latency, EventKind::Complete, rob_index);
 }
 
-void Processor::issue_from_queue(int cluster, IssueQueue& queue, int width,
+void Processor::issue_ready_list(int cluster, IssueQueue& queue,
+                                 std::vector<ReadyRef>& ready, int width,
                                  std::uint32_t& unissued_ready, int& issued) {
   std::size_t i = 0;
-  while (i < queue.size()) {
-    const IqEntry entry = queue.at(i);
-    DynInst& inst = rob_.at(entry.rob_index);
-    bool ready = true;
-    for (const ValueId src : inst.srcs) {
-      if (!values_.info(src).readable_in(cluster, cycle_)) {
-        ready = false;
-        break;
-      }
-    }
-    if (!ready) {
-      ++i;
-      continue;
-    }
+  while (i < ready.size()) {
+    const ReadyRef ref = ready[i];
+    DynInst& inst = rob_.at(ref.rob_index);
+    RINGCLU_ASSERT(inst.seq == ref.seq &&
+                   inst.state == InstState::Dispatched);
     if (issued >= width ||
         !clusters_[static_cast<std::size_t>(cluster)].fus.available(
             inst.op.cls, cycle_)) {
@@ -332,26 +496,32 @@ void Processor::issue_from_queue(int cluster, IssueQueue& queue, int width,
       ++i;
       continue;
     }
-    issue_instruction(cluster, entry.rob_index);
+    issue_instruction(cluster, ref.rob_index);
     ++issued;
-    queue.remove_at(i);  // next entry shifts into position i
+    queue.remove_seq(ref.seq);
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
+    --ready_total_;
   }
 }
 
 void Processor::issue_comms(int cluster) {
-  CommQueue& queue = clusters_[static_cast<std::size_t>(cluster)].comm_queue;
+  Cluster& cl = clusters_[static_cast<std::size_t>(cluster)];
+  std::vector<std::uint64_t>& ready = cl.comm_ready;
   std::size_t i = 0;
-  while (i < queue.size()) {
-    CommOp& comm = queue.at(i);
-    if (!values_.info(comm.value).readable_in(cluster, cycle_)) {
-      ++i;
-      continue;
-    }
-    if (comm.first_ready_cycle < 0) comm.first_ready_cycle = cycle_;
+  while (i < ready.size()) {
+    const std::size_t pos = cl.comm_queue.index_of(ready[i]);
+    CommOp& comm = cl.comm_queue.at(pos);
+    RINGCLU_ASSERT(values_.info(comm.value).readable_in(cluster, cycle_));
+    RINGCLU_ASSERT(comm.first_ready_cycle >= 0);
     const std::optional<int> distance =
         buses_.try_inject(cluster, comm.dst_cluster, comm.value);
     if (!distance) {
-      ++i;  // bus contention: retry next cycle
+      // Bus contention: this comm retries next cycle.  If no bus can accept
+      // any injection at this cluster, every remaining ready comm (same
+      // source cluster) must fail too — failed injections have no side
+      // effects, so stopping here is observationally identical.
+      if (!buses_.any_injectable(cluster)) break;
+      ++i;
       continue;
     }
     values_.remove_reader(comm.value, cluster);  // source read complete
@@ -359,36 +529,59 @@ void Processor::issue_comms(int cluster) {
     counters_.comm_distance_sum += static_cast<std::uint64_t>(*distance);
     counters_.comm_contention_sum +=
         static_cast<std::uint64_t>(cycle_ - comm.first_ready_cycle);
-    queue.remove_at(i);
+    cl.comm_queue.remove_at(pos);
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
+    --ready_total_;
   }
 }
 
 void Processor::do_issue() {
+  drain_comm_wakeups();
+  // Nothing ready anywhere: no instruction or comm can issue, every slot
+  // is idle, and the NREADY matching is zero by zero demand.  Skip the
+  // whole stage — the common case on stall-dominated cycles.
+  if (ready_total_ == 0) return;
   const int n = config_.num_clusters;
   std::array<std::uint32_t, kMaxClusters> unissued_int{};
   std::array<std::uint32_t, kMaxClusters> unissued_fp{};
   std::array<std::uint32_t, kMaxClusters> idle_int{};
   std::array<std::uint32_t, kMaxClusters> idle_fp{};
+  bool any_unissued = false;
 
   for (int c = 0; c < n; ++c) {
     Cluster& cluster = clusters_[static_cast<std::size_t>(c)];
+    // Idle clusters (nothing ready, nothing to send) are skipped entirely;
+    // their issue slots still count as idle supply for NREADY below.
     int issued_int = 0;
     int issued_fp = 0;
-    issue_from_queue(c, cluster.int_iq, config_.issue_width,
-                     unissued_int[static_cast<std::size_t>(c)], issued_int);
-    issue_from_queue(c, cluster.fp_iq, config_.issue_width,
-                     unissued_fp[static_cast<std::size_t>(c)], issued_fp);
+    if (!cluster.int_ready.empty()) {
+      issue_ready_list(c, cluster.int_iq, cluster.int_ready,
+                       config_.issue_width,
+                       unissued_int[static_cast<std::size_t>(c)], issued_int);
+    }
+    if (!cluster.fp_ready.empty()) {
+      issue_ready_list(c, cluster.fp_iq, cluster.fp_ready,
+                       config_.issue_width,
+                       unissued_fp[static_cast<std::size_t>(c)], issued_fp);
+    }
     idle_int[static_cast<std::size_t>(c)] =
         static_cast<std::uint32_t>(config_.issue_width - issued_int);
     idle_fp[static_cast<std::size_t>(c)] =
         static_cast<std::uint32_t>(config_.issue_width - issued_fp);
-    issue_comms(c);
+    any_unissued = any_unissued ||
+                   (unissued_int[static_cast<std::size_t>(c)] |
+                    unissued_fp[static_cast<std::size_t>(c)]) != 0;
+    if (!cluster.comm_ready.empty()) issue_comms(c);
   }
 
-  const std::size_t count = static_cast<std::size_t>(n);
-  counters_.nready_sum +=
-      nready_matching({unissued_int.data(), count}, {idle_int.data(), count}) +
-      nready_matching({unissued_fp.data(), count}, {idle_fp.data(), count});
+  // With zero unissued-ready demand everywhere, both matchings are zero.
+  if (any_unissued) {
+    const std::size_t count = static_cast<std::size_t>(n);
+    counters_.nready_sum +=
+        nready_matching({unissued_int.data(), count},
+                        {idle_int.data(), count}) +
+        nready_matching({unissued_fp.data(), count}, {idle_fp.data(), count});
+  }
 }
 
 // --- Dispatch ------------------------------------------------------------
@@ -437,10 +630,25 @@ void Processor::apply_dispatch(const MicroOp& op, std::uint64_t seq,
     values_.add_reader(value, comm.from_cluster);
     CommOp comm_op;
     comm_op.value = value;
+    comm_op.id = next_comm_id_++;
     comm_op.src_cluster = comm.from_cluster;
     comm_op.dst_cluster = static_cast<std::uint8_t>(cluster);
     comm_op.created_cycle = cycle_;
     clusters_[comm.from_cluster].comm_queue.insert(comm_op);
+    // Schedule the comm's readiness: it can first try the bus the cycle
+    // after dispatch (issue precedes dispatch within a cycle) and no
+    // earlier than its source value's readable cycle.
+    const std::int64_t readable =
+        values_.info(value)
+            .readable_cycle[static_cast<std::size_t>(comm.from_cluster)];
+    if (readable == kNeverReadable) {
+      values_.add_waiter(value, comm.from_cluster,
+                         wake_token(WakeKind::Comm, comm.from_cluster,
+                                    comm_op.id));
+    } else {
+      comm_due_.push(CommDue{std::max(readable, cycle_ + 1), comm_op.id,
+                             comm.from_cluster});
+    }
   }
 
   DynInst inst;
@@ -482,6 +690,27 @@ void Processor::apply_dispatch(const MicroOp& op, std::uint64_t seq,
   IssueQueue& queue =
       op_unit(op.cls) == UnitKind::Int ? cl.int_iq : cl.fp_iq;
   queue.insert(IqEntry{rob_index, seq});
+
+  // Wakeup bookkeeping: count sources whose readable cycle is still
+  // unknown and subscribe to them; once none remain, the entry enters its
+  // cluster's ready list at the max known operand-ready cycle.
+  DynInst& stored = rob_.at(rob_index);
+  std::uint32_t wait = 0;
+  std::int64_t ready_at = cycle_;  // floor: cannot issue before dispatch
+  for (const ValueId src : stored.srcs) {
+    const std::int64_t readable =
+        values_.info(src).readable_cycle[static_cast<std::size_t>(cluster)];
+    if (readable == kNeverReadable) {
+      values_.add_waiter(src, cluster,
+                         wake_token(WakeKind::IqEntry, 0, rob_index));
+      ++wait;
+    } else {
+      ready_at = std::max(ready_at, readable);
+    }
+  }
+  stored.wait_srcs = wait;
+  stored.ready_at = ready_at;
+  if (wait == 0) schedule_iq_ready(rob_index, ready_at);
 
   policy_->on_dispatch(cluster);
   ++counters_.dispatched_per_cluster[static_cast<std::size_t>(cluster)];
@@ -635,7 +864,7 @@ void Processor::dump_state(std::FILE* out) const {
                static_cast<long long>(cycle_), config_.name.c_str());
   std::fprintf(out, "rob: %zu/%zu fetchq=%zu decodeq=%zu pending_loads=%zu\n",
                rob_.size(), rob_.capacity(), fetchq_.size(), decodeq_.size(),
-               pending_loads_.size());
+               active_loads_.size() + load_due_.size());
   if (!rob_.empty()) {
     const DynInst& head = rob_.at(rob_.head_index());
     std::fprintf(out,
@@ -671,6 +900,8 @@ void Processor::dump_state(std::FILE* out) const {
 
 SimResult Processor::run(TraceSource& trace, std::uint64_t warmup_instrs,
                          std::uint64_t measure_instrs) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t committed_at_start = committed_total_;
   auto drained = [this]() {
     return trace_exhausted_ && !have_peeked_ && rob_.empty() &&
            fetchq_.empty() && decodeq_.empty();
@@ -705,6 +936,11 @@ SimResult Processor::run(TraceSource& trace, std::uint64_t warmup_instrs,
   result.config_name = config_.name;
   result.benchmark = std::string(trace.name());
   result.counters = counters_.minus(baseline);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.total_committed = committed_total_ - committed_at_start;
   return result;
 }
 

@@ -64,12 +64,36 @@ class Processor final : public SteerOracle {
   [[nodiscard]] const SimCounters& counters() const { return counters_; }
   [[nodiscard]] const ValueMap& values() const { return values_; }
 
+  // --- Introspection (invariant tests / debugging) -----------------------
+  [[nodiscard]] std::size_t rob_size() const { return rob_.size(); }
+  [[nodiscard]] std::size_t lsq_size() const { return lsq_.size(); }
+  [[nodiscard]] std::size_t frontend_queue_size() const {
+    return fetchq_.size() + decodeq_.size();
+  }
+  [[nodiscard]] int regs_in_use() const { return regs_.total_in_use(); }
+  /// Instructions that entered the pipeline (assigned a sequence number).
+  [[nodiscard]] std::uint64_t fetched() const { return next_seq_ - 1; }
+
  private:
+  /// A ready-but-unissued issue-queue entry (all sources readable).  Ready
+  /// lists are kept seq-sorted so selection stays oldest-first, exactly
+  /// like the historical full-queue scan.
+  struct ReadyRef {
+    std::uint32_t rob_index = 0;
+    std::uint64_t seq = 0;
+  };
+
   struct Cluster {
     IssueQueue int_iq;
     IssueQueue fp_iq;
     CommQueue comm_queue;
     FuPool fus;
+    /// Ready sets of the event-driven scheduler: entries whose operands are
+    /// all readable this cycle but which have not issued yet.
+    std::vector<ReadyRef> int_ready;
+    std::vector<ReadyRef> fp_ready;
+    /// Ready comms (ids into comm_queue), ascending == queue order.
+    std::vector<std::uint64_t> comm_ready;
     Cluster(int iq_int, int iq_fp, int iq_comm, int width)
         : int_iq(static_cast<std::size_t>(iq_int)),
           fp_iq(static_cast<std::size_t>(iq_fp)),
@@ -83,7 +107,13 @@ class Processor final : public SteerOracle {
     std::int64_t stage_cycle = 0;  ///< cycle the op entered this queue
   };
 
-  enum class EventKind : std::uint8_t { Complete, AddrReady };
+  enum class EventKind : std::uint8_t {
+    Complete,
+    AddrReady,
+    /// All operands of an issue-queue entry become readable this cycle:
+    /// move it to its cluster's ready list (before issue runs).
+    IqReady,
+  };
 
   struct Event {
     std::int64_t cycle;
@@ -94,6 +124,40 @@ class Processor final : public SteerOracle {
       return cycle != other.cycle ? cycle > other.cycle : seq > other.seq;
     }
   };
+
+  /// Min-heap entry for time-bucketed memory operations (loads awaiting
+  /// their window, stores awaiting data).  Ordered (cycle, seq) so
+  /// same-cycle processing matches the historical sweep order.
+  struct TimedRef {
+    std::int64_t cycle;
+    std::uint64_t seq;
+    std::uint32_t rob_index;
+    bool operator>(const TimedRef& other) const {
+      return cycle != other.cycle ? cycle > other.cycle : seq > other.seq;
+    }
+  };
+
+  /// Min-heap entry for comms whose value becomes readable at a known
+  /// future cycle.
+  struct CommDue {
+    std::int64_t cycle;
+    std::uint64_t id;
+    std::uint8_t cluster;
+    bool operator>(const CommDue& other) const {
+      return cycle != other.cycle ? cycle > other.cycle : id > other.id;
+    }
+  };
+
+  /// What a fired value-waiter token wakes.  Packing: kind in the top two
+  /// bits, cluster (used by Comm wakes) in the next four, payload index
+  /// (ROB slot or comm id) in the low 58.
+  enum class WakeKind : std::uint64_t { IqEntry = 0, StoreData = 1, Comm = 2 };
+
+  [[nodiscard]] static std::uint64_t wake_token(WakeKind kind, int cluster,
+                                                std::uint64_t index) {
+    return (static_cast<std::uint64_t>(kind) << 62) |
+           (static_cast<std::uint64_t>(cluster) << 58) | index;
+  }
 
   // Pipeline stages.
   void step();
@@ -107,10 +171,25 @@ class Processor final : public SteerOracle {
   void do_fetch(TraceSource& trace);
 
   // Issue helpers.
-  void issue_from_queue(int cluster, IssueQueue& queue, int width,
+  void issue_ready_list(int cluster, IssueQueue& queue,
+                        std::vector<ReadyRef>& ready, int width,
                         std::uint32_t& unissued_ready, int& issued);
   void issue_instruction(int cluster, std::uint32_t rob_index);
   void issue_comms(int cluster);
+
+  // Event-driven wakeup plumbing.
+  /// Sets readability and immediately wakes subscribed consumers.
+  void set_readable_waking(ValueId id, int cluster, std::int64_t cycle);
+  void handle_wake(std::uint64_t token, std::int64_t readable_cycle);
+  /// Queues an operand-ready issue-queue entry for its cluster's ready
+  /// list: immediately when \p ready_cycle has passed, else via an IqReady
+  /// event.
+  void schedule_iq_ready(std::uint32_t rob_index, std::int64_t ready_cycle);
+  void push_ready(std::uint32_t rob_index);
+  void insert_comm_ready(int cluster, std::uint64_t id);
+  /// Moves comms whose operands became readable this cycle into their
+  /// clusters' ready lists.
+  void drain_comm_wakeups();
 
   // Dispatch helpers.
   [[nodiscard]] SteerRequest build_request(const MicroOp& op) const;
@@ -146,16 +225,42 @@ class Processor final : public SteerOracle {
 
   std::deque<FrontEndOp> fetchq_;
   std::deque<FrontEndOp> decodeq_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-  std::vector<std::uint32_t> pending_loads_;  ///< ROB indices awaiting memory
-  std::vector<std::uint32_t> pending_stores_; ///< stores awaiting their data
+  /// Calendar queue for events: a ring of per-cycle buckets indexed by
+  /// cycle modulo kEventRingSize gives O(1) scheduling (events are pushed
+  /// at bounded horizons — op latency or memory latency).  Events beyond
+  /// the ring horizon — possible only with extreme latency configs — fall
+  /// back to the ordered heap and merge into their bucket when due.  Each
+  /// bucket is sorted by seq at drain time, reproducing the total
+  /// (cycle, seq) order of a single priority queue.
+  static constexpr std::size_t kEventRingSize = 1024;  // power of two
+  std::vector<std::vector<Event>> event_ring_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>>
+      overflow_events_;
+  std::size_t events_pending_ = 0;  ///< ring + overflow, for fast skip
+  /// Completion-time buckets replacing the historical per-cycle sweeps of
+  /// pending loads/stores: a load sits in load_due_ until its address
+  /// reaches the cache cluster, then moves to active_loads_ (arrival
+  /// order) while gated on disambiguation or d-cache ports; a store sits
+  /// in store_due_ until its data value is readable.
+  std::priority_queue<TimedRef, std::vector<TimedRef>, std::greater<>>
+      load_due_;
+  std::priority_queue<TimedRef, std::vector<TimedRef>, std::greater<>>
+      store_due_;
+  std::vector<std::uint32_t> active_loads_;  ///< due, retrying gates/ports
+  std::priority_queue<CommDue, std::vector<CommDue>, std::greater<>>
+      comm_due_;
   std::vector<BusDelivery> deliveries_;       ///< scratch, reused per cycle
 
   // Rename state: logical register -> current value.
   std::array<ValueId, kNumFlatArchRegs> rename_{};
 
+  /// Entries across every cluster's int/fp/comm ready lists; lets the
+  /// issue stage skip entirely on cycles where nothing can issue.
+  std::size_t ready_total_ = 0;
+
   std::int64_t cycle_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t next_comm_id_ = 1;
   std::uint64_t committed_total_ = 0;
   std::int64_t last_commit_cycle_ = 0;
 

@@ -62,6 +62,15 @@ struct SimResult {
   std::string benchmark;
   SimCounters counters;
 
+  /// Host wall-clock seconds spent inside Processor::run (warmup +
+  /// measurement).  Simulator-throughput instrumentation only: host-specific
+  /// and nondeterministic, so deliberately excluded from serialization,
+  /// golden files and the determinism contract.  0 for cache-loaded results.
+  double wall_seconds = 0.0;
+  /// Total simulated instructions committed inside run(), including warmup
+  /// (the denominator of wall_seconds covers both).
+  std::uint64_t total_committed = 0;
+
   [[nodiscard]] double ipc() const {
     return counters.cycles == 0
                ? 0.0
@@ -103,6 +112,13 @@ struct SimResult {
                ? 0.0
                : static_cast<double>(counters.rob_occupancy_sum) /
                      static_cast<double>(counters.cycles);
+  }
+  /// Simulator throughput: simulated instructions committed per host
+  /// wall-clock second.  0 when no wall time was recorded (cached results).
+  [[nodiscard]] double sim_instrs_per_second() const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(total_committed) / wall_seconds;
   }
 
   /// Fraction of dispatched instructions sent to \p cluster.

@@ -4,6 +4,7 @@
 
 #include "trace/synth/suite.h"
 #include "util/assert.h"
+#include "util/format.h"
 
 namespace ringclu {
 namespace {
@@ -62,6 +63,45 @@ const SimResult& find_result(std::span<const SimResult> results,
     if (result.benchmark == benchmark) return result;
   }
   RINGCLU_UNREACHABLE("benchmark not present in result set");
+}
+
+namespace {
+
+struct WallTotals {
+  double wall = 0.0;
+  std::uint64_t instrs = 0;
+};
+
+/// Sums wall time and simulated instructions over results that carry
+/// wall-time data (cache-loaded results have none and contribute nothing).
+WallTotals sum_walled(std::span<const SimResult> results) {
+  WallTotals totals;
+  for (const SimResult& result : results) {
+    if (result.wall_seconds <= 0.0) continue;
+    totals.wall += result.wall_seconds;
+    totals.instrs += result.total_committed;
+  }
+  return totals;
+}
+
+}  // namespace
+
+double aggregate_sim_ips(std::span<const SimResult> results) {
+  const WallTotals totals = sum_walled(results);
+  return totals.wall <= 0.0
+             ? 0.0
+             : static_cast<double>(totals.instrs) / totals.wall;
+}
+
+std::string throughput_summary(std::span<const SimResult> results) {
+  const WallTotals totals = sum_walled(results);
+  if (totals.wall <= 0.0) {
+    return "throughput: no wall-time data (cached results)";
+  }
+  return str_format("throughput: %.1fM simulated instrs in %.2fs = "
+                    "%.2fM instrs/s",
+                    static_cast<double>(totals.instrs) / 1e6, totals.wall,
+                    static_cast<double>(totals.instrs) / totals.wall / 1e6);
 }
 
 }  // namespace ringclu

@@ -35,4 +35,15 @@ enum class BenchGroup { All, Int, Fp };
 [[nodiscard]] const SimResult& find_result(std::span<const SimResult> results,
                                            std::string_view benchmark);
 
+/// Aggregate simulator throughput over a result set: total simulated
+/// instructions (warmup included) divided by total recorded wall time.
+/// Results without wall-time data (e.g. loaded from cache) contribute
+/// nothing to either sum; returns 0 when no result carries wall time.
+[[nodiscard]] double aggregate_sim_ips(std::span<const SimResult> results);
+
+/// One-line human summary of aggregate_sim_ips over \p results, e.g.
+/// "throughput: 11.4M simulated instrs in 9.31s = 1.23M instrs/s".
+[[nodiscard]] std::string throughput_summary(
+    std::span<const SimResult> results);
+
 }  // namespace ringclu

@@ -16,6 +16,11 @@
 
 namespace ringclu {
 
+int default_thread_count() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 2;
+}
+
 RunnerOptions RunnerOptions::from_env() {
   Config env;
   env.import_env("RINGCLU_");
@@ -25,9 +30,8 @@ RunnerOptions RunnerOptions::from_env() {
   options.warmup = static_cast<std::uint64_t>(
       env.get_int("warmup", static_cast<std::int64_t>(options.instrs / 10)));
   options.seed = static_cast<std::uint64_t>(env.get_int("seed", 42));
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
   options.threads =
-      static_cast<int>(env.get_int("threads", hw > 0 ? hw : 2));
+      static_cast<int>(env.get_int("threads", default_thread_count()));
   options.force = env.get_bool("force", false);
   options.cache_path = env.get_string("cache", "bench_cache/results.tsv");
   options.verbose = env.get_bool("verbose", true);
@@ -72,46 +76,84 @@ std::string serialize_result(const SimResult& result) {
   return line;
 }
 
-SimResult deserialize_result(const std::string& line) {
-  std::istringstream in(line);
-  std::string token;
+namespace {
+
+/// Splits on tabs, keeping empty fields (unlike split(), which drops them)
+/// so a damaged line cannot silently shift later fields into earlier slots.
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t end = line.find('\t', start);
+    if (end == std::string::npos) {
+      out.emplace_back(line.substr(start));
+      return out;
+    }
+    out.emplace_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+/// Parses a non-negative decimal integer; rejects empty/garbage/overflow.
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+  if (token.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~0ull - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::optional<SimResult> try_deserialize_result(const std::string& line) {
+  const std::vector<std::string> tokens = split_tabs(line);
+  // config, benchmark, 22 counters, dispatched-per-cluster list.
+  constexpr std::size_t kNumericFields = 22;
+  if (tokens.size() != 2 + kNumericFields + 1) return std::nullopt;
+
   SimResult result;
-  auto next = [&in, &token]() {
-    RINGCLU_EXPECTS(static_cast<bool>(std::getline(in, token, '\t')));
-    return token;
+  result.config_name = tokens[0];
+  result.benchmark = tokens[1];
+  std::size_t cursor = 2;
+  auto next_u64 = [&tokens, &cursor](std::uint64_t& out) {
+    return parse_u64(tokens[cursor++], out);
   };
-  auto next_u64 = [&next]() {
-    return static_cast<std::uint64_t>(std::stoull(next()));
-  };
-  result.config_name = next();
-  result.benchmark = next();
   SimCounters& c = result.counters;
-  c.cycles = next_u64();
-  c.committed = next_u64();
-  c.comms = next_u64();
-  c.comm_distance_sum = next_u64();
-  c.comm_contention_sum = next_u64();
-  c.nready_sum = next_u64();
-  c.branches = next_u64();
-  c.mispredicts = next_u64();
-  c.icache_stall_cycles = next_u64();
-  c.loads = next_u64();
-  c.stores = next_u64();
-  c.load_forwards = next_u64();
-  c.l1d_accesses = next_u64();
-  c.l1d_misses = next_u64();
-  c.l2_accesses = next_u64();
-  c.l2_misses = next_u64();
-  c.steer_stall_cycles = next_u64();
-  c.rob_stall_cycles = next_u64();
-  c.lsq_stall_cycles = next_u64();
-  c.copy_evictions = next_u64();
-  c.rob_occupancy_sum = next_u64();
-  c.regs_in_use_sum = next_u64();
-  for (const std::string& part : split(next(), ',')) {
-    c.dispatched_per_cluster.push_back(std::stoull(part));
+  std::uint64_t* const fields[kNumericFields] = {
+      &c.cycles,           &c.committed,
+      &c.comms,            &c.comm_distance_sum,
+      &c.comm_contention_sum, &c.nready_sum,
+      &c.branches,         &c.mispredicts,
+      &c.icache_stall_cycles, &c.loads,
+      &c.stores,           &c.load_forwards,
+      &c.l1d_accesses,     &c.l1d_misses,
+      &c.l2_accesses,      &c.l2_misses,
+      &c.steer_stall_cycles, &c.rob_stall_cycles,
+      &c.lsq_stall_cycles, &c.copy_evictions,
+      &c.rob_occupancy_sum, &c.regs_in_use_sum,
+  };
+  for (std::uint64_t* field : fields) {
+    if (!next_u64(*field)) return std::nullopt;
+  }
+  if (!tokens.back().empty()) {
+    for (const std::string& part : split(tokens.back(), ',')) {
+      std::uint64_t count = 0;
+      if (!parse_u64(part, count)) return std::nullopt;
+      c.dispatched_per_cluster.push_back(count);
+    }
   }
   return result;
+}
+
+SimResult deserialize_result(const std::string& line) {
+  std::optional<SimResult> result = try_deserialize_result(line);
+  RINGCLU_EXPECTS(result.has_value());
+  return *std::move(result);
 }
 
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
@@ -133,12 +175,24 @@ void ExperimentRunner::load_cache() {
   std::ifstream in(options_.cache_path);
   if (!in) return;
   std::string line;
+  std::size_t corrupt = 0;
   while (std::getline(in, line)) {
     const std::size_t sep = line.find('\t');
     if (sep == std::string::npos) continue;
-    // Format: key \t serialized-result.
-    const std::string key = line.substr(0, sep);
-    cache_.emplace_back(key, deserialize_result(line.substr(sep + 1)));
+    // Format: key \t serialized-result.  A torn or hand-damaged line is
+    // skipped (and re-simulated on demand), never fatal.
+    std::optional<SimResult> result =
+        try_deserialize_result(line.substr(sep + 1));
+    if (!result) {
+      ++corrupt;
+      continue;
+    }
+    cache_.emplace_back(line.substr(0, sep), *std::move(result));
+  }
+  if (corrupt != 0 && options_.verbose) {
+    std::fprintf(stderr,
+                 "[ringclu] warning: skipped %zu corrupt cache line(s) in %s\n",
+                 corrupt, options_.cache_path.c_str());
   }
 }
 

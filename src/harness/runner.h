@@ -19,6 +19,7 @@
 ///   RINGCLU_CACHE    cache file path
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,11 +31,15 @@ namespace ringclu {
 /// Bump when simulator semantics change so stale cache entries re-run.
 inline constexpr int kSimSchemaVersion = 3;
 
+/// The RINGCLU_THREADS default: one worker per hardware thread (2 when the
+/// hardware concurrency is unknown).
+[[nodiscard]] int default_thread_count();
+
 struct RunnerOptions {
   std::uint64_t instrs = 200000;
   std::uint64_t warmup = 20000;
   std::uint64_t seed = 42;
-  int threads = 2;
+  int threads = default_thread_count();
   bool force = false;
   bool verbose = true;
   std::string cache_path = "bench_cache/results.tsv";
@@ -81,6 +86,11 @@ class ExperimentRunner {
 
 /// Serialization helpers (exposed for tests).
 [[nodiscard]] std::string serialize_result(const SimResult& result);
+/// Strict variant: aborts on malformed input.
 [[nodiscard]] SimResult deserialize_result(const std::string& line);
+/// Lenient variant: returns nullopt on malformed input (used when loading
+/// the on-disk cache, where a truncated write must not be fatal).
+[[nodiscard]] std::optional<SimResult> try_deserialize_result(
+    const std::string& line);
 
 }  // namespace ringclu

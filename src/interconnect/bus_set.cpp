@@ -5,7 +5,8 @@
 namespace ringclu {
 
 BusSet::BusSet(int num_clusters, int num_buses, BusOrientation orientation,
-               int hop_latency) {
+               int hop_latency)
+    : num_clusters_(num_clusters) {
   RINGCLU_EXPECTS(num_buses >= 1 && num_buses <= 4);
   RINGCLU_EXPECTS(orientation != BusOrientation::OppositeDirections ||
                   num_buses == 2);
@@ -17,14 +18,23 @@ BusSet::BusSet(int num_clusters, int num_buses, BusOrientation orientation,
             : RingDirection::Forward;
     buses_.emplace_back(num_clusters, hop_latency, dir);
   }
-}
 
-int BusSet::min_distance(int src, int dst) const {
-  int best = buses_.front().distance(src, dst);
-  for (std::size_t b = 1; b < buses_.size(); ++b) {
-    best = std::min(best, buses_[b].distance(src, dst));
+  min_distance_.assign(
+      static_cast<std::size_t>(num_clusters) *
+          static_cast<std::size_t>(num_clusters),
+      0);
+  for (int src = 0; src < num_clusters; ++src) {
+    for (int dst = 0; dst < num_clusters; ++dst) {
+      if (src == dst) continue;
+      int best = buses_.front().distance(src, dst);
+      for (std::size_t b = 1; b < buses_.size(); ++b) {
+        best = std::min(best, buses_[b].distance(src, dst));
+      }
+      min_distance_[static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(num_clusters) +
+                    static_cast<std::size_t>(dst)] = best;
+    }
   }
-  return best;
 }
 
 std::optional<int> BusSet::try_inject(int src, int dst,

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "interconnect/ring_bus.h"
+#include "util/assert.h"
 
 namespace ringclu {
 
@@ -30,14 +31,30 @@ class BusSet {
   BusSet(int num_clusters, int num_buses, BusOrientation orientation,
          int hop_latency);
 
-  /// Fewest hops from \p src to \p dst over any bus in the set.
+  /// Fewest hops from \p src to \p dst over any bus in the set (table
+  /// lookup; steering consults this for every operand of every dispatch).
   /// \pre src != dst.
-  [[nodiscard]] int min_distance(int src, int dst) const;
+  [[nodiscard]] int min_distance(int src, int dst) const {
+    RINGCLU_EXPECTS(src != dst);
+    return min_distance_[static_cast<std::size_t>(src) *
+                             static_cast<std::size_t>(num_clusters_) +
+                         static_cast<std::size_t>(dst)];
+  }
 
   /// Attempts to inject a datum, choosing among minimum-distance buses that
   /// can accept it this cycle.  Returns the chosen hop count, or nullopt
   /// when every suitable bus is blocked at \p src (bus contention).
   std::optional<int> try_inject(int src, int dst, std::uint64_t payload);
+
+  /// True when at least one bus can accept an injection at \p src this
+  /// cycle.  When false, every try_inject from \p src fails regardless of
+  /// destination — lets issue logic stop retrying a blocked cluster.
+  [[nodiscard]] bool any_injectable(int src) const {
+    for (const PipelinedRingBus& bus : buses_) {
+      if (bus.can_inject(src)) return true;
+    }
+    return false;
+  }
 
   /// Advances all buses one cycle; collects deliveries.
   void tick(std::vector<BusDelivery>& out);
@@ -50,7 +67,9 @@ class BusSet {
   }
 
  private:
+  int num_clusters_;
   std::vector<PipelinedRingBus> buses_;
+  std::vector<int> min_distance_;  ///< n x n lookup, built at construction
 };
 
 }  // namespace ringclu

@@ -41,35 +41,24 @@ void PipelinedRingBus::inject(int src, int dst, std::uint64_t payload) {
 void PipelinedRingBus::tick(std::vector<BusDelivery>& out) {
   ++ticks_;
   busy_slot_cycles_ += static_cast<std::uint64_t>(in_flight_);
-  if (in_flight_ == 0) return;
 
-  // Advance every occupant one slot in the direction of travel.  Slot
-  // (c*h + k) is k cycles downstream of cluster c's entry point; "forward"
-  // motion means increasing slot index for Forward buses and decreasing for
-  // Backward ones.  All occupants move simultaneously, so we rotate the
-  // whole vector by one.
-  const std::size_t n = slots_.size();
-  std::vector<Slot> next(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!slots_[i].full) continue;
-    const std::size_t target = direction_ == RingDirection::Forward
-                                   ? (i + 1) % n
-                                   : (i + n - 1) % n;
-    RINGCLU_ASSERT(!next[target].full);
-    next[target] = slots_[i];
-  }
+  // Advance the pipeline by rotating the logical frame one step: every
+  // occupant is now one logical slot further along the ring without any
+  // data movement.  Slot (c*h + k) is k cycles downstream of cluster c's
+  // entry point.
+  shift_ = (shift_ + 1) % slots_.size();
+  if (in_flight_ == 0) return;
 
   // A datum that has just reached its destination's entry slot is delivered
   // and leaves the ring.
   for (int c = 0; c < num_clusters_; ++c) {
-    Slot& slot = next[entry_slot(c)];
+    Slot& slot = slots_[entry_slot(c)];
     if (slot.full && slot.dst == c) {
       out.push_back(BusDelivery{c, slot.payload});
       slot = Slot{};
       --in_flight_;
     }
   }
-  slots_ = std::move(next);
 }
 
 }  // namespace ringclu

@@ -71,15 +71,28 @@ class PipelinedRingBus {
     std::uint64_t payload = 0;
   };
 
-  /// Pipeline-slot index where cluster \p c injects.
+  /// Physical index of the logical pipeline slot where cluster \p c injects.
+  ///
+  /// The pipeline is advanced by rotating a frame offset (shift_) instead of
+  /// moving every occupant one slot per tick: occupants stay at a fixed
+  /// physical index, and the logical position of a physical slot drifts one
+  /// step per tick in the direction of travel.  This makes tick() O(num
+  /// clusters) with no allocation, while remaining observationally identical
+  /// to the moving-occupants model.
   [[nodiscard]] std::size_t entry_slot(int c) const {
-    return static_cast<std::size_t>(c) * static_cast<std::size_t>(hop_latency_);
+    const std::size_t n = slots_.size();
+    const std::size_t logical =
+        static_cast<std::size_t>(c) * static_cast<std::size_t>(hop_latency_);
+    return direction_ == RingDirection::Forward
+               ? (logical + n - shift_) % n
+               : (logical + shift_) % n;
   }
 
   int num_clusters_;
   int hop_latency_;
   RingDirection direction_;
   std::vector<Slot> slots_;
+  std::size_t shift_ = 0;  ///< ticks modulo slot count (rotating frame)
   int in_flight_ = 0;
   std::uint64_t busy_slot_cycles_ = 0;
   std::uint64_t ticks_ = 0;

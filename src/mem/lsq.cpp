@@ -1,5 +1,7 @@
 #include "mem/lsq.h"
 
+#include <algorithm>
+
 namespace ringclu {
 namespace {
 
@@ -20,43 +22,62 @@ void LoadStoreQueue::allocate(std::uint64_t seq, bool is_store) {
   entries_.push_back(Entry{seq, 0, 0, is_store, false});
 }
 
-const LoadStoreQueue::Entry* LoadStoreQueue::find(std::uint64_t seq) const {
-  for (const Entry& entry : entries_) {
-    if (entry.seq == seq) return &entry;
-  }
-  return nullptr;
-}
-
-LoadStoreQueue::Entry* LoadStoreQueue::find(std::uint64_t seq) {
-  for (Entry& entry : entries_) {
-    if (entry.seq == seq) return &entry;
-  }
-  return nullptr;
+std::size_t LoadStoreQueue::find_index(std::uint64_t seq) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), seq,
+      [](const Entry& entry, std::uint64_t key) { return entry.seq < key; });
+  return it != entries_.end() && it->seq == seq
+             ? static_cast<std::size_t>(it - entries_.begin())
+             : entries_.size();
 }
 
 void LoadStoreQueue::set_address(std::uint64_t seq, std::uint64_t addr,
                                  std::uint32_t size) {
-  Entry* entry = find(seq);
-  RINGCLU_EXPECTS(entry != nullptr);
-  entry->addr = addr;
-  entry->size = size;
-  entry->addr_known = true;
+  const std::size_t index = find_index(seq);
+  RINGCLU_EXPECTS(index < entries_.size());
+  Entry& entry = entries_[index];
+  entry.addr = addr;
+  entry.size = size;
+  entry.addr_known = true;
 }
 
 LoadGate LoadStoreQueue::query_load(std::uint64_t seq) const {
-  const Entry* load = find(seq);
-  RINGCLU_EXPECTS(load != nullptr && !load->is_store && load->addr_known);
+  const std::size_t index = find_index(seq);
+  RINGCLU_EXPECTS(index < entries_.size());
+  const Entry& load = entries_[index];
+  RINGCLU_EXPECTS(!load.is_store && load.addr_known);
+
+  // Fast path: still blocked by the same store in the same state.
+  if (load.must_wait_memo) {
+    const std::size_t blocker = find_index(load.blocker_seq);
+    if (blocker < entries_.size() &&
+        entries_[blocker].addr_known == load.blocker_addr_known) {
+      return LoadGate::MustWait;
+    }
+    load.must_wait_memo = false;  // blocker changed: rescan
+  }
 
   // Scan older stores from youngest to oldest; the youngest matching store
-  // is the forwarding candidate.
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    if (it->seq >= seq || !it->is_store) continue;
-    if (!it->addr_known) return LoadGate::MustWait;
-    if (it->addr == load->addr && it->size >= load->size) {
+  // is the forwarding candidate.  Start just below the load's own slot:
+  // younger entries never matter.
+  for (std::size_t i = index; i-- > 0;) {
+    const Entry& older = entries_[i];
+    if (!older.is_store) continue;
+    if (!older.addr_known) {
+      load.must_wait_memo = true;
+      load.blocker_seq = older.seq;
+      load.blocker_addr_known = false;
+      return LoadGate::MustWait;
+    }
+    if (older.addr == load.addr && older.size >= load.size) {
       return LoadGate::Forward;
     }
-    if (ranges_overlap(it->addr, it->size, load->addr, load->size)) {
-      return LoadGate::MustWait;  // partial overlap: wait for the store
+    if (ranges_overlap(older.addr, older.size, load.addr, load.size)) {
+      // Partial overlap: wait for the store to retire.
+      load.must_wait_memo = true;
+      load.blocker_seq = older.seq;
+      load.blocker_addr_known = true;
+      return LoadGate::MustWait;
     }
   }
   return LoadGate::Proceed;

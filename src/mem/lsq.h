@@ -59,10 +59,22 @@ class LoadStoreQueue {
     std::uint32_t size = 0;
     bool is_store = false;
     bool addr_known = false;
+    // MustWait memoization for loads: the disambiguation scan stops at the
+    // youngest older store that blocks (unknown address or partial
+    // overlap), and its result cannot change while that store is still
+    // present with the same address-known state — older entries are never
+    // inserted, addresses only become known, and releases are oldest-first.
+    // A gated load retrying every cycle therefore revalidates its blocker
+    // in O(log n) instead of rescanning.  (Proceed/Forward are terminal:
+    // the load accesses memory the same cycle, so they are never re-asked.)
+    mutable bool must_wait_memo = false;
+    mutable std::uint64_t blocker_seq = 0;
+    mutable bool blocker_addr_known = false;
   };
 
-  [[nodiscard]] const Entry* find(std::uint64_t seq) const;
-  [[nodiscard]] Entry* find(std::uint64_t seq);
+  /// Position of \p seq in entries_ (binary search; entries are seq-sorted
+  /// because allocation is in program order), or entries_.size().
+  [[nodiscard]] std::size_t find_index(std::uint64_t seq) const;
 
   std::size_t capacity_;
   std::deque<Entry> entries_;  // program order: front is oldest

@@ -1,0 +1,135 @@
+// Full-matrix golden regression: locks a compact digest of every counter
+// the simulator produces for (preset x all 26 benchmarks) across the three
+// 8-cluster machines the paper evaluates head-to-head (Ring, Conv, Ring+SSA).
+// Where golden_test.cpp pins six spot configurations byte-for-byte, this
+// suite pins the *whole* matrix cheaply: one FNV-1a digest of the full
+// serialized counter line per pair, all in one TSV.  Any semantic change to
+// the pipeline — however small and however rare the triggering benchmark —
+// flips at least one digest.
+//
+// This is the safety net the event-driven scheduler refactor is measured
+// against: the refactor must leave every digest bit-identical.
+//
+// To regenerate after an intentional change:
+//   RINGCLU_REGEN_GOLDEN=1 build/tests/golden_matrix_test
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/arch_config.h"
+#include "core/processor.h"
+#include "harness/runner.h"
+#include "trace/synth/suite.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+#ifndef RINGCLU_GOLDEN_DIR
+#error "RINGCLU_GOLDEN_DIR must point at the golden data directory"
+#endif
+
+namespace ringclu {
+namespace {
+
+constexpr std::uint64_t kWarmup = 800;
+constexpr std::uint64_t kInstrs = 8000;
+constexpr std::uint64_t kSeed = 42;
+constexpr const char* kMatrixFile = "matrix_8c.tsv";
+
+constexpr const char* kPresets[] = {
+    "Ring_8clus_1bus_2IW",
+    "Conv_8clus_1bus_2IW",
+    "Ring_8clus_1bus_2IW+SSA",
+};
+
+std::string matrix_path() {
+  return std::string(RINGCLU_GOLDEN_DIR) + "/" + kMatrixFile;
+}
+
+bool regen_requested() {
+  const char* regen = std::getenv("RINGCLU_REGEN_GOLDEN");
+  return regen != nullptr && regen[0] == '1';
+}
+
+/// Simulates every (preset, benchmark) pair and renders one digest line per
+/// pair, preset-major in suite order.  Pairs are independent, so they run on
+/// a small worker pool; the output order is fixed by the slot index.
+std::vector<std::string> compute_matrix() {
+  struct Job {
+    const char* preset;
+    std::string benchmark;
+  };
+  std::vector<Job> jobs;
+  for (const char* preset : kPresets) {
+    for (const BenchmarkDesc& desc : spec2000_benchmarks()) {
+      jobs.push_back(Job{preset, std::string(desc.name)});
+    }
+  }
+
+  std::vector<std::string> lines(jobs.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= jobs.size()) return;
+      const Job& job = jobs[index];
+      const ArchConfig config = ArchConfig::preset(job.preset);
+      auto trace = make_benchmark_trace(job.benchmark, kSeed);
+      Processor processor(config, kSeed);
+      SimResult result = processor.run(*trace, kWarmup, kInstrs);
+      result.config_name = job.preset;
+      result.benchmark = job.benchmark;
+      // FNV-1a over the full serialized counter line: compact, stable and
+      // sensitive to every byte of every counter.
+      lines[index] = str_format("%s\t%s\t%016llx", job.preset,
+                                job.benchmark.c_str(),
+                                static_cast<unsigned long long>(
+                                    fnv1a(serialize_result(result))));
+    }
+  };
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t workers = std::max(1u, std::min(hw, 8u));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+  return lines;
+}
+
+TEST(GoldenMatrix, DigestsMatchGoldenFile) {
+  const std::vector<std::string> actual = compute_matrix();
+  ASSERT_EQ(actual.size(), 3u * spec2000_benchmarks().size());
+
+  if (regen_requested()) {
+    std::ofstream out(matrix_path(), std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << matrix_path();
+    for (const std::string& line : actual) out << line << "\n";
+    GTEST_SKIP() << "regenerated " << kMatrixFile;
+  }
+
+  std::ifstream in(matrix_path());
+  ASSERT_TRUE(in) << "missing golden file " << matrix_path()
+                  << " — run with RINGCLU_REGEN_GOLDEN=1 to create it";
+  std::vector<std::string> expected;
+  std::string line;
+  while (std::getline(in, line)) expected.push_back(line);
+
+  ASSERT_EQ(actual.size(), expected.size())
+      << "matrix shape changed; regenerate deliberately with "
+         "RINGCLU_REGEN_GOLDEN=1";
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i])
+        << "counter digest changed at matrix row " << i
+        << "; the simulator is no longer cycle-exact for this pair "
+           "(if intentional, regenerate with RINGCLU_REGEN_GOLDEN=1)";
+  }
+}
+
+}  // namespace
+}  // namespace ringclu

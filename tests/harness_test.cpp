@@ -5,6 +5,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <thread>
 
 #include "harness/report.h"
 #include "harness/runner.h"
@@ -87,6 +89,176 @@ TEST(Runner, DifferentInstrBudgetMissesCache) {
       bigger.run_one(ArchConfig::preset("Ring_4clus_1bus_2IW"), "gzip");
   EXPECT_GT(large.counters.committed, small.counters.committed);
   std::remove(cache.c_str());
+}
+
+// Mirrors ExperimentRunner::cache_key (pinned format: the on-disk cache is
+// an interchange surface, so a format change must be deliberate and shows
+// up here).
+std::string make_cache_key(const std::string& config,
+                           const std::string& benchmark,
+                           std::uint64_t instrs, std::uint64_t warmup,
+                           std::uint64_t seed, int schema_version) {
+  return config + "|" + benchmark + "|" + std::to_string(instrs) + "|" +
+         std::to_string(warmup) + "|" + std::to_string(seed) + "|v" +
+         std::to_string(schema_version);
+}
+
+RunnerOptions small_options(const std::string& cache) {
+  RunnerOptions options;
+  options.instrs = 1500;
+  options.warmup = 150;
+  options.seed = 42;
+  options.threads = 2;
+  options.cache_path = cache;
+  options.verbose = false;
+  return options;
+}
+
+/// A recognizably-poisoned result for cache-hit detection.
+SimResult poisoned_result(const std::string& config,
+                          const std::string& bench) {
+  SimResult result = make_result(config, bench, 123456789, 987654321);
+  return result;
+}
+
+TEST(Serialization, TryDeserializeRejectsCorruptLines) {
+  const SimResult valid = make_result("Ring_4clus_1bus_2IW", "gzip", 10, 5);
+  const std::string good = serialize_result(valid);
+  EXPECT_TRUE(try_deserialize_result(good).has_value());
+
+  EXPECT_FALSE(try_deserialize_result("").has_value());
+  EXPECT_FALSE(try_deserialize_result("not a result").has_value());
+  // Truncated mid-line (torn write).
+  EXPECT_FALSE(
+      try_deserialize_result(good.substr(0, good.size() / 2)).has_value());
+  // Non-numeric counter field.
+  std::string garbled = good;
+  garbled[garbled.find('\t', garbled.find('\t') + 1) + 1] = 'x';
+  EXPECT_FALSE(try_deserialize_result(garbled).has_value());
+  // Extra field.
+  EXPECT_FALSE(try_deserialize_result(good + "\t0").has_value());
+}
+
+TEST(Runner, CorruptCacheLinesAreSkippedNotFatal) {
+  const std::string cache = "/tmp/ringclu_harness_test_corrupt.tsv";
+  std::remove(cache.c_str());
+  RunnerOptions options = small_options(cache);
+
+  // Seed the cache with one genuine entry...
+  ExperimentRunner first(options);
+  const SimResult fresh =
+      first.run_one(ArchConfig::preset("Ring_4clus_1bus_2IW"), "gzip");
+
+  // ...then vandalize the file around it.
+  {
+    std::ofstream out(cache, std::ios::app);
+    out << "complete garbage, no tabs at all\n";
+    out << "key-with-tab\ttruncated\tpayload\n";
+    out << "\n";
+  }
+
+  // Loading must survive, and the genuine entry must still hit: identical
+  // counters with no re-simulation (poisoning detection not needed here —
+  // cycles are deterministic, so equality proves the hit or the re-run
+  // agrees; either way, no abort is the property under test).
+  ExperimentRunner second(options);
+  const SimResult again =
+      second.run_one(ArchConfig::preset("Ring_4clus_1bus_2IW"), "gzip");
+  EXPECT_EQ(again.counters.cycles, fresh.counters.cycles);
+  std::remove(cache.c_str());
+}
+
+TEST(Runner, SchemaVersionMismatchInvalidatesStaleEntries) {
+  const std::string cache = "/tmp/ringclu_harness_test_schema.tsv";
+  std::remove(cache.c_str());
+  RunnerOptions options = small_options(cache);
+  const std::string config = "Ring_4clus_1bus_2IW";
+  const std::string bench = "gzip";
+  const SimResult poison = poisoned_result(config, bench);
+
+  // A poisoned entry under the *previous* schema version must be ignored...
+  {
+    std::ofstream out(cache);
+    out << make_cache_key(config, bench, options.instrs, options.warmup,
+                          options.seed, kSimSchemaVersion - 1)
+        << "\t" << serialize_result(poison) << "\n";
+  }
+  ExperimentRunner stale(options);
+  const SimResult resimulated =
+      stale.run_one(ArchConfig::preset(config), bench);
+  EXPECT_NE(resimulated.counters.cycles, poison.counters.cycles);
+
+  // ...while the same entry under the *current* version is served verbatim,
+  // proving the miss above was the version field and not the key shape.
+  std::remove(cache.c_str());
+  {
+    std::ofstream out(cache);
+    out << make_cache_key(config, bench, options.instrs, options.warmup,
+                          options.seed, kSimSchemaVersion)
+        << "\t" << serialize_result(poison) << "\n";
+  }
+  ExperimentRunner current(options);
+  const SimResult served = current.run_one(ArchConfig::preset(config), bench);
+  EXPECT_EQ(served.counters.cycles, poison.counters.cycles);
+  EXPECT_EQ(served.counters.committed, poison.counters.committed);
+  std::remove(cache.c_str());
+}
+
+TEST(Runner, ForceBypassesCacheHits) {
+  const std::string cache = "/tmp/ringclu_harness_test_force.tsv";
+  std::remove(cache.c_str());
+  RunnerOptions options = small_options(cache);
+  const std::string config = "Ring_4clus_1bus_2IW";
+  const std::string bench = "gzip";
+  const SimResult poison = poisoned_result(config, bench);
+  {
+    std::ofstream out(cache);
+    out << make_cache_key(config, bench, options.instrs, options.warmup,
+                          options.seed, kSimSchemaVersion)
+        << "\t" << serialize_result(poison) << "\n";
+  }
+
+  // force=true (RINGCLU_FORCE=1) must ignore the poisoned hit and
+  // re-simulate.
+  options.force = true;
+  ExperimentRunner forced(options);
+  const SimResult fresh = forced.run_one(ArchConfig::preset(config), bench);
+  EXPECT_NE(fresh.counters.cycles, poison.counters.cycles);
+  EXPECT_GE(fresh.counters.committed, options.instrs);
+  std::remove(cache.c_str());
+}
+
+TEST(Runner, MatrixOrderingIsConfigMajorUnderThreads) {
+  const std::string cache = "/tmp/ringclu_harness_test_order.tsv";
+  std::remove(cache.c_str());
+  RunnerOptions options = small_options(cache);
+  options.threads = 4;  // > 1: completion order is nondeterministic
+  options.force = true;
+  ExperimentRunner runner(options);
+
+  const std::vector<std::string> configs = {"Ring_4clus_1bus_2IW",
+                                            "Conv_4clus_1bus_2IW"};
+  const std::vector<std::string> benchmarks = {"gzip", "swim", "art"};
+  const std::vector<SimResult> results = runner.run_matrix(configs, benchmarks);
+  ASSERT_EQ(results.size(), configs.size() * benchmarks.size());
+  std::size_t slot = 0;
+  for (const std::string& config : configs) {
+    for (const std::string& benchmark : benchmarks) {
+      EXPECT_EQ(results[slot].config_name, config) << "slot " << slot;
+      EXPECT_EQ(results[slot].benchmark, benchmark) << "slot " << slot;
+      ++slot;
+    }
+  }
+  std::remove(cache.c_str());
+}
+
+TEST(Runner, ThreadsDefaultMatchesDocumentedEnvDefault) {
+  // runner.h documents RINGCLU_THREADS as defaulting to the hardware
+  // thread count; the struct default must agree with from_env()'s fallback.
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(default_thread_count(),
+            hw > 0 ? static_cast<int>(hw) : 2);
+  EXPECT_EQ(RunnerOptions{}.threads, default_thread_count());
 }
 
 TEST(Runner, DefaultBenchmarksAreTheSuite) {

@@ -95,5 +95,15 @@ TEST(SimResultReports, DetailedReportHasStallAndShareLines) {
   EXPECT_NE(text.find("dispatch share:"), std::string::npos);
 }
 
+TEST(SimResultThroughput, InstrsPerSecondFromWallTime) {
+  SimResult result = sample();
+  result.wall_seconds = 0.5;
+  result.total_committed = 1'000'000;
+  EXPECT_DOUBLE_EQ(result.sim_instrs_per_second(), 2'000'000.0);
+  // Cache-loaded results carry no wall time and must not divide by zero.
+  result.wall_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(result.sim_instrs_per_second(), 0.0);
+}
+
 }  // namespace
 }  // namespace ringclu

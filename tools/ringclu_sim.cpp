@@ -124,6 +124,8 @@ int main(int argc, char** argv) {
   } else {
     std::printf("%s", config.describe().c_str());
     std::printf("\n%s", result.detailed_report().c_str());
+    std::printf("  sim rate: %.2fM instrs/s (%.2fs wall)\n",
+                result.sim_instrs_per_second() / 1e6, result.wall_seconds);
   }
   return 0;
 }
