@@ -1,11 +1,13 @@
 // Simulator-throughput driver: how fast does the simulator itself run?
 //
 // Simulates the full 26-benchmark suite on the paper's two head-to-head
-// 8-cluster machines (Ring and Conv, 1 bus, 2-wide) with no result cache,
-// and reports simulated-instructions-per-second — the number the
-// event-driven scheduler refactor is measured by.  Emits a machine-readable
-// BENCH_throughput.json next to the working directory so successive runs
-// seed a performance trajectory.
+// 8-cluster machines (Ring and Conv, 1 bus, 2-wide) through SimService
+// with an in-memory result store and force=true — every job is a real
+// simulation, nothing is read from or written to disk — and reports
+// simulated-instructions-per-second, the number the event-driven scheduler
+// refactor is measured by.  Emits a machine-readable BENCH_throughput.json
+// next to the working directory so successive runs seed a performance
+// trajectory.
 //
 // Wall time is summed over the individual Processor::run calls (per-run
 // timers), so the aggregate is per-core simulation speed and is comparable
@@ -14,19 +16,17 @@
 //
 // Knobs: RINGCLU_INSTRS / RINGCLU_WARMUP / RINGCLU_SEED / RINGCLU_THREADS.
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/arch_config.h"
-#include "core/processor.h"
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "harness/sim_service.h"
 #include "trace/synth/suite.h"
-#include "util/format.h"
+#include "util/assert.h"
 
 namespace {
 
@@ -47,50 +47,40 @@ int main() {
   const std::vector<std::string> benchmarks =
       ExperimentRunner::default_benchmarks();
 
-  struct Job {
-    std::size_t slot;
-    const std::string* preset;
-    const std::string* benchmark;
-  };
-  std::vector<Job> jobs;
+  SimServiceOptions service_options;
+  service_options.threads = options.threads;
+  service_options.force = true;  // Measure simulations, not cache hits.
+  SimService service(
+      make_result_store(StoreBackend::Memory, "", /*verbose=*/false),
+      service_options);
+
+  std::vector<SimJob> jobs;
   for (const std::string& preset : presets) {
     for (const std::string& benchmark : benchmarks) {
-      jobs.push_back(Job{jobs.size(), &preset, &benchmark});
+      jobs.push_back(SimJob{ArchConfig::preset(preset), benchmark,
+                            options.run_params()});
     }
   }
-  std::vector<SimResult> results(jobs.size());
 
   std::fprintf(stderr,
                "[throughput] %zu runs (%llu instrs + %llu warmup each, "
                "%d thread(s))...\n",
                jobs.size(), static_cast<unsigned long long>(options.instrs),
                static_cast<unsigned long long>(options.warmup),
-               options.threads);
+               service.options().threads);
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= jobs.size()) return;
-      const Job& job = jobs[index];
-      const ArchConfig config = ArchConfig::preset(*job.preset);
-      auto trace = make_benchmark_trace(*job.benchmark, options.seed);
-      Processor processor(config, options.seed);
-      results[job.slot] =
-          processor.run(*trace, options.warmup, options.instrs);
-    }
-  };
-  const int workers =
-      std::max(1, std::min<int>(options.threads,
-                                static_cast<int>(jobs.size())));
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (std::thread& thread : pool) thread.join();
+  const std::vector<JobHandle> handles = service.submit_batch(std::move(jobs));
+  std::vector<SimResult> results;
+  results.reserve(handles.size());
+  for (const JobHandle& handle : handles) {
+    RINGCLU_EXPECTS(handle.wait() == JobStatus::Done);
+    results.push_back(handle.result());
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  RINGCLU_ENSURES(service.simulations_run() == results.size());
 
   std::vector<ConfigStats> per_config;
   for (std::size_t i = 0; i < presets.size(); ++i) {
@@ -116,7 +106,7 @@ int main() {
   }
   std::printf("%s\n", throughput_summary(results).c_str());
   std::printf("end-to-end elapsed: %.2fs (%d worker thread(s))\n", elapsed,
-              workers);
+              service.options().threads);
 
   const double ips = aggregate_sim_ips(results);
   std::FILE* json = std::fopen("BENCH_throughput.json", "w");
@@ -132,7 +122,7 @@ int main() {
                static_cast<unsigned long long>(options.warmup));
   std::fprintf(json, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(options.seed));
-  std::fprintf(json, "  \"threads\": %d,\n", workers);
+  std::fprintf(json, "  \"threads\": %d,\n", service.options().threads);
   std::fprintf(json, "  \"benchmarks\": %zu,\n", benchmarks.size());
   std::fprintf(json, "  \"configs\": [\n");
   for (std::size_t i = 0; i < per_config.size(); ++i) {

@@ -4,19 +4,24 @@
 /// both machines on a chosen workload and print IPC plus the communication
 /// picture, normalized against a given baseline.
 ///
+/// The sweep goes through the asynchronous SimService: all ten design
+/// points are submitted as one batch, simulate in parallel on the worker
+/// pool, and report progress via completion callbacks while the main
+/// thread waits.
+///
 ///   ./design_space [benchmark] [instructions]
 ///
 /// Defaults: wupwise, 100000 instructions.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/arch_config.h"
-#include "core/processor.h"
+#include "harness/sim_service.h"
 #include "stats/table.h"
-#include "trace/synth/suite.h"
 #include "util/format.h"
 
 int main(int argc, char** argv) {
@@ -36,16 +41,41 @@ int main(int argc, char** argv) {
       "Conv_8clus_2bus_2IW", "Ring_8clus_2bus_2IW",  //
   };
 
+  // Declared before the service: the progress callbacks capture these by
+  // reference and can still be running inside ~SimService's worker join.
+  std::atomic<std::size_t> completed{0};
+  const std::size_t total = presets.size();
+
+  SimService service(
+      make_result_store(StoreBackend::Memory, "", /*verbose=*/false));
+  const RunParams params{instrs, instrs / 10, /*seed=*/42};
+
+  std::vector<SimJob> jobs;
+  for (const std::string& preset : presets) {
+    jobs.push_back(SimJob{ArchConfig::preset(preset), benchmark, params});
+  }
+
+  std::vector<JobHandle> handles = service.submit_batch(std::move(jobs));
+  for (JobHandle& handle : handles) {
+    handle.on_complete([&completed, total](const SimResult& result) {
+      std::fprintf(stderr, "  [%zu/%zu] %s done\n",
+                   completed.fetch_add(1) + 1, total,
+                   result.config_name.c_str());
+    });
+  }
+
   TextTable table({"config", "IPC", "vs baseline", "comms/instr",
                    "avg dist", "contention", "NREADY"});
   double baseline_ipc = 0;
-  for (const std::string& preset : presets) {
-    auto trace = make_benchmark_trace(benchmark, 42);
-    Processor processor(ArchConfig::preset(preset));
-    const SimResult result = processor.run(*trace, instrs / 10, instrs);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (handles[i].wait() != JobStatus::Done) {
+      std::fprintf(stderr, "job failed: %s\n", handles[i].error().c_str());
+      return 1;
+    }
+    const SimResult& result = handles[i].result();
     if (baseline_ipc == 0) baseline_ipc = result.ipc();
     table.begin_row();
-    table.add_cell(preset);
+    table.add_cell(presets[i]);
     table.add_cell(result.ipc(), 3);
     table.add_cell(pct(result.ipc() / baseline_ipc - 1.0));
     table.add_cell(result.comms_per_instr(), 3);

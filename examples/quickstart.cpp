@@ -1,7 +1,8 @@
 /// \file quickstart.cpp
 /// Minimal end-to-end use of the ringclu public API: build a workload,
-/// build two machines (the paper's Ring and the conventional baseline),
-/// simulate both, and compare.
+/// submit the paper's Ring machine and the conventional baseline to the
+/// asynchronous SimService, and compare when both complete.  Both jobs
+/// run concurrently on the service's worker pool.
 ///
 ///   ./quickstart [benchmark] [instructions]
 ///
@@ -10,26 +11,38 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/arch_config.h"
-#include "core/processor.h"
-#include "trace/synth/suite.h"
+#include "harness/sim_service.h"
 
 int main(int argc, char** argv) {
+  using namespace ringclu;
   const std::string benchmark = argc > 1 ? argv[1] : "swim";
   const std::uint64_t instrs =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
-  const std::uint64_t warmup = instrs / 10;
 
   std::printf("ringclu quickstart: benchmark=%s, %llu instructions\n\n",
               benchmark.c_str(), static_cast<unsigned long long>(instrs));
 
+  // A service over an in-memory store: no cache files, pure simulation.
+  SimService service(
+      make_result_store(StoreBackend::Memory, "", /*verbose=*/false));
+
+  const RunParams params{instrs, instrs / 10, /*seed=*/42};
+  std::vector<JobHandle> handles;
   for (const char* name : {"Ring_8clus_1bus_2IW", "Conv_8clus_1bus_2IW"}) {
-    const ringclu::ArchConfig config = ringclu::ArchConfig::preset(name);
-    auto trace = ringclu::make_benchmark_trace(benchmark, /*seed=*/42);
-    ringclu::Processor processor(config);
-    const ringclu::SimResult result = processor.run(*trace, warmup, instrs);
-    std::printf("%s\n", result.detailed_report().c_str());
+    handles.push_back(
+        service.submit(SimJob{ArchConfig::preset(name), benchmark, params}));
+  }
+
+  // Both machines are now simulating in parallel; wait and report.
+  for (const JobHandle& handle : handles) {
+    if (handle.wait() != JobStatus::Done) {
+      std::fprintf(stderr, "job failed: %s\n", handle.error().c_str());
+      return 1;
+    }
+    std::printf("%s\n", handle.result().detailed_report().c_str());
   }
 
   std::printf("\nSpeedup = IPC(Ring) / IPC(Conv) - 1; see bench/fig06 for "

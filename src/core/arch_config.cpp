@@ -73,6 +73,29 @@ std::string ArchConfig::describe() const {
 }
 
 ArchConfig ArchConfig::preset(std::string_view name) {
+  std::optional<ArchConfig> config = try_preset(name);
+  RINGCLU_EXPECTS(config.has_value() && "preset: Arch_Nclus_Bbus_WIW");
+  return *std::move(config);
+}
+
+namespace {
+
+/// Parses "<digits><unit>" (e.g. "8clus"); false on any other shape.
+bool leading_int(const std::string& token, std::string_view unit, int& out) {
+  if (token.size() <= unit.size()) return false;
+  if (token.substr(token.size() - unit.size()) != unit) return false;
+  const std::string digits = token.substr(0, token.size() - unit.size());
+  if (digits.empty() || digits.size() > 4) return false;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+  }
+  out = std::stoi(digits);
+  return true;
+}
+
+}  // namespace
+
+std::optional<ArchConfig> ArchConfig::try_preset(std::string_view name) {
   ArchConfig config;
   config.name = std::string(name);
 
@@ -94,25 +117,29 @@ ArchConfig ArchConfig::preset(std::string_view name) {
   }
 
   const std::vector<std::string> parts = split(rest, '_');
-  RINGCLU_EXPECTS(parts.size() == 4 && "preset: Arch_Nclus_Bbus_WIW");
+  if (parts.size() != 4) return std::nullopt;
 
   if (parts[0] == "Ring") {
     config.arch = ArchKind::Ring;
   } else if (parts[0] == "Conv") {
     config.arch = ArchKind::Conv;
   } else {
-    RINGCLU_EXPECTS(false && "preset architecture must be Ring or Conv");
+    return std::nullopt;
   }
 
-  RINGCLU_EXPECTS(parts[1].size() >= 5 &&
-                  parts[1].substr(parts[1].size() - 4) == "clus");
-  config.num_clusters = std::stoi(parts[1]);
-  RINGCLU_EXPECTS(parts[2].size() >= 4 &&
-                  parts[2].substr(parts[2].size() - 3) == "bus");
-  config.num_buses = std::stoi(parts[2]);
-  RINGCLU_EXPECTS(parts[3].size() >= 3 &&
-                  parts[3].substr(parts[3].size() - 2) == "IW");
-  config.issue_width = std::stoi(parts[3]);
+  if (!leading_int(parts[1], "clus", config.num_clusters)) {
+    return std::nullopt;
+  }
+  if (!leading_int(parts[2], "bus", config.num_buses)) return std::nullopt;
+  if (!leading_int(parts[3], "IW", config.issue_width)) return std::nullopt;
+
+  // Lenient contract: parseable-but-out-of-range values are a rejection,
+  // not a contract failure (the ranges validate() would abort on).
+  if (config.num_clusters < 2 || config.num_clusters > kMaxClusters) {
+    return std::nullopt;
+  }
+  if (config.num_buses < 1 || config.num_buses > 2) return std::nullopt;
+  if (config.issue_width < 1 || config.issue_width > 4) return std::nullopt;
 
   // Table 2: per-cluster structures scale with cluster count.
   if (config.num_clusters <= 4) {

@@ -8,6 +8,7 @@
 /// "@2cyc" selects 2-cycle-per-hop buses (Section 4.6).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -82,6 +83,12 @@ struct ArchConfig {
   /// Builds a configuration from a Table 3-style name.  Aborts on an
   /// unparseable name.
   [[nodiscard]] static ArchConfig preset(std::string_view name);
+
+  /// Lenient variant: nullopt when \p name does not have the
+  /// Arch_Nclus_Bbus_WIW shape (optional +SSA / @2cyc suffixes) or when a
+  /// parsed field is outside the machine limits validate() enforces.
+  [[nodiscard]] static std::optional<ArchConfig> try_preset(
+      std::string_view name);
 
   /// The ten names evaluated in the paper (Table 3).
   [[nodiscard]] static std::vector<std::string> paper_preset_names();

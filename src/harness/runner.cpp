@@ -1,14 +1,10 @@
 #include "harness/runner.h"
 
-#include <atomic>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <mutex>
-#include <sstream>
+#include <cstdlib>
 #include <thread>
 
-#include "core/processor.h"
+#include "harness/sim_service.h"
 #include "trace/synth/suite.h"
 #include "util/assert.h"
 #include "util/config.h"
@@ -33,180 +29,39 @@ RunnerOptions RunnerOptions::from_env() {
   options.threads =
       static_cast<int>(env.get_int("threads", default_thread_count()));
   options.force = env.get_bool("force", false);
-  options.cache_path = env.get_string("cache", "bench_cache/results.tsv");
   options.verbose = env.get_bool("verbose", true);
+  const std::string backend = env.get_string(
+      "cache_backend", std::string(store_backend_name(options.cache_backend)));
+  if (const std::optional<StoreBackend> parsed = parse_store_backend(backend)) {
+    options.cache_backend = *parsed;
+  } else {
+    std::fprintf(stderr,
+                 "[ringclu] RINGCLU_CACHE_BACKEND=%s is not a result-store "
+                 "backend; valid backends: tsv, sharded, memory\n",
+                 backend.c_str());
+    std::exit(2);
+  }
+  options.cache_path =
+      env.get_string("cache", default_cache_path(options.cache_backend));
   return options;
 }
 
-std::string serialize_result(const SimResult& result) {
-  const SimCounters& c = result.counters;
-  std::string line = result.config_name + "\t" + result.benchmark;
-  auto add = [&line](std::uint64_t value) {
-    line += '\t';
-    line += std::to_string(value);
-  };
-  add(c.cycles);
-  add(c.committed);
-  add(c.comms);
-  add(c.comm_distance_sum);
-  add(c.comm_contention_sum);
-  add(c.nready_sum);
-  add(c.branches);
-  add(c.mispredicts);
-  add(c.icache_stall_cycles);
-  add(c.loads);
-  add(c.stores);
-  add(c.load_forwards);
-  add(c.l1d_accesses);
-  add(c.l1d_misses);
-  add(c.l2_accesses);
-  add(c.l2_misses);
-  add(c.steer_stall_cycles);
-  add(c.rob_stall_cycles);
-  add(c.lsq_stall_cycles);
-  add(c.copy_evictions);
-  add(c.rob_occupancy_sum);
-  add(c.regs_in_use_sum);
-  std::string clusters;
-  for (std::size_t i = 0; i < c.dispatched_per_cluster.size(); ++i) {
-    if (i != 0) clusters += ",";
-    clusters += std::to_string(c.dispatched_per_cluster[i]);
-  }
-  line += "\t" + clusters;
-  return line;
-}
-
-namespace {
-
-/// Splits on tabs, keeping empty fields (unlike split(), which drops them)
-/// so a damaged line cannot silently shift later fields into earlier slots.
-std::vector<std::string> split_tabs(const std::string& line) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  for (;;) {
-    const std::size_t end = line.find('\t', start);
-    if (end == std::string::npos) {
-      out.emplace_back(line.substr(start));
-      return out;
-    }
-    out.emplace_back(line.substr(start, end - start));
-    start = end + 1;
-  }
-}
-
-/// Parses a non-negative decimal integer; rejects empty/garbage/overflow.
-bool parse_u64(const std::string& token, std::uint64_t& out) {
-  if (token.empty()) return false;
-  std::uint64_t value = 0;
-  for (const char c : token) {
-    if (c < '0' || c > '9') return false;
-    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
-    if (value > (~0ull - digit) / 10) return false;
-    value = value * 10 + digit;
-  }
-  out = value;
-  return true;
-}
-
-}  // namespace
-
-std::optional<SimResult> try_deserialize_result(const std::string& line) {
-  const std::vector<std::string> tokens = split_tabs(line);
-  // config, benchmark, 22 counters, dispatched-per-cluster list.
-  constexpr std::size_t kNumericFields = 22;
-  if (tokens.size() != 2 + kNumericFields + 1) return std::nullopt;
-
-  SimResult result;
-  result.config_name = tokens[0];
-  result.benchmark = tokens[1];
-  std::size_t cursor = 2;
-  auto next_u64 = [&tokens, &cursor](std::uint64_t& out) {
-    return parse_u64(tokens[cursor++], out);
-  };
-  SimCounters& c = result.counters;
-  std::uint64_t* const fields[kNumericFields] = {
-      &c.cycles,           &c.committed,
-      &c.comms,            &c.comm_distance_sum,
-      &c.comm_contention_sum, &c.nready_sum,
-      &c.branches,         &c.mispredicts,
-      &c.icache_stall_cycles, &c.loads,
-      &c.stores,           &c.load_forwards,
-      &c.l1d_accesses,     &c.l1d_misses,
-      &c.l2_accesses,      &c.l2_misses,
-      &c.steer_stall_cycles, &c.rob_stall_cycles,
-      &c.lsq_stall_cycles, &c.copy_evictions,
-      &c.rob_occupancy_sum, &c.regs_in_use_sum,
-  };
-  for (std::uint64_t* field : fields) {
-    if (!next_u64(*field)) return std::nullopt;
-  }
-  if (!tokens.back().empty()) {
-    for (const std::string& part : split(tokens.back(), ',')) {
-      std::uint64_t count = 0;
-      if (!parse_u64(part, count)) return std::nullopt;
-      c.dispatched_per_cluster.push_back(count);
+std::optional<std::string> validate_benchmark_names(
+    const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    if (!is_benchmark_name(name)) {
+      return "unknown benchmark '" + name +
+             "'; valid benchmarks: " + known_benchmark_names();
     }
   }
-  return result;
-}
-
-SimResult deserialize_result(const std::string& line) {
-  std::optional<SimResult> result = try_deserialize_result(line);
-  RINGCLU_EXPECTS(result.has_value());
-  return *std::move(result);
+  return std::nullopt;
 }
 
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
-    : options_(std::move(options)) {
-  if (!options_.force) load_cache();
-}
+    : options_(std::move(options)),
+      service_(std::make_unique<SimService>(options_)) {}
 
-std::string ExperimentRunner::cache_key(const std::string& config,
-                                        const std::string& benchmark) const {
-  return str_format("%s|%s|%llu|%llu|%llu|v%d", config.c_str(),
-                    benchmark.c_str(),
-                    static_cast<unsigned long long>(options_.instrs),
-                    static_cast<unsigned long long>(options_.warmup),
-                    static_cast<unsigned long long>(options_.seed),
-                    kSimSchemaVersion);
-}
-
-void ExperimentRunner::load_cache() {
-  std::ifstream in(options_.cache_path);
-  if (!in) return;
-  std::string line;
-  std::size_t corrupt = 0;
-  while (std::getline(in, line)) {
-    const std::size_t sep = line.find('\t');
-    if (sep == std::string::npos) continue;
-    // Format: key \t serialized-result.  A torn or hand-damaged line is
-    // skipped (and re-simulated on demand), never fatal.
-    std::optional<SimResult> result =
-        try_deserialize_result(line.substr(sep + 1));
-    if (!result) {
-      ++corrupt;
-      continue;
-    }
-    cache_.emplace_back(line.substr(0, sep), *std::move(result));
-  }
-  if (corrupt != 0 && options_.verbose) {
-    std::fprintf(stderr,
-                 "[ringclu] warning: skipped %zu corrupt cache line(s) in %s\n",
-                 corrupt, options_.cache_path.c_str());
-  }
-}
-
-void ExperimentRunner::append_to_cache(const std::string& key,
-                                       const SimResult& result) {
-  const std::filesystem::path path(options_.cache_path);
-  if (path.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(path.parent_path(), ec);
-  }
-  std::ofstream out(options_.cache_path, std::ios::app);
-  out << key << "\t" << serialize_result(result) << "\n";
-  cache_.emplace_back(key, result);
-}
+ExperimentRunner::~ExperimentRunner() = default;
 
 SimResult ExperimentRunner::run_one(const ArchConfig& config,
                                     const std::string& benchmark) {
@@ -229,74 +84,22 @@ std::vector<SimResult> ExperimentRunner::run_matrix(
 std::vector<SimResult> ExperimentRunner::run_matrix(
     const std::vector<ArchConfig>& configs,
     const std::vector<std::string>& benchmarks) {
-  struct Pending {
-    std::size_t slot;
-    const ArchConfig* config;
-    const std::string* benchmark;
-    std::string key;
-  };
-
-  std::vector<SimResult> results(configs.size() * benchmarks.size());
-  std::vector<Pending> pending;
-
-  std::size_t slot = 0;
+  std::vector<SimJob> jobs;
+  jobs.reserve(configs.size() * benchmarks.size());
   for (const ArchConfig& config : configs) {
     for (const std::string& benchmark : benchmarks) {
-      const std::string key = cache_key(config.name, benchmark);
-      bool hit = false;
-      for (const auto& [cached_key, cached] : cache_) {
-        if (cached_key == key) {
-          results[slot] = cached;
-          hit = true;
-          break;
-        }
-      }
-      if (!hit) pending.push_back(Pending{slot, &config, &benchmark, key});
-      ++slot;
+      jobs.push_back(SimJob{config, benchmark, options_.run_params()});
     }
   }
 
-  if (!pending.empty()) {
-    if (options_.verbose) {
-      std::fprintf(stderr,
-                   "[ringclu] simulating %zu run(s) (%llu instrs each, "
-                   "%d thread(s))...\n",
-                   pending.size(),
-                   static_cast<unsigned long long>(options_.instrs),
-                   options_.threads);
-    }
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::mutex io_mutex;
-    const int workers = std::max(
-        1, std::min<int>(options_.threads,
-                         static_cast<int>(pending.size())));
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&]() {
-        for (;;) {
-          const std::size_t index = next.fetch_add(1);
-          if (index >= pending.size()) return;
-          const Pending& job = pending[index];
-          auto trace = make_benchmark_trace(*job.benchmark, options_.seed);
-          Processor processor(*job.config, options_.seed);
-          SimResult result =
-              processor.run(*trace, options_.warmup, options_.instrs);
-          {
-            const std::lock_guard<std::mutex> lock(io_mutex);
-            results[job.slot] = std::move(result);
-            append_to_cache(job.key, results[job.slot]);
-            const std::size_t finished = done.fetch_add(1) + 1;
-            if (options_.verbose) {
-              std::fprintf(stderr, "[ringclu] %zu/%zu %s\n", finished,
-                           pending.size(), results[job.slot].summary().c_str());
-            }
-          }
-        }
-      });
-    }
-    for (std::thread& worker : pool) worker.join();
+  const std::vector<JobHandle> handles =
+      service_->submit_batch(std::move(jobs));
+  std::vector<SimResult> results;
+  results.reserve(handles.size());
+  for (const JobHandle& handle : handles) {
+    const JobStatus status = handle.wait();
+    RINGCLU_EXPECTS(status == JobStatus::Done);
+    results.push_back(handle.result());
   }
   return results;
 }
@@ -308,6 +111,12 @@ std::vector<std::string> ExperimentRunner::default_benchmarks() {
   std::vector<std::string> names;
   if (!filter.empty()) {
     for (const std::string& name : split(filter, ',')) names.push_back(name);
+    if (const std::optional<std::string> error =
+            validate_benchmark_names(names)) {
+      std::fprintf(stderr, "[ringclu] RINGCLU_BENCHMARKS: %s\n",
+                   error->c_str());
+      std::exit(2);
+    }
     return names;
   }
   for (const BenchmarkDesc& desc : spec2000_benchmarks()) {

@@ -1,9 +1,11 @@
 #pragma once
 
 /// \file runner.h
-/// Parallel experiment runner with an on-disk result cache.
+/// Synchronous experiment runner: a thin shim over SimService
+/// (sim_service.h) that keeps the original blocking run_matrix/run_one
+/// interface for the bench figure binaries.
 ///
-/// Every bench binary shares one cache (bench_cache/results.tsv by
+/// Every bench binary shares one result store (bench_cache/results.tsv by
 /// default), so the base (configuration x benchmark) matrix is simulated
 /// once and every figure reads from it.  Results are keyed by
 /// (config name, benchmark, instruction budget, warmup, seed, schema), so
@@ -11,25 +13,29 @@
 /// change — re-runs transparently.
 ///
 /// Environment knobs:
-///   RINGCLU_INSTRS   measured instructions per run   (default 200000)
-///   RINGCLU_WARMUP   warmup instructions             (default instrs/10)
-///   RINGCLU_SEED     workload seed                   (default 42)
-///   RINGCLU_THREADS  worker threads                  (default hw threads)
-///   RINGCLU_FORCE    ignore the cache when set to 1
-///   RINGCLU_CACHE    cache file path
+///   RINGCLU_INSTRS          measured instructions per run (default 200000)
+///   RINGCLU_WARMUP          warmup instructions           (default instrs/10)
+///   RINGCLU_SEED            workload seed                 (default 42)
+///   RINGCLU_THREADS         worker threads                (default hw threads)
+///   RINGCLU_FORCE           ignore the cache when set to 1
+///   RINGCLU_CACHE           cache file path (tsv) or directory (sharded)
+///   RINGCLU_CACHE_BACKEND   result store: tsv | sharded | memory
+///   RINGCLU_BENCHMARKS      comma-separated benchmark subset (validated)
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/arch_config.h"
 #include "core/sim_result.h"
+#include "harness/result_store.h"
+#include "harness/sim_job.h"
 
 namespace ringclu {
 
-/// Bump when simulator semantics change so stale cache entries re-run.
-inline constexpr int kSimSchemaVersion = 3;
+class SimService;
 
 /// The RINGCLU_THREADS default: one worker per hardware thread (2 when the
 /// hardware concurrency is unknown).
@@ -42,16 +48,29 @@ struct RunnerOptions {
   int threads = default_thread_count();
   bool force = false;
   bool verbose = true;
+  StoreBackend cache_backend = StoreBackend::Tsv;
   std::string cache_path = "bench_cache/results.tsv";
 
-  /// Reads the RINGCLU_* environment overrides.
+  /// The (instrs, warmup, seed) slice, as SimService consumes it.
+  [[nodiscard]] RunParams run_params() const {
+    return RunParams{instrs, warmup, seed};
+  }
+
+  /// Reads the RINGCLU_* environment overrides.  Exits with a diagnostic
+  /// on an unknown RINGCLU_CACHE_BACKEND value.
   [[nodiscard]] static RunnerOptions from_env();
 };
 
-/// Runs simulations, caching results on disk.
+/// Returns an error message naming the first unknown benchmark in
+/// \p names (and listing the valid ones), or nullopt when all are known.
+[[nodiscard]] std::optional<std::string> validate_benchmark_names(
+    const std::vector<std::string>& names);
+
+/// Runs simulations synchronously, caching results through a ResultStore.
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(RunnerOptions options = RunnerOptions::from_env());
+  ~ExperimentRunner();
 
   /// Simulates every (config, benchmark) pair (cache-aware, parallel).
   /// Results are ordered config-major, matching the input order.
@@ -68,29 +87,20 @@ class ExperimentRunner {
   [[nodiscard]] SimResult run_one(const ArchConfig& config,
                                   const std::string& benchmark);
 
-  /// All 26 benchmark names (or the RINGCLU_BENCHMARKS subset).
+  /// All 26 benchmark names, or the RINGCLU_BENCHMARKS subset.  Exits with
+  /// a diagnostic (listing the valid names) when the subset contains an
+  /// unknown benchmark.
   [[nodiscard]] static std::vector<std::string> default_benchmarks();
 
   [[nodiscard]] const RunnerOptions& options() const { return options_; }
 
+  /// The underlying asynchronous service (advanced use: callbacks,
+  /// cancellation, incremental submission).
+  [[nodiscard]] SimService& service() { return *service_; }
+
  private:
-  [[nodiscard]] std::string cache_key(const std::string& config,
-                                      const std::string& benchmark) const;
-  void load_cache();
-  void append_to_cache(const std::string& key, const SimResult& result);
-
   RunnerOptions options_;
-  // Loaded cache: key -> serialized result line.
-  std::vector<std::pair<std::string, SimResult>> cache_;
+  std::unique_ptr<SimService> service_;
 };
-
-/// Serialization helpers (exposed for tests).
-[[nodiscard]] std::string serialize_result(const SimResult& result);
-/// Strict variant: aborts on malformed input.
-[[nodiscard]] SimResult deserialize_result(const std::string& line);
-/// Lenient variant: returns nullopt on malformed input (used when loading
-/// the on-disk cache, where a truncated write must not be fatal).
-[[nodiscard]] std::optional<SimResult> try_deserialize_result(
-    const std::string& line);
 
 }  // namespace ringclu

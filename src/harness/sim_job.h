@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file sim_job.h
+/// The unit of work the simulation service schedules: one
+/// (architecture, benchmark, run-parameters) triple, plus the cache-key
+/// function that identifies equivalent jobs.  Two jobs with the same key
+/// are guaranteed to produce bit-identical counters (the simulator is
+/// deterministic), which is what makes duplicate coalescing and result
+/// caching sound.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/arch_config.h"
+
+namespace ringclu {
+
+/// Bump when simulator semantics change so stale cache entries re-run.
+inline constexpr int kSimSchemaVersion = 3;
+
+/// Run-control parameters (everything besides the machine and workload
+/// that affects the simulated numbers).
+struct RunParams {
+  std::uint64_t instrs = 200000;  ///< measured instructions
+  std::uint64_t warmup = 20000;   ///< warmup instructions (not measured)
+  std::uint64_t seed = 42;        ///< workload seed
+};
+
+/// One simulation request.
+struct SimJob {
+  ArchConfig config;
+  std::string benchmark;
+  RunParams params;
+};
+
+/// The identity of a job for caching and coalescing purposes.  Pinned
+/// format (an interchange surface: keys are written into on-disk stores):
+///   <config>|<benchmark>|<instrs>|<warmup>|<seed>|v<schema>
+[[nodiscard]] std::string sim_cache_key(std::string_view config_name,
+                                        std::string_view benchmark,
+                                        const RunParams& params);
+
+/// Key of \p job (convenience overload).
+[[nodiscard]] std::string sim_cache_key(const SimJob& job);
+
+/// Lifecycle of a submitted job, observed through JobHandle::status().
+///
+///   Queued -> Running -> Done
+///   Queued -> Cancelled          (all interested handles cancelled, or
+///                                 service destroyed first)
+///   submit -> Failed             (rejected at submission, e.g. unknown
+///                                 benchmark)
+///   submit -> Done               (result served from the store or an
+///                                 in-flight duplicate)
+enum class JobStatus { Queued, Running, Done, Cancelled, Failed };
+
+[[nodiscard]] std::string_view job_status_name(JobStatus status);
+
+/// True for statuses that will never change again.
+[[nodiscard]] constexpr bool job_status_terminal(JobStatus status) {
+  return status == JobStatus::Done || status == JobStatus::Cancelled ||
+         status == JobStatus::Failed;
+}
+
+}  // namespace ringclu

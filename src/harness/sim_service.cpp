@@ -1,0 +1,387 @@
+#include "harness/sim_service.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/processor.h"
+#include "harness/runner.h"
+#include "trace/synth/suite.h"
+#include "util/assert.h"
+#include "util/format.h"
+
+namespace ringclu {
+
+std::string sim_cache_key(std::string_view config_name,
+                          std::string_view benchmark,
+                          const RunParams& params) {
+  return str_format("%.*s|%.*s|%llu|%llu|%llu|v%d",
+                    static_cast<int>(config_name.size()), config_name.data(),
+                    static_cast<int>(benchmark.size()), benchmark.data(),
+                    static_cast<unsigned long long>(params.instrs),
+                    static_cast<unsigned long long>(params.warmup),
+                    static_cast<unsigned long long>(params.seed),
+                    kSimSchemaVersion);
+}
+
+std::string sim_cache_key(const SimJob& job) {
+  return sim_cache_key(job.config.name, job.benchmark, job.params);
+}
+
+std::string_view job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::Queued: return "queued";
+    case JobStatus::Running: return "running";
+    case JobStatus::Done: return "done";
+    case JobStatus::Cancelled: return "cancelled";
+    case JobStatus::Failed: return "failed";
+  }
+  RINGCLU_UNREACHABLE("bad JobStatus");
+}
+
+SimResult run_sim_job(const SimJob& job) {
+  auto trace = make_benchmark_trace(job.benchmark, job.params.seed);
+  Processor processor(job.config, job.params.seed);
+  return processor.run(*trace, job.params.warmup, job.params.instrs);
+}
+
+/// Shared per-job state.  All fields are guarded by the owning service's
+/// mutex_, except \c result and \c error which become immutable once
+/// \c status is terminal (readers synchronize through the mutex first).
+struct JobHandle::JobState {
+  SimService* service = nullptr;
+  std::string key;
+  SimJob job;
+  JobStatus status = JobStatus::Queued;
+  SimResult result;
+  std::string error;
+  /// Attached handles that have not cancelled.
+  std::size_t waiters = 0;
+  std::vector<std::function<void(const SimResult&)>> callbacks;
+};
+
+// ---- JobHandle --------------------------------------------------------
+
+JobStatus JobHandle::status() const {
+  RINGCLU_EXPECTS(valid());
+  const std::lock_guard<std::mutex> lock(core_->state->service->mutex_);
+  return core_->cancelled ? JobStatus::Cancelled : core_->state->status;
+}
+
+const std::string& JobHandle::key() const {
+  RINGCLU_EXPECTS(valid());
+  return core_->state->key;  // Immutable after construction.
+}
+
+const SimResult& JobHandle::result() const {
+  RINGCLU_EXPECTS(valid());
+  const std::lock_guard<std::mutex> lock(core_->state->service->mutex_);
+  RINGCLU_EXPECTS(!core_->cancelled &&
+                  core_->state->status == JobStatus::Done);
+  return core_->state->result;
+}
+
+std::optional<SimResult> JobHandle::try_result() const {
+  RINGCLU_EXPECTS(valid());
+  const std::lock_guard<std::mutex> lock(core_->state->service->mutex_);
+  if (core_->cancelled || core_->state->status != JobStatus::Done) {
+    return std::nullopt;
+  }
+  return core_->state->result;
+}
+
+const std::string& JobHandle::error() const {
+  RINGCLU_EXPECTS(valid());
+  const std::lock_guard<std::mutex> lock(core_->state->service->mutex_);
+  RINGCLU_EXPECTS(core_->state->status == JobStatus::Failed);
+  return core_->state->error;
+}
+
+// ---- SimService -------------------------------------------------------
+
+namespace {
+
+std::unique_ptr<ResultStore> store_from_runner_options(
+    const RunnerOptions& options) {
+  return make_result_store(options.cache_backend, options.cache_path,
+                           options.verbose);
+}
+
+SimServiceOptions service_options_from_runner(const RunnerOptions& options) {
+  SimServiceOptions service_options;
+  service_options.threads = options.threads;
+  service_options.force = options.force;
+  service_options.verbose = options.verbose;
+  return service_options;
+}
+
+}  // namespace
+
+SimService::SimService(std::unique_ptr<ResultStore> store,
+                       SimServiceOptions options)
+    : options_(options), store_(std::move(store)) {
+  RINGCLU_EXPECTS(store_ != nullptr);
+  if (options_.threads <= 0) options_.threads = default_thread_count();
+  paused_ = options_.start_paused;
+  workers_.reserve(static_cast<std::size_t>(options_.threads));
+}
+
+void SimService::spawn_worker_locked() {
+  if (workers_.size() < static_cast<std::size_t>(options_.threads)) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimService::SimService(const RunnerOptions& options)
+    : SimService(store_from_runner_options(options),
+                 service_options_from_runner(options)) {}
+
+SimService::~SimService() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    for (const std::shared_ptr<JobState>& state : queue_) {
+      state->status = JobStatus::Cancelled;
+      in_flight_.erase(state->key);
+    }
+    queue_.clear();
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+JobHandle SimService::submit(SimJob job) { return submit_one(std::move(job)); }
+
+std::vector<JobHandle> SimService::submit_batch(std::vector<SimJob> jobs) {
+  // Cache-aware batching: group the batch by benchmark before enqueueing,
+  // so duplicate keys sit back to back (coalesced on submission) and any
+  // future per-workload state reuse sees its jobs adjacent.  Handles are
+  // still returned in the caller's order.
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&jobs](std::size_t a, std::size_t b) {
+                     return jobs[a].benchmark < jobs[b].benchmark;
+                   });
+
+  std::size_t queued_before = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queued_before = total_accepted_;
+  }
+  std::vector<JobHandle> handles(jobs.size());
+  std::uint64_t instrs = 0;
+  for (const std::size_t index : order) {
+    instrs = jobs[index].params.instrs;
+    handles[index] = submit_one(std::move(jobs[index]));
+  }
+  if (options_.verbose) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t newly_queued = total_accepted_ - queued_before;
+    if (newly_queued != 0) {
+      std::fprintf(stderr,
+                   "[ringclu] simulating %zu run(s) (%llu instrs each, "
+                   "%d thread(s))...\n",
+                   newly_queued, static_cast<unsigned long long>(instrs),
+                   options_.threads);
+    }
+  }
+  return handles;
+}
+
+JobHandle SimService::submit_one(SimJob&& job) {
+  auto make_handle = [](std::shared_ptr<JobState> state) {
+    auto core = std::make_shared<JobHandle::Core>();
+    core->state = std::move(state);
+    ++core->state->waiters;
+    return JobHandle(std::move(core));
+  };
+
+  auto state = std::make_shared<JobState>();
+  state->service = this;
+  state->job = std::move(job);
+  state->key = sim_cache_key(state->job);
+
+  if (const std::optional<std::string> error =
+          validate_benchmark_names({state->job.benchmark})) {
+    state->status = JobStatus::Failed;
+    state->error = *error;
+    return make_handle(std::move(state));
+  }
+
+  // Coalesce with an identical queued/running job.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto in_flight = in_flight_.find(state->key);
+    if (in_flight != in_flight_.end()) {
+      ++coalesced_;
+      return make_handle(in_flight->second);
+    }
+  }
+
+  // Serve from the store (skipped under force).  The read — possibly a
+  // first-touch parse of an on-disk cache — runs without holding mutex_,
+  // so it never stalls workers publishing results or handles polling.
+  if (!options_.force) {
+    if (std::optional<SimResult> cached = store_->get(state->key)) {
+      state->status = JobStatus::Done;
+      state->result = *std::move(cached);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++store_hits_;
+      return make_handle(std::move(state));
+    }
+  }
+
+  JobHandle handle;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Re-check: a duplicate may have been queued while we read the store.
+    const auto in_flight = in_flight_.find(state->key);
+    if (in_flight != in_flight_.end()) {
+      ++coalesced_;
+      return make_handle(in_flight->second);
+    }
+    state->status = JobStatus::Queued;
+    // Attach the handle before publishing the state to the queue: from
+    // that point on, waiters is shared with coalescing submitters.
+    handle = make_handle(state);
+    queue_.push_back(state);
+    in_flight_.emplace(state->key, state);
+    ++total_accepted_;
+    spawn_worker_locked();
+  }
+  work_cv_.notify_one();
+  return handle;
+}
+
+void SimService::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stopping_ || (!paused_ && !queue_.empty());
+    });
+    if (stopping_) return;
+    std::shared_ptr<JobState> state = queue_.front();
+    queue_.pop_front();
+    if (state->status != JobStatus::Queued) continue;  // Cancelled in place.
+    state->status = JobStatus::Running;
+    ++running_;
+    lock.unlock();
+
+    SimResult result = run_sim_job(state->job);
+    store_->put(state->key, result);
+
+    lock.lock();
+    state->status = JobStatus::Done;
+    state->result = std::move(result);
+    in_flight_.erase(state->key);
+    std::vector<std::function<void(const SimResult&)>> callbacks =
+        std::move(state->callbacks);
+    state->callbacks.clear();
+    --running_;
+    ++simulations_;
+    if (options_.verbose) {
+      std::fprintf(stderr, "[ringclu] %zu/%zu %s\n", simulations_,
+                   total_accepted_, state->result.summary().c_str());
+    }
+    done_cv_.notify_all();
+    lock.unlock();
+
+    // state->result is immutable from here on; callbacks run unlocked on
+    // this worker thread, in registration order.
+    for (const auto& callback : callbacks) callback(state->result);
+
+    lock.lock();
+  }
+}
+
+JobStatus JobHandle::wait() const {
+  RINGCLU_EXPECTS(valid());
+  JobState& state = *core_->state;
+  SimService& service = *state.service;
+  std::unique_lock<std::mutex> lock(service.mutex_);
+  service.done_cv_.wait(lock, [this, &state] {
+    return core_->cancelled || job_status_terminal(state.status);
+  });
+  return core_->cancelled ? JobStatus::Cancelled : state.status;
+}
+
+bool JobHandle::cancel() {
+  RINGCLU_EXPECTS(valid());
+  JobState& state = *core_->state;
+  SimService& service = *state.service;
+  bool notify = false;
+  {
+    const std::lock_guard<std::mutex> lock(service.mutex_);
+    if (core_->cancelled) return false;
+    if (state.status != JobStatus::Queued) return false;
+    core_->cancelled = true;
+    --state.waiters;
+    if (state.waiters == 0) {
+      // Last interested handle: drop the job before it is dispatched.
+      state.status = JobStatus::Cancelled;
+      service.in_flight_.erase(state.key);
+      auto& queue = service.queue_;
+      queue.erase(std::remove(queue.begin(), queue.end(), core_->state),
+                  queue.end());
+      --service.total_accepted_;
+    }
+    notify = true;
+  }
+  service.done_cv_.notify_all();
+  return notify;
+}
+
+void JobHandle::on_complete(std::function<void(const SimResult&)> callback) {
+  RINGCLU_EXPECTS(valid());
+  JobState& state = *core_->state;
+  SimService& service = *state.service;
+  {
+    std::unique_lock<std::mutex> lock(service.mutex_);
+    if (core_->cancelled || state.status == JobStatus::Cancelled ||
+        state.status == JobStatus::Failed) {
+      return;  // Never completes: callback is dropped.
+    }
+    if (state.status != JobStatus::Done) {
+      state.callbacks.push_back(std::move(callback));
+      return;
+    }
+  }
+  // Already done: run inline, unlocked (result is immutable).
+  callback(state.result);
+}
+
+void SimService::pause() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void SimService::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void SimService::wait_idle() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+std::size_t SimService::simulations_run() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return simulations_;
+}
+
+std::size_t SimService::store_hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_hits_;
+}
+
+std::size_t SimService::coalesced_submissions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return coalesced_;
+}
+
+}  // namespace ringclu

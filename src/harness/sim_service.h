@@ -1,0 +1,205 @@
+#pragma once
+
+/// \file sim_service.h
+/// Asynchronous simulation service: the scheduling layer between clients
+/// (bench figures, the CLI, sweeps) and the simulator.
+///
+/// Clients submit SimJobs and get future-like JobHandles back; a worker
+/// pool owned by the service runs the simulations.  The service
+///   - serves results already present in its ResultStore without running
+///     anything (unless \c force),
+///   - coalesces duplicate in-flight jobs: N submissions with the same
+///     cache key run exactly one simulation, and every handle observes the
+///     same result,
+///   - accepts batch submissions, resolving store hits up front and
+///     grouping the remaining misses for scheduling,
+///   - supports per-handle cancellation (a queued job whose last
+///     interested handle cancels is dropped before it ever runs) and
+///     completion callbacks.
+///
+/// ExperimentRunner (runner.h) is a thin synchronous shim over this class;
+/// new code that wants overlap, progress reporting or cancellation should
+/// use the service directly.  See DESIGN.md §7.
+///
+/// Threading: all public methods are thread-safe.  Handles must not
+/// outlive the service that issued them.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sim_result.h"
+#include "harness/result_store.h"
+#include "harness/sim_job.h"
+
+namespace ringclu {
+
+class SimService;
+struct RunnerOptions;
+
+/// Runs \p job synchronously in the calling thread (the primitive the
+/// service workers use; exposed for tools that want exactly one run with
+/// no scheduling).
+[[nodiscard]] SimResult run_sim_job(const SimJob& job);
+
+/// Future-like view of one submitted job.  Copyable; copies share the
+/// same interest (cancelling one cancels the handle, not its copies'
+/// jobs — see cancel()).  A default-constructed handle is invalid.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const { return core_ != nullptr; }
+
+  /// Current status.  \pre valid()
+  [[nodiscard]] JobStatus status() const;
+
+  /// Cache key identifying the job.  \pre valid()
+  [[nodiscard]] const std::string& key() const;
+
+  /// Blocks until the job reaches a terminal status and returns it.
+  /// \pre valid()
+  JobStatus wait() const;
+
+  /// The finished result.  \pre wait() or status() returned Done.
+  [[nodiscard]] const SimResult& result() const;
+
+  /// The result if Done, else nullopt (non-blocking).  \pre valid()
+  [[nodiscard]] std::optional<SimResult> try_result() const;
+
+  /// Why the job failed.  \pre status() == Failed
+  [[nodiscard]] const std::string& error() const;
+
+  /// Withdraws this handle's interest.  Returns true when the handle was
+  /// detached before its job produced a result (the handle's status
+  /// becomes Cancelled); the underlying simulation is aborted only if no
+  /// other handle still wants it AND it has not been dispatched to a
+  /// worker yet.  Returns false once the job is Running or terminal:
+  /// a dispatched simulation always runs to completion (and is cached).
+  bool cancel();
+
+  /// Registers \p callback to run with the finished result.  Callbacks
+  /// registered before completion run on the completing worker thread in
+  /// registration order (across all handles of a coalesced job);
+  /// registered after completion, \p callback runs inline.  Callbacks are
+  /// not invoked for Cancelled or Failed jobs.  \pre valid()
+  void on_complete(std::function<void(const SimResult&)> callback);
+
+ private:
+  friend class SimService;
+  struct JobState;
+  /// Handle identity: which shared job this handle watches, and whether
+  /// this particular handle (incl. its copies) cancelled.
+  struct Core {
+    std::shared_ptr<JobState> state;
+    bool cancelled = false;
+  };
+  explicit JobHandle(std::shared_ptr<Core> core) : core_(std::move(core)) {}
+  std::shared_ptr<Core> core_;
+};
+
+struct SimServiceOptions {
+  /// Worker threads.  Clamped to >= 1.
+  int threads = 0;  // 0 -> default_thread_count() (resolved by the service)
+  /// Skip store reads (results are still written), forcing re-simulation.
+  bool force = false;
+  /// Progress lines on stderr as jobs complete.
+  bool verbose = false;
+  /// Start with dispatch paused (tests and controlled batching); no job
+  /// runs until resume().
+  bool start_paused = false;
+};
+
+/// Owns the worker pool, the pending-job queue, the in-flight coalescing
+/// index and the result store.
+class SimService {
+ public:
+  /// Service over an explicit store (tests inject MemoryStore here).
+  explicit SimService(std::unique_ptr<ResultStore> store,
+                      SimServiceOptions options = {});
+
+  /// Convenience: store and options derived from RunnerOptions (the
+  /// RINGCLU_* environment surface).
+  explicit SimService(const RunnerOptions& options);
+
+  /// Cancels still-queued jobs, finishes running ones, joins the pool.
+  ~SimService();
+
+  SimService(const SimService&) = delete;
+  SimService& operator=(const SimService&) = delete;
+
+  /// Submits one job.  Store hits and coalesced duplicates return handles
+  /// that are already Done (or share the in-flight state); unknown
+  /// benchmarks return a Failed handle.
+  JobHandle submit(SimJob job);
+
+  /// Submits a batch.  Handles are returned in input order.  Store hits
+  /// resolve immediately; the remaining misses are enqueued grouped by
+  /// benchmark (duplicate-adjacent, so coalescing and any future
+  /// per-workload state reuse see them back to back).
+  std::vector<JobHandle> submit_batch(std::vector<SimJob> jobs);
+
+  /// Pauses dispatch: running jobs finish, queued jobs wait.
+  void pause();
+  /// Resumes dispatch.
+  void resume();
+
+  /// Blocks until no job is queued or running.
+  void wait_idle() const;
+
+  /// Number of simulations actually executed (the coalescing test's
+  /// ground truth: N duplicate submissions bump this once).
+  [[nodiscard]] std::size_t simulations_run() const;
+  /// Submissions served from the store without simulating.
+  [[nodiscard]] std::size_t store_hits() const;
+  /// Submissions attached to an already in-flight duplicate.
+  [[nodiscard]] std::size_t coalesced_submissions() const;
+
+  [[nodiscard]] ResultStore& store() { return *store_; }
+  [[nodiscard]] const SimServiceOptions& options() const { return options_; }
+
+ private:
+  friend class JobHandle;  // Handles lock mutex_ / wait on done_cv_.
+  using JobState = JobHandle::JobState;
+
+  void worker_loop();
+  /// Submission core for one job.  Takes and releases \c mutex_ itself;
+  /// the store read (which may do disk I/O) runs unlocked so submissions
+  /// never stall workers publishing results or handles polling status.
+  JobHandle submit_one(SimJob&& job);
+  /// Grows the worker pool up to options_.threads.  \pre mutex_ held.
+  void spawn_worker_locked();
+
+  SimServiceOptions options_;
+  std::unique_ptr<ResultStore> store_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;          ///< workers: queue/pause/stop
+  mutable std::condition_variable done_cv_;  ///< waiters: completions
+  std::deque<std::shared_ptr<JobState>> queue_;
+  /// Coalescing index over queued + running jobs; entries are erased when
+  /// their job reaches a terminal status.
+  std::unordered_map<std::string, std::shared_ptr<JobState>> in_flight_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::size_t running_ = 0;
+  std::size_t simulations_ = 0;
+  std::size_t store_hits_ = 0;
+  std::size_t coalesced_ = 0;
+  std::size_t total_accepted_ = 0;  ///< queued jobs ever (progress total)
+
+  /// Spawned lazily, one per newly queued job, up to options_.threads —
+  /// a service whose submissions all resolve from the store never starts
+  /// a thread.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ringclu

@@ -45,6 +45,22 @@ bool is_fp_benchmark(std::string_view name) {
   RINGCLU_UNREACHABLE("unknown benchmark name");
 }
 
+bool is_benchmark_name(std::string_view name) {
+  for (const BenchmarkDesc& desc : kSuite) {
+    if (desc.name == name) return true;
+  }
+  return false;
+}
+
+std::string known_benchmark_names() {
+  std::string joined;
+  for (const BenchmarkDesc& desc : kSuite) {
+    if (!joined.empty()) joined += ", ";
+    joined += desc.name;
+  }
+  return joined;
+}
+
 ProgramSpec make_program_spec(std::string_view name) {
   ProgramSpec p;
   p.name = std::string(name);

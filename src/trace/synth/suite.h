@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "trace/synth/program.h"
@@ -25,6 +26,12 @@ struct BenchmarkDesc {
 
 /// True when \p name names an FP benchmark.  \pre name is in the suite.
 [[nodiscard]] bool is_fp_benchmark(std::string_view name);
+
+/// True when \p name is one of the 26 suite benchmarks.
+[[nodiscard]] bool is_benchmark_name(std::string_view name);
+
+/// All suite names joined with ", " — for "valid names are ..." errors.
+[[nodiscard]] std::string known_benchmark_names();
 
 /// Builds the profile for one benchmark.  \pre name is in the suite.
 [[nodiscard]] ProgramSpec make_program_spec(std::string_view name);

@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "harness/sim_service.h"
 
 namespace ringclu {
 namespace {
@@ -270,6 +272,89 @@ TEST(Runner, DefaultBenchmarksAreTheSuite) {
     EXPECT_EQ(names.front(), "ammp");
     EXPECT_EQ(names.back(), "wupwise");
   }
+}
+
+TEST(Runner, ValidateBenchmarkNamesAcceptsSuiteRejectsUnknown) {
+  EXPECT_FALSE(validate_benchmark_names({"gzip", "swim", "art"}).has_value());
+  const std::optional<std::string> error =
+      validate_benchmark_names({"gzip", "nosuchbench"});
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("nosuchbench"), std::string::npos);
+  EXPECT_NE(error->find("gzip"), std::string::npos);  // lists valid names
+}
+
+TEST(RunnerDeathTest, UnknownBenchmarkInEnvFailsWithValidNames) {
+  // RINGCLU_BENCHMARKS must not silently accept unknown names: the
+  // process exits with a diagnostic listing the valid ones.
+  ::setenv("RINGCLU_BENCHMARKS", "gzip,nosuchbench", 1);
+  EXPECT_EXIT(
+      { (void)ExperimentRunner::default_benchmarks(); },
+      ::testing::ExitedWithCode(2), "nosuchbench.*valid benchmarks.*wupwise");
+  ::unsetenv("RINGCLU_BENCHMARKS");
+}
+
+TEST(Runner, CacheBackendFromEnv) {
+  ::setenv("RINGCLU_CACHE_BACKEND", "sharded", 1);
+  EXPECT_EQ(RunnerOptions::from_env().cache_backend, StoreBackend::Sharded);
+  // The default path follows the backend: a directory for sharded (the
+  // historical results.tsv is often an existing FILE).
+  EXPECT_EQ(RunnerOptions::from_env().cache_path, "bench_cache/shards");
+  ::setenv("RINGCLU_CACHE_BACKEND", "memory", 1);
+  EXPECT_EQ(RunnerOptions::from_env().cache_backend, StoreBackend::Memory);
+  ::unsetenv("RINGCLU_CACHE_BACKEND");
+  EXPECT_EQ(RunnerOptions::from_env().cache_backend, StoreBackend::Tsv);
+  EXPECT_EQ(RunnerOptions::from_env().cache_path, "bench_cache/results.tsv");
+}
+
+TEST(RunnerDeathTest, UnknownCacheBackendFailsWithValidNames) {
+  ::setenv("RINGCLU_CACHE_BACKEND", "redis", 1);
+  EXPECT_EXIT({ (void)RunnerOptions::from_env(); },
+              ::testing::ExitedWithCode(2), "redis.*tsv, sharded, memory");
+  ::unsetenv("RINGCLU_CACHE_BACKEND");
+}
+
+TEST(Runner, ShardedBackendCachesAcrossInstances) {
+  const std::string dir = "/tmp/ringclu_harness_test_sharded";
+  std::filesystem::remove_all(dir);
+  RunnerOptions options = small_options(dir);
+  options.cache_backend = StoreBackend::Sharded;
+
+  ExperimentRunner first(options);
+  const SimResult fresh =
+      first.run_one(ArchConfig::preset("Ring_4clus_1bus_2IW"), "gzip");
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+
+  ExperimentRunner second(options);
+  const SimResult cached =
+      second.run_one(ArchConfig::preset("Ring_4clus_1bus_2IW"), "gzip");
+  EXPECT_EQ(cached.counters.cycles, fresh.counters.cycles);
+  EXPECT_EQ(serialize_result(cached), serialize_result(fresh));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, MemoryBackendKeepsResultsWithinOneRunnerOnly) {
+  RunnerOptions options = small_options("ignored-path");
+  options.cache_backend = StoreBackend::Memory;
+
+  ExperimentRunner runner(options);
+  const SimResult a =
+      runner.run_one(ArchConfig::preset("Ring_4clus_1bus_2IW"), "gzip");
+  const SimResult b =
+      runner.run_one(ArchConfig::preset("Ring_4clus_1bus_2IW"), "gzip");
+  // Deterministic either way; the point is nothing was written to disk.
+  EXPECT_EQ(serialize_result(a), serialize_result(b));
+  EXPECT_FALSE(std::filesystem::exists("ignored-path"));
+}
+
+TEST(Runner, ShimExposesTheUnderlyingService) {
+  RunnerOptions options = small_options("ignored-path");
+  options.cache_backend = StoreBackend::Memory;
+  ExperimentRunner runner(options);
+  const SimResult result =
+      runner.run_one(ArchConfig::preset("Ring_4clus_1bus_2IW"), "swim");
+  EXPECT_EQ(result.benchmark, "swim");
+  EXPECT_EQ(runner.service().simulations_run(), 1u);
+  EXPECT_EQ(runner.service().store().describe(), "memory");
 }
 
 TEST(Report, GroupMeansSplitIntFp) {

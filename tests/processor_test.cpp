@@ -28,6 +28,23 @@ TEST(ArchConfig, PresetParsesAllPaperNames) {
   EXPECT_EQ(ArchConfig::paper_preset_names().size(), 10u);
 }
 
+TEST(ArchConfig, TryPresetRejectsMalformedNamesWithoutAborting) {
+  EXPECT_FALSE(ArchConfig::try_preset("").has_value());
+  EXPECT_FALSE(ArchConfig::try_preset("Ring").has_value());
+  EXPECT_FALSE(ArchConfig::try_preset("Ring_8clus_1bus").has_value());
+  EXPECT_FALSE(ArchConfig::try_preset("Ring_8clus_1bus_2IQ").has_value());
+  EXPECT_FALSE(ArchConfig::try_preset("Mesh_8clus_1bus_2IW").has_value());
+  EXPECT_FALSE(ArchConfig::try_preset("Ring_xclus_1bus_2IW").has_value());
+  // Parseable but out of range: rejected, not contract-aborted.
+  EXPECT_FALSE(ArchConfig::try_preset("Ring_1clus_1bus_2IW").has_value());
+  EXPECT_FALSE(ArchConfig::try_preset("Ring_99clus_1bus_2IW").has_value());
+  EXPECT_FALSE(ArchConfig::try_preset("Ring_8clus_3bus_2IW").has_value());
+  EXPECT_FALSE(ArchConfig::try_preset("Ring_8clus_1bus_9IW").has_value());
+  ASSERT_TRUE(ArchConfig::try_preset("Ring_8clus_1bus_2IW+SSA").has_value());
+  EXPECT_EQ(ArchConfig::try_preset("Ring_8clus_1bus_2IW+SSA")->steer,
+            SteerAlgo::Simple);
+}
+
 TEST(ArchConfig, PresetFieldsMatchName) {
   const ArchConfig config = ArchConfig::preset("Conv_8clus_2bus_1IW");
   EXPECT_EQ(config.arch, ArchKind::Conv);

@@ -1,8 +1,10 @@
 /// \file ringclu_sim.cpp
 /// The command-line driver: simulate one (configuration, workload) pair
-/// with arbitrary parameter overrides.
+/// with arbitrary parameter overrides, or a whole matrix through the
+/// asynchronous SimService.
 ///
 ///   ringclu_sim <preset> <benchmark|trace.rct> [key=value ...]
+///   ringclu_sim --matrix [key=value ...]
 ///   ringclu_sim --list
 ///
 /// Overrides (key=value):
@@ -13,21 +15,37 @@
 ///   eviction, eager_release       copy policies (bool)
 ///   report=summary|detailed|csv   output format
 ///
+/// --matrix overrides:
+///   configs=<preset,preset,...>   (default: the ten paper presets)
+///   benchmarks=<name,name,...>    (default: suite / RINGCLU_BENCHMARKS)
+///   instrs, warmup, seed, threads run control
+///   backend=tsv|sharded|memory    result store (RINGCLU_CACHE_BACKEND)
+///   cache=<path>                  store path   (RINGCLU_CACHE)
+///   force=1                       re-simulate despite the store
+///
 /// Examples:
 ///   ringclu_sim Ring_8clus_1bus_2IW swim instrs=1000000
 ///   ringclu_sim Conv_8clus_1bus_2IW gcc dcount_threshold=32 report=detailed
 ///   ringclu_sim Ring_4clus_1bus_2IW /tmp/capture.rct
+///   ringclu_sim --matrix configs=Ring_8clus_1bus_2IW,Conv_8clus_1bus_2IW
+///       benchmarks=gzip,swim backend=memory instrs=50000
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/processor.h"
+#include "harness/report.h"
 #include "harness/runner.h"
+#include "harness/sim_service.h"
+#include "stats/table.h"
 #include "trace/synth/suite.h"
 #include "trace/trace_file.h"
 #include "util/config.h"
+#include "util/format.h"
 
 namespace {
 
@@ -51,16 +69,176 @@ bool is_trace_file(const std::string& name) {
   return name.size() > 4 && name.substr(name.size() - 4) == ".rct";
 }
 
+/// The ten paper presets, Conv/Ring interleaved (Figure 7-10 legend order).
+std::vector<std::string> default_matrix_configs() {
+  std::vector<std::string> out;
+  for (const char* pair :
+       {"4clus_1bus_2IW", "8clus_2bus_1IW", "8clus_1bus_1IW",
+        "8clus_2bus_2IW", "8clus_1bus_2IW"}) {
+    out.push_back(std::string("Conv_") + pair);
+    out.push_back(std::string("Ring_") + pair);
+  }
+  return out;
+}
+
+/// --matrix: run a (configs x benchmarks) sweep through SimService with
+/// live progress on stderr, then print the per-config IPC figure.
+int run_matrix_mode(const Config& options) {
+  RunnerOptions runner_options = RunnerOptions::from_env();
+  runner_options.instrs = static_cast<std::uint64_t>(
+      options.get_int("instrs", static_cast<std::int64_t>(
+                                    runner_options.instrs)));
+  runner_options.warmup = static_cast<std::uint64_t>(
+      options.get_int("warmup", static_cast<std::int64_t>(
+                                    runner_options.warmup)));
+  runner_options.seed = static_cast<std::uint64_t>(
+      options.get_int("seed", static_cast<std::int64_t>(runner_options.seed)));
+  runner_options.threads = static_cast<int>(
+      options.get_int("threads", runner_options.threads));
+  runner_options.force = options.get_bool("force", runner_options.force);
+  runner_options.verbose = false;  // Progress line below instead.
+  const StoreBackend env_backend = runner_options.cache_backend;
+  const std::string backend_name = options.get_string(
+      "backend", std::string(store_backend_name(env_backend)));
+  const std::optional<StoreBackend> backend =
+      parse_store_backend(backend_name);
+  if (!backend) {
+    std::fprintf(stderr,
+                 "bad backend '%s' (valid: tsv, sharded, memory)\n",
+                 backend_name.c_str());
+    return 2;
+  }
+  runner_options.cache_backend = *backend;
+  // Resolve the cache path AFTER the backend: a backend= override must
+  // also move a defaulted path (e.g. backend=sharded needs the shard
+  // directory default, not the tsv file inherited from the environment).
+  const std::string cache_token = options.get_string("cache", "");
+  if (!cache_token.empty()) {
+    runner_options.cache_path = cache_token;
+  } else if (runner_options.cache_path == default_cache_path(env_backend)) {
+    runner_options.cache_path = default_cache_path(*backend);
+  }
+
+  std::vector<std::string> configs;
+  for (const std::string& name :
+       split(options.get_string("configs", ""), ',')) {
+    if (!ArchConfig::try_preset(name)) {
+      std::fprintf(stderr,
+                   "unknown preset '%s' (want Arch_Nclus_Bbus_WIW, e.g. %s; "
+                   "suffixes +SSA, @2cyc; see --list)\n",
+                   name.c_str(), ArchConfig::paper_preset_names().front().c_str());
+      return 2;
+    }
+    configs.push_back(name);
+  }
+  if (configs.empty()) configs = default_matrix_configs();
+
+  std::vector<std::string> benchmarks;
+  for (const std::string& name :
+       split(options.get_string("benchmarks", ""), ',')) {
+    benchmarks.push_back(name);
+  }
+  if (benchmarks.empty()) {
+    benchmarks = ExperimentRunner::default_benchmarks();
+  } else if (const std::optional<std::string> error =
+                 validate_benchmark_names(benchmarks)) {
+    std::fprintf(stderr, "%s\n", error->c_str());
+    return 2;
+  }
+
+  // Declared before the service: progress callbacks capture these by
+  // reference, and ~SimService joins workers (which may still be running
+  // a callback) before anything declared earlier is destroyed.
+  const std::size_t total = configs.size() * benchmarks.size();
+  std::atomic<std::size_t> completed{0};
+
+  SimService service(runner_options);
+  std::vector<SimJob> jobs;
+  jobs.reserve(total);
+  for (const std::string& config : configs) {
+    for (const std::string& benchmark : benchmarks) {
+      jobs.push_back(SimJob{ArchConfig::preset(config), benchmark,
+                            runner_options.run_params()});
+    }
+  }
+
+  std::fprintf(stderr,
+               "[matrix] %zu jobs (%zu configs x %zu benchmarks, "
+               "%d thread(s), %s store)\n",
+               total, configs.size(), benchmarks.size(),
+               service.options().threads, service.store().describe().c_str());
+
+  std::vector<JobHandle> handles = service.submit_batch(std::move(jobs));
+  for (JobHandle& handle : handles) {
+    handle.on_complete([&completed, total](const SimResult&) {
+      const std::size_t done = completed.fetch_add(1) + 1;
+      std::fprintf(stderr, "\r[matrix] %zu/%zu done", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    });
+  }
+
+  std::vector<SimResult> results;
+  results.reserve(handles.size());
+  for (const JobHandle& handle : handles) {
+    if (handle.wait() != JobStatus::Done) {
+      std::fprintf(stderr, "\n[matrix] job %s: %s\n", handle.key().c_str(),
+                   std::string(job_status_name(handle.status())).c_str());
+      return 1;
+    }
+    results.push_back(handle.result());
+  }
+  if (completed.load() < total) std::fprintf(stderr, "\n");
+
+  std::printf("IPC by config (%zu benchmarks; %zu simulated, %zu from "
+              "store, %zu coalesced)\n",
+              benchmarks.size(), service.simulations_run(),
+              service.store_hits(), service.coalesced_submissions());
+  TextTable table({"config", "AVERAGE", "INT", "FP"});
+  const std::size_t per_config = benchmarks.size();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const std::span<const SimResult> slice(results.data() + i * per_config,
+                                           per_config);
+    table.begin_row();
+    table.add_cell(configs[i]);
+    for (const BenchGroup group :
+         {BenchGroup::All, BenchGroup::Int, BenchGroup::Fp}) {
+      table.add_cell(
+          group_mean(slice, group,
+                     [](const SimResult& r) { return r.ipc(); }),
+          3);
+    }
+  }
+  std::printf("%s\n", table.render_aligned().c_str());
+  if (aggregate_sim_ips(results) > 0.0) {
+    std::printf("%s\n", throughput_summary(results).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
     return list_everything();
   }
+
+  if (argc >= 2 && std::strcmp(argv[1], "--matrix") == 0) {
+    Config options;
+    for (int i = 2; i < argc; ++i) {
+      if (!options.parse_token(argv[i])) {
+        std::fprintf(stderr, "bad override (want key=value): %s\n", argv[i]);
+        return 2;
+      }
+    }
+    return run_matrix_mode(options);
+  }
+
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: ringclu_sim <preset> <benchmark|trace.rct> "
-                 "[key=value ...]\n       ringclu_sim --list\n");
+                 "[key=value ...]\n"
+                 "       ringclu_sim --matrix [key=value ...]\n"
+                 "       ringclu_sim --list\n");
     return 2;
   }
 
