@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/arch_config.h"
+#include "harness/report.h"
 #include "harness/sim_service.h"
 #include "stats/table.h"
 #include "util/format.h"
@@ -64,24 +65,44 @@ int main(int argc, char** argv) {
     });
   }
 
-  TextTable table({"config", "IPC", "vs baseline", "comms/instr",
-                   "avg dist", "contention", "NREADY"});
-  double baseline_ipc = 0;
-  for (std::size_t i = 0; i < handles.size(); ++i) {
-    if (handles[i].wait() != JobStatus::Done) {
-      std::fprintf(stderr, "job failed: %s\n", handles[i].error().c_str());
+  std::vector<SimResult> results;
+  results.reserve(handles.size());
+  for (const JobHandle& handle : handles) {
+    if (handle.wait() != JobStatus::Done) {
+      std::fprintf(stderr, "job failed: %s\n", handle.error().c_str());
       return 1;
     }
-    const SimResult& result = handles[i].result();
-    if (baseline_ipc == 0) baseline_ipc = result.ipc();
+    results.push_back(handle.result());
+  }
+
+  // The baseline row is found by name, not position: a reordered preset
+  // list (or a dropped job) degrades to an error message, not a bad table.
+  const SimResult* baseline =
+      try_find_result(results, presets.front(), benchmark);
+  if (baseline == nullptr || baseline->ipc() == 0.0) {
+    std::fprintf(stderr, "missing or empty baseline result %s/%s\n",
+                 presets.front().c_str(), benchmark.c_str());
+    return 1;
+  }
+  const double baseline_ipc = baseline->ipc();
+
+  TextTable table({"config", "IPC", "vs baseline", "comms/instr",
+                   "avg dist", "contention", "NREADY"});
+  for (const std::string& preset : presets) {
+    const SimResult* result = try_find_result(results, preset, benchmark);
+    if (result == nullptr) {
+      std::fprintf(stderr, "missing result for %s/%s\n", preset.c_str(),
+                   benchmark.c_str());
+      return 1;
+    }
     table.begin_row();
-    table.add_cell(presets[i]);
-    table.add_cell(result.ipc(), 3);
-    table.add_cell(pct(result.ipc() / baseline_ipc - 1.0));
-    table.add_cell(result.comms_per_instr(), 3);
-    table.add_cell(result.avg_comm_distance(), 2);
-    table.add_cell(result.avg_comm_contention(), 2);
-    table.add_cell(result.nready_avg(), 3);
+    table.add_cell(preset);
+    table.add_cell(result->ipc(), 3);
+    table.add_cell(pct(result->ipc() / baseline_ipc - 1.0));
+    table.add_cell(result->comms_per_instr(), 3);
+    table.add_cell(result->avg_comm_distance(), 2);
+    table.add_cell(result->avg_comm_contention(), 2);
+    table.add_cell(result->nready_avg(), 3);
   }
   std::printf("%s\n", table.render_aligned().c_str());
   std::printf("(baseline for the 'vs baseline' column: %s)\n",

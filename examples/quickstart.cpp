@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "core/arch_config.h"
+#include "harness/report.h"
 #include "harness/sim_service.h"
+#include "util/format.h"
 
 int main(int argc, char** argv) {
   using namespace ringclu;
@@ -30,22 +32,36 @@ int main(int argc, char** argv) {
       make_result_store(StoreBackend::Memory, "", /*verbose=*/false));
 
   const RunParams params{instrs, instrs / 10, /*seed=*/42};
+  const char* ring_name = "Ring_8clus_1bus_2IW";
+  const char* conv_name = "Conv_8clus_1bus_2IW";
   std::vector<JobHandle> handles;
-  for (const char* name : {"Ring_8clus_1bus_2IW", "Conv_8clus_1bus_2IW"}) {
+  for (const char* name : {ring_name, conv_name}) {
     handles.push_back(
         service.submit(SimJob{ArchConfig::preset(name), benchmark, params}));
   }
 
   // Both machines are now simulating in parallel; wait and report.
+  std::vector<SimResult> results;
   for (const JobHandle& handle : handles) {
     if (handle.wait() != JobStatus::Done) {
       std::fprintf(stderr, "job failed: %s\n", handle.error().c_str());
       return 1;
     }
-    std::printf("%s\n", handle.result().detailed_report().c_str());
+    results.push_back(handle.result());
+    std::printf("%s\n", results.back().detailed_report().c_str());
   }
 
-  std::printf("\nSpeedup = IPC(Ring) / IPC(Conv) - 1; see bench/fig06 for "
-              "the full sweep.\n");
+  // Pull each machine's result back out by name (graceful lookup: a
+  // missing pair reports instead of asserting).
+  const SimResult* ring = try_find_result(results, ring_name, benchmark);
+  const SimResult* conv = try_find_result(results, conv_name, benchmark);
+  if (ring == nullptr || conv == nullptr || conv->ipc() == 0.0) {
+    std::fprintf(stderr, "missing or empty result for %s\n",
+                 benchmark.c_str());
+    return 1;
+  }
+  std::printf("\nSpeedup (IPC ratio - 1): %s; see bench/fig06 for the full "
+              "sweep.\n",
+              pct(ring->ipc() / conv->ipc() - 1.0).c_str());
   return 0;
 }

@@ -899,7 +899,8 @@ void Processor::dump_state(std::FILE* out) const {
 }
 
 SimResult Processor::run(TraceSource& trace, std::uint64_t warmup_instrs,
-                         std::uint64_t measure_instrs) {
+                         std::uint64_t measure_instrs,
+                         const RunHooks& hooks) {
   const auto wall_start = std::chrono::steady_clock::now();
   const std::uint64_t committed_at_start = committed_total_;
   auto drained = [this]() {
@@ -926,11 +927,50 @@ SimResult Processor::run(TraceSource& trace, std::uint64_t warmup_instrs,
   // Relative to the post-warmup commit count: the warmup loop may overshoot
   // by up to a commit burst, which must not shorten the measured window.
   const std::uint64_t target = committed_total_ + measure_instrs;
+
+  // Time-resolved sampling state (sim_observer.h).  Sampling only reads
+  // counters between steps, so the simulated numbers are identical with
+  // and without hooks; the disabled path costs one branch per iteration.
+  const bool sampling = hooks.sampling();
+  const std::uint64_t measure_start = committed_total_;
+  std::uint64_t next_boundary = hooks.interval_instrs;
+  std::uint64_t sample_index = 0;
+  SimCounters prev_cumulative;  // zeros; dispatched vector sized on use
+  if (sampling) {
+    prev_cumulative.dispatched_per_cluster.assign(
+        counters_.dispatched_per_cluster.size(), 0);
+  }
+  auto emit_sample = [&](bool final_sample) {
+    IntervalSample sample;
+    sample.index = sample_index++;
+    sample.interval_instrs = hooks.interval_instrs;
+    sample.final_sample = final_sample;
+    sample.cumulative = counters_.minus(baseline);
+    sample.delta = sample.cumulative.minus(prev_cumulative);
+    prev_cumulative = sample.cumulative;
+    hooks.observer->on_interval(sample);
+  };
+
   while (committed_total_ < target && !drained()) {
     step();
     do_fetch(trace);
+    if (sampling && committed_total_ - measure_start >= next_boundary) {
+      // One sample per crossing step: a commit burst that jumps several
+      // boundaries yields a single wider interval, keeping sample count
+      // bounded by instructions retired.
+      sync_external();
+      emit_sample(/*final_sample=*/false);
+      const std::uint64_t done = committed_total_ - measure_start;
+      next_boundary =
+          (done / hooks.interval_instrs + 1) * hooks.interval_instrs;
+    }
   }
   sync_external();
+  if (sampling) {
+    // Final (possibly short or empty) tail so the series always
+    // reconciles exactly with the end-of-run counters.
+    emit_sample(/*final_sample=*/true);
+  }
 
   SimResult result;
   result.config_name = config_.name;

@@ -26,6 +26,7 @@
 #include "cluster/value_map.h"
 #include "core/arch_config.h"
 #include "core/dyn_inst.h"
+#include "core/sim_observer.h"
 #include "core/sim_result.h"
 #include "interconnect/bus_set.h"
 #include "mem/hierarchy.h"
@@ -43,9 +44,14 @@ class Processor final : public SteerOracle {
   Processor& operator=(const Processor&) = delete;
 
   /// Runs \p warmup_instrs committed instructions to warm caches/predictors,
-  /// then measures until another \p measure_instrs commit.
+  /// then measures until another \p measure_instrs commit.  With sampling
+  /// hooks attached (sim_observer.h), the measurement window additionally
+  /// emits one IntervalSample per hooks.interval_instrs committed
+  /// instructions; sampling is read-only and leaves the returned counters
+  /// bit-identical to an unhooked run.
   [[nodiscard]] SimResult run(TraceSource& trace, std::uint64_t warmup_instrs,
-                              std::uint64_t measure_instrs);
+                              std::uint64_t measure_instrs,
+                              const RunHooks& hooks = {});
 
   // --- SteerOracle -------------------------------------------------------
   [[nodiscard]] bool iq_can_accept(int cluster, UnitKind kind) const override;

@@ -10,6 +10,12 @@
 
 namespace ringclu {
 
+/// Version of the result schema: bump when simulator semantics or the
+/// serialized counter set change so stale cache entries re-run.  Lives
+/// with SimCounters (the schema it versions); cache keys (sim_job.h),
+/// stores and machine-readable outputs all embed it.
+inline constexpr int kSimSchemaVersion = 3;
+
 /// Raw measurement counters (collected after warmup).
 struct SimCounters {
   std::uint64_t cycles = 0;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "stats/metrics.h"
 #include "trace/synth/suite.h"
 #include "util/assert.h"
 #include "util/format.h"
@@ -41,6 +42,12 @@ double group_mean(std::span<const SimResult> results, BenchGroup group,
   return count == 0 ? 0.0 : sum / count;
 }
 
+double group_mean(std::span<const SimResult> results, BenchGroup group,
+                  std::string_view metric_name) {
+  const MetricDesc& metric = MetricsRegistry::builtin().at(metric_name);
+  return group_mean(results, group, metric.value);
+}
+
 double group_speedup(std::span<const SimResult> ring,
                      std::span<const SimResult> conv, BenchGroup group) {
   RINGCLU_EXPECTS(ring.size() == conv.size());
@@ -57,12 +64,32 @@ double group_speedup(std::span<const SimResult> ring,
   return count == 0 ? 0.0 : std::exp(log_sum / count) - 1.0;
 }
 
+const SimResult* try_find_result(std::span<const SimResult> results,
+                                 std::string_view benchmark) {
+  for (const SimResult& result : results) {
+    if (result.benchmark == benchmark) return &result;
+  }
+  return nullptr;
+}
+
+const SimResult* try_find_result(std::span<const SimResult> results,
+                                 std::string_view config_name,
+                                 std::string_view benchmark) {
+  for (const SimResult& result : results) {
+    if (result.config_name == config_name && result.benchmark == benchmark) {
+      return &result;
+    }
+  }
+  return nullptr;
+}
+
 const SimResult& find_result(std::span<const SimResult> results,
                              std::string_view benchmark) {
-  for (const SimResult& result : results) {
-    if (result.benchmark == benchmark) return result;
+  const SimResult* result = try_find_result(results, benchmark);
+  if (result == nullptr) {
+    RINGCLU_UNREACHABLE("benchmark not present in result set");
   }
-  RINGCLU_UNREACHABLE("benchmark not present in result set");
+  return *result;
 }
 
 namespace {

@@ -24,6 +24,14 @@ enum class BenchGroup { All, Int, Fp };
     std::span<const SimResult> results, BenchGroup group,
     const std::function<double(const SimResult&)>& metric);
 
+/// Registry-generic variant: mean of the registered metric named
+/// \p metric_name (stats/metrics.h) over the group.  Any metric a figure,
+/// sink or CLI column can name aggregates through this one entry point.
+/// \pre the metric exists in the built-in registry.
+[[nodiscard]] double group_mean(std::span<const SimResult> results,
+                                BenchGroup group,
+                                std::string_view metric_name);
+
 /// Geometric mean of per-benchmark IPC ratios (ring[i]/conv[i]) over the
 /// group; the standard "average speedup" figure.  \pre results are
 /// benchmark-aligned.
@@ -31,7 +39,20 @@ enum class BenchGroup { All, Int, Fp };
                                    std::span<const SimResult> conv,
                                    BenchGroup group);
 
-/// Looks up the result for \p benchmark.  \pre present.
+/// Looks up the result for \p benchmark; nullptr when absent.
+[[nodiscard]] const SimResult* try_find_result(
+    std::span<const SimResult> results, std::string_view benchmark);
+
+/// Looks up the result for (\p config_name, \p benchmark); nullptr when
+/// absent.  The graceful form for callers assembling views over batch
+/// output (CLI tables, examples) where a missing pair is a reportable
+/// condition, not a programming error.
+[[nodiscard]] const SimResult* try_find_result(
+    std::span<const SimResult> results, std::string_view config_name,
+    std::string_view benchmark);
+
+/// Looks up the result for \p benchmark.  \pre present (aborts when
+/// absent — use try_find_result to handle absence gracefully).
 [[nodiscard]] const SimResult& find_result(std::span<const SimResult> results,
                                            std::string_view benchmark);
 

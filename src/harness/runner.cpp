@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "harness/sim_service.h"
+#include "stats/metric_sink.h"
 #include "trace/synth/suite.h"
 #include "util/assert.h"
 #include "util/config.h"
@@ -43,8 +44,26 @@ RunnerOptions RunnerOptions::from_env() {
   }
   options.cache_path =
       env.get_string("cache", default_cache_path(options.cache_backend));
+  options.interval =
+      static_cast<std::uint64_t>(env.get_int("interval", 0));
+  options.metrics_sink = env.get_string("metrics", "");
+  if (!options.metrics_sink.empty()) {
+    if (options.interval == 0) {
+      std::fprintf(stderr,
+                   "[ringclu] RINGCLU_METRICS is set but RINGCLU_INTERVAL "
+                   "is 0; no interval metrics will be produced\n");
+    }
+    if (!parse_metric_sink_spec(options.metrics_sink)) {
+      std::fprintf(stderr,
+                   "[ringclu] RINGCLU_METRICS=%s is not a metric sink spec; "
+                   "want <kind>:<path> with kind jsonl or csv\n",
+                   options.metrics_sink.c_str());
+      std::exit(2);
+    }
+  }
   return options;
 }
+
 
 std::optional<std::string> validate_benchmark_names(
     const std::vector<std::string>& names) {
@@ -58,8 +77,18 @@ std::optional<std::string> validate_benchmark_names(
 }
 
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
-    : options_(std::move(options)),
-      service_(std::make_unique<SimService>(options_)) {}
+    : options_(std::move(options)) {
+  // The sink must outlive the service: workers stream into it until the
+  // service destructor joins them.  Without a sampling interval no sink
+  // is built at all — constructing one would produce an empty output
+  // file (and a CSV sink's flush could clobber a previous series).
+  if (!options_.metrics_sink.empty() && options_.interval > 0) {
+    const auto spec = parse_metric_sink_spec(options_.metrics_sink);
+    RINGCLU_EXPECTS(spec.has_value());  // from_env validated; API callers too
+    metric_sink_ = make_metric_sink(spec->first, spec->second);
+  }
+  service_ = std::make_unique<SimService>(options_);
+}
 
 ExperimentRunner::~ExperimentRunner() = default;
 
@@ -88,7 +117,8 @@ std::vector<SimResult> ExperimentRunner::run_matrix(
   jobs.reserve(configs.size() * benchmarks.size());
   for (const ArchConfig& config : configs) {
     for (const std::string& benchmark : benchmarks) {
-      jobs.push_back(SimJob{config, benchmark, options_.run_params()});
+      jobs.push_back(SimJob{config, benchmark, options_.run_params(),
+                            metric_sink_.get()});
     }
   }
 

@@ -12,15 +12,22 @@
 /// changing any parameter — or bumping kSimSchemaVersion after a simulator
 /// change — re-runs transparently.
 ///
-/// Environment knobs:
+/// Environment knobs (the full RINGCLU_* table lives in README.md):
 ///   RINGCLU_INSTRS          measured instructions per run (default 200000)
 ///   RINGCLU_WARMUP          warmup instructions           (default instrs/10)
 ///   RINGCLU_SEED            workload seed                 (default 42)
 ///   RINGCLU_THREADS         worker threads                (default hw threads)
 ///   RINGCLU_FORCE           ignore the cache when set to 1
+///   RINGCLU_VERBOSE         progress lines on stderr (default 1)
 ///   RINGCLU_CACHE           cache file path (tsv) or directory (sharded)
 ///   RINGCLU_CACHE_BACKEND   result store: tsv | sharded | memory
 ///   RINGCLU_BENCHMARKS      comma-separated benchmark subset (validated)
+///   RINGCLU_INTERVAL        metric-sampling period in committed
+///                           instructions (default 0 = off)
+///   RINGCLU_METRICS         interval-metric sink, "<kind>:<path>" with
+///                           kind jsonl | csv (e.g. jsonl:metrics.jsonl);
+///                           needs RINGCLU_INTERVAL > 0.  Sampled runs
+///                           always simulate (never cache hits).
 
 #include <cstdint>
 #include <memory>
@@ -50,10 +57,14 @@ struct RunnerOptions {
   bool verbose = true;
   StoreBackend cache_backend = StoreBackend::Tsv;
   std::string cache_path = "bench_cache/results.tsv";
+  /// Metric-sampling period (committed instructions); 0 = off.
+  std::uint64_t interval = 0;
+  /// Interval-metric sink spec, "<jsonl|csv>:<path>"; "" = none.
+  std::string metrics_sink;
 
-  /// The (instrs, warmup, seed) slice, as SimService consumes it.
+  /// The run-control slice, as SimService consumes it.
   [[nodiscard]] RunParams run_params() const {
-    return RunParams{instrs, warmup, seed};
+    return RunParams{instrs, warmup, seed, interval};
   }
 
   /// Reads the RINGCLU_* environment overrides.  Exits with a diagnostic
@@ -98,8 +109,14 @@ class ExperimentRunner {
   /// cancellation, incremental submission).
   [[nodiscard]] SimService& service() { return *service_; }
 
+  /// The interval-metric sink built from options (RINGCLU_METRICS), or
+  /// nullptr when streaming is off.  Every job this runner submits
+  /// streams into it when options().interval > 0.
+  [[nodiscard]] MetricSink* metric_sink() { return metric_sink_.get(); }
+
  private:
   RunnerOptions options_;
+  std::unique_ptr<MetricSink> metric_sink_;  ///< outlives the service
   std::unique_ptr<SimService> service_;
 };
 

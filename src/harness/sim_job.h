@@ -13,18 +13,23 @@
 #include <string_view>
 
 #include "core/arch_config.h"
+#include "core/sim_result.h"  // kSimSchemaVersion
 
 namespace ringclu {
 
-/// Bump when simulator semantics change so stale cache entries re-run.
-inline constexpr int kSimSchemaVersion = 3;
+class MetricSink;
 
-/// Run-control parameters (everything besides the machine and workload
-/// that affects the simulated numbers).
+/// Run-control parameters.  instrs/warmup/seed determine the simulated
+/// numbers and are part of the cache key; interval only controls
+/// time-resolved sampling (sampling is read-only and never changes the
+/// end-of-run counters), so it is deliberately outside the key.
 struct RunParams {
   std::uint64_t instrs = 200000;  ///< measured instructions
   std::uint64_t warmup = 20000;   ///< warmup instructions (not measured)
   std::uint64_t seed = 42;        ///< workload seed
+  /// Metric-sampling period in committed instructions; 0 disables
+  /// sampling (the default: byte-identical goldens, zero overhead).
+  std::uint64_t interval = 0;
 };
 
 /// One simulation request.
@@ -32,6 +37,16 @@ struct SimJob {
   ArchConfig config;
   std::string benchmark;
   RunParams params;
+  /// Optional per-interval metrics consumer (non-owning; must outlive the
+  /// service).  A job that streams (interval > 0 and a sink attached)
+  /// always simulates: it is neither served from the result store nor
+  /// coalesced with duplicates, so its sink sees the full series.
+  MetricSink* sink = nullptr;
+
+  /// True when this job produces a time-resolved metric stream.
+  [[nodiscard]] bool streaming() const {
+    return sink != nullptr && params.interval > 0;
+  }
 };
 
 /// The identity of a job for caching and coalescing purposes.  Pinned

@@ -5,6 +5,7 @@
 
 #include "core/processor.h"
 #include "harness/runner.h"
+#include "stats/metric_sink.h"
 #include "trace/synth/suite.h"
 #include "util/assert.h"
 #include "util/format.h"
@@ -38,10 +39,38 @@ std::string_view job_status_name(JobStatus status) {
   RINGCLU_UNREACHABLE("bad JobStatus");
 }
 
+namespace {
+
+/// Observer bridging Processor sampling to the job's MetricSink.
+class SinkObserver final : public SimObserver {
+ public:
+  SinkObserver(MetricSink& sink, const MetricRunContext& context)
+      : sink_(sink), context_(context) {}
+  void on_interval(const IntervalSample& sample) override {
+    sink_.on_interval(context_, sample);
+  }
+
+ private:
+  MetricSink& sink_;
+  const MetricRunContext& context_;
+};
+
+}  // namespace
+
 SimResult run_sim_job(const SimJob& job) {
   auto trace = make_benchmark_trace(job.benchmark, job.params.seed);
   Processor processor(job.config, job.params.seed);
-  return processor.run(*trace, job.params.warmup, job.params.instrs);
+  if (!job.streaming()) {
+    return processor.run(*trace, job.params.warmup, job.params.instrs);
+  }
+  const MetricRunContext context{job.config.name, job.benchmark,
+                                 job.params.interval, job.params.seed};
+  SinkObserver observer(*job.sink, context);
+  const SimResult result =
+      processor.run(*trace, job.params.warmup, job.params.instrs,
+                    RunHooks{&observer, job.params.interval});
+  job.sink->on_run_complete(context, result);
+  return result;
 }
 
 /// Shared per-job state.  All fields are guarded by the owning service's
@@ -141,7 +170,7 @@ SimService::~SimService() {
     stopping_ = true;
     for (const std::shared_ptr<JobState>& state : queue_) {
       state->status = JobStatus::Cancelled;
-      in_flight_.erase(state->key);
+      unindex_locked(state);
     }
     queue_.clear();
   }
@@ -209,8 +238,14 @@ JobHandle SimService::submit_one(SimJob&& job) {
     return make_handle(std::move(state));
   }
 
+  // Streaming jobs (an attached sink + sampling interval) always
+  // simulate: a store hit or a coalesced duplicate would leave their sink
+  // without the interval series.  They also never register in the
+  // coalescing index, so later duplicates do not attach to them either.
+  const bool streaming = state->job.streaming();
+
   // Coalesce with an identical queued/running job.
-  {
+  if (!streaming) {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto in_flight = in_flight_.find(state->key);
     if (in_flight != in_flight_.end()) {
@@ -222,7 +257,7 @@ JobHandle SimService::submit_one(SimJob&& job) {
   // Serve from the store (skipped under force).  The read — possibly a
   // first-touch parse of an on-disk cache — runs without holding mutex_,
   // so it never stalls workers publishing results or handles polling.
-  if (!options_.force) {
+  if (!options_.force && !streaming) {
     if (std::optional<SimResult> cached = store_->get(state->key)) {
       state->status = JobStatus::Done;
       state->result = *std::move(cached);
@@ -236,22 +271,33 @@ JobHandle SimService::submit_one(SimJob&& job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     // Re-check: a duplicate may have been queued while we read the store.
-    const auto in_flight = in_flight_.find(state->key);
-    if (in_flight != in_flight_.end()) {
-      ++coalesced_;
-      return make_handle(in_flight->second);
+    if (!streaming) {
+      const auto in_flight = in_flight_.find(state->key);
+      if (in_flight != in_flight_.end()) {
+        ++coalesced_;
+        return make_handle(in_flight->second);
+      }
     }
     state->status = JobStatus::Queued;
     // Attach the handle before publishing the state to the queue: from
     // that point on, waiters is shared with coalescing submitters.
     handle = make_handle(state);
     queue_.push_back(state);
-    in_flight_.emplace(state->key, state);
+    if (!streaming) in_flight_.emplace(state->key, state);
     ++total_accepted_;
     spawn_worker_locked();
   }
   work_cv_.notify_one();
   return handle;
+}
+
+/// Removes \p state from the coalescing index.  Guarded lookup: streaming
+/// jobs never register, and a streaming + non-streaming pair can share a
+/// key, so erase only the entry that maps to this exact state.
+/// \pre mutex_ held.
+void SimService::unindex_locked(const std::shared_ptr<JobState>& state) {
+  const auto it = in_flight_.find(state->key);
+  if (it != in_flight_.end() && it->second == state) in_flight_.erase(it);
 }
 
 void SimService::worker_loop() {
@@ -269,12 +315,18 @@ void SimService::worker_loop() {
     lock.unlock();
 
     SimResult result = run_sim_job(state->job);
-    store_->put(state->key, result);
+    // Streaming jobs skipped the store read, so an entry may already
+    // exist; re-putting would append a duplicate line to persistent
+    // backends on every repeated streaming run (first-write-wins makes
+    // it dead weight, not a wrong answer — but unbounded growth).
+    if (!state->job.streaming() || !store_->get(state->key)) {
+      store_->put(state->key, result);
+    }
 
     lock.lock();
     state->status = JobStatus::Done;
     state->result = std::move(result);
-    in_flight_.erase(state->key);
+    unindex_locked(state);
     std::vector<std::function<void(const SimResult&)>> callbacks =
         std::move(state->callbacks);
     state->callbacks.clear();
@@ -320,7 +372,7 @@ bool JobHandle::cancel() {
     if (state.waiters == 0) {
       // Last interested handle: drop the job before it is dispatched.
       state.status = JobStatus::Cancelled;
-      service.in_flight_.erase(state.key);
+      service.unindex_locked(core_->state);
       auto& queue = service.queue_;
       queue.erase(std::remove(queue.begin(), queue.end(), core_->state),
                   queue.end());

@@ -15,7 +15,11 @@
 ///     grouping the remaining misses for scheduling,
 ///   - supports per-handle cancellation (a queued job whose last
 ///     interested handle cancels is dropped before it ever runs) and
-///     completion callbacks.
+///     completion callbacks,
+///   - streams time-resolved metrics: a SimJob with a sampling interval
+///     and an attached MetricSink (sim_job.h) always simulates — never a
+///     store hit, never coalesced — and its worker feeds every interval
+///     sample plus the finished result to the sink.
 ///
 /// ExperimentRunner (runner.h) is a thin synchronous shim over this class;
 /// new code that wants overlap, progress reporting or cancellation should
@@ -177,6 +181,9 @@ class SimService {
   JobHandle submit_one(SimJob&& job);
   /// Grows the worker pool up to options_.threads.  \pre mutex_ held.
   void spawn_worker_locked();
+  /// Removes \p state from the coalescing index iff it is the indexed
+  /// entry for its key (streaming jobs never register).  \pre mutex_ held.
+  void unindex_locked(const std::shared_ptr<JobState>& state);
 
   SimServiceOptions options_;
   std::unique_ptr<ResultStore> store_;

@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file metric_sink.h
+/// Pluggable consumers for time-resolved metric streams.
+///
+/// A MetricSink receives every IntervalSample a sampled run produces plus
+/// one end-of-run record, each tagged with the run's identity
+/// (MetricRunContext).  One sink instance may serve many concurrent runs —
+/// SimService workers stream into the sink attached to their SimJob from
+/// worker threads — so implementations are thread-safe and records from
+/// different runs may interleave (records of one run stay in order; the
+/// context fields disambiguate).
+///
+/// Three backends ship today:
+///   jsonl    one self-describing JSON object per line (interval records
+///            via interval_to_json, run records via result_to_json),
+///            appended to a file or stdout.  The streaming interchange
+///            format for dashboards and remote consumers.
+///   csv      interval rows accumulated into a TextTable, rendered as
+///            RFC-4180 CSV by flush()/destructor.
+///   memory   in-process record buffer with accessors, for tests and
+///            embedded consumers.
+///
+/// See DESIGN.md §8.
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/sim_observer.h"
+#include "core/sim_result.h"
+#include "stats/metrics.h"
+#include "stats/table.h"
+
+namespace ringclu {
+
+/// Receives the metric stream of sampled runs.  All methods are
+/// thread-safe; calls for one run arrive in order on one thread.
+class MetricSink {
+ public:
+  virtual ~MetricSink() = default;
+
+  /// One interval of one run.
+  virtual void on_interval(const MetricRunContext& context,
+                           const IntervalSample& sample) = 0;
+
+  /// The finished run the preceding intervals belong to.
+  virtual void on_run_complete(const MetricRunContext& context,
+                               const SimResult& result) = 0;
+
+  /// Human-readable backend description for logs.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// In-process buffer: every record kept, with accessors for tests and
+/// embedded consumers.
+class MemoryMetricSink final : public MetricSink {
+ public:
+  struct IntervalRecord {
+    MetricRunContext context;
+    IntervalSample sample;
+  };
+  struct RunRecord {
+    MetricRunContext context;
+    SimResult result;
+  };
+
+  void on_interval(const MetricRunContext& context,
+                   const IntervalSample& sample) override;
+  void on_run_complete(const MetricRunContext& context,
+                       const SimResult& result) override;
+  [[nodiscard]] std::string describe() const override { return "memory"; }
+
+  [[nodiscard]] std::vector<IntervalRecord> intervals() const;
+  [[nodiscard]] std::vector<RunRecord> runs() const;
+  /// Intervals of one (config, benchmark) run, in emission order.
+  [[nodiscard]] std::vector<IntervalSample> intervals_for(
+      std::string_view config_name, std::string_view benchmark) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<IntervalRecord> intervals_;
+  std::vector<RunRecord> runs_;
+};
+
+/// JSON Lines: one record per line, streamed as produced.  Writes go to
+/// an owned file (append mode) or to stdout when constructed without a
+/// path.  Each line is flushed immediately so concurrent readers (and
+/// crashed runs) see complete records.
+class JsonLinesMetricSink final : public MetricSink {
+ public:
+  /// Appends to \p path (parent directory must exist; "-" means stdout).
+  /// Aborts if the file cannot be opened.
+  explicit JsonLinesMetricSink(
+      const std::string& path,
+      const MetricsRegistry& registry = MetricsRegistry::builtin());
+  ~JsonLinesMetricSink() override;
+
+  void on_interval(const MetricRunContext& context,
+                   const IntervalSample& sample) override;
+  void on_run_complete(const MetricRunContext& context,
+                       const SimResult& result) override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  void write_line(const std::string& line);
+
+  const MetricsRegistry& registry_;
+  std::string path_;
+  std::FILE* file_ = nullptr;  ///< nullptr -> stdout
+  std::mutex mutex_;
+};
+
+/// CSV via TextTable: one row per interval (run identity, interval
+/// bounds, then every time-resolved registry metric evaluated on the
+/// delta).  Rows accumulate in memory; flush() (or the destructor)
+/// renders the RFC-4180 table to the path given at construction.
+class CsvMetricSink final : public MetricSink {
+ public:
+  explicit CsvMetricSink(
+      std::string path,
+      const MetricsRegistry& registry = MetricsRegistry::builtin());
+  ~CsvMetricSink() override;
+
+  void on_interval(const MetricRunContext& context,
+                   const IntervalSample& sample) override;
+  void on_run_complete(const MetricRunContext& context,
+                       const SimResult& result) override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// Renders all rows so far to the configured path (overwrite).  Called
+  /// automatically on destruction; idempotent.
+  void flush();
+
+  /// The CSV document so far (tests; callers that skip the file).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  const MetricsRegistry& registry_;
+  std::string path_;
+  mutable std::mutex mutex_;
+  TextTable table_;
+};
+
+enum class MetricSinkKind { Memory, JsonLines, Csv };
+
+/// "memory" | "jsonl" | "csv" -> kind; nullopt on anything else.
+[[nodiscard]] std::optional<MetricSinkKind> parse_metric_sink_kind(
+    std::string_view name);
+[[nodiscard]] std::string_view metric_sink_kind_name(MetricSinkKind kind);
+
+/// Builds a sink.  \p path is the output file (jsonl/csv; "-" means
+/// stdout for jsonl) and is ignored for memory.
+[[nodiscard]] std::unique_ptr<MetricSink> make_metric_sink(
+    MetricSinkKind kind, const std::string& path);
+
+/// Parses a "<kind>:<path>" sink spec (the RINGCLU_METRICS format), e.g.
+/// "jsonl:metrics.jsonl" or "csv:metrics.csv".  The memory kind is
+/// rejected here: a spec names an output something else can read.
+[[nodiscard]] std::optional<std::pair<MetricSinkKind, std::string>>
+parse_metric_sink_spec(std::string_view spec);
+
+}  // namespace ringclu

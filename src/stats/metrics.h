@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file metrics.h
+/// The metrics registry: the public instrumentation surface of the
+/// simulator.
+///
+/// Every number the paper's figures plot — and every raw counter behind
+/// them — is registered here as a typed, named MetricDesc with a unit, a
+/// description and the figure it feeds.  A metric is a *view* bound onto
+/// SimResult/SimCounters: evaluating one never touches the Processor hot
+/// path, so new figures, sweep dashboards and streaming consumers plug in
+/// by registry lookup instead of editing core structs.
+///
+/// Three layers build on this registry:
+///   - report.h aggregation (group_mean by metric name),
+///   - the MetricSink backends (metric_sink.h) streaming per-interval
+///     series sampled by a SimObserver (core/sim_observer.h),
+///   - the machine-readable CLI outputs (ringclu_sim --json and the
+///     --matrix json= JSON Lines stream), built by result_to_json /
+///     interval_to_json below.
+///
+/// See DESIGN.md §8.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sim_observer.h"
+#include "core/sim_result.h"
+
+namespace ringclu {
+
+/// What a metric measures.
+enum class MetricKind {
+  Counter,  ///< raw event count accumulated over the measurement window
+  Ratio,    ///< derived value (quotient of counters, share, average)
+};
+
+[[nodiscard]] std::string_view metric_kind_name(MetricKind kind);
+
+/// One named, typed, documented metric bound onto SimResult.
+struct MetricDesc {
+  std::string name;         ///< registry key, e.g. "ipc"
+  std::string unit;         ///< e.g. "instr/cycle", "count", "fraction"
+  std::string description;  ///< one-line human description
+  std::string figure;       ///< paper figure/table tag ("fig07"), "" if none
+  MetricKind kind = MetricKind::Ratio;
+  /// True when the metric is meaningful evaluated on an interval delta;
+  /// false for host-side values (wall-clock throughput) that only exist
+  /// for a whole run.
+  bool time_resolved = true;
+  std::function<double(const SimResult&)> value;
+};
+
+/// An ordered collection of uniquely named metrics.  The built-in
+/// registry covers every SimCounters field and every derived ratio the
+/// figures use; extensions copy it and add their own views.
+class MetricsRegistry {
+ public:
+  /// Registers \p metric.  \pre the name is non-empty and not yet taken,
+  /// and the value function is set.
+  void add(MetricDesc metric);
+
+  /// Lookup by name; nullptr when unknown.
+  [[nodiscard]] const MetricDesc* try_find(std::string_view name) const;
+
+  /// Lookup by name.  \pre the metric exists.
+  [[nodiscard]] const MetricDesc& at(std::string_view name) const;
+
+  /// All metrics in registration order.
+  [[nodiscard]] std::span<const MetricDesc> metrics() const {
+    return metrics_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return metrics_.size(); }
+
+  /// The process-wide registry of built-in metrics (immutable).
+  [[nodiscard]] static const MetricsRegistry& builtin();
+
+  /// A fresh registry pre-populated with the built-in metrics, for
+  /// callers that want to register additional views.
+  [[nodiscard]] static MetricsRegistry make_builtin();
+
+ private:
+  std::vector<MetricDesc> metrics_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+/// Identifies the run a metric record belongs to (threaded to sinks).
+struct MetricRunContext {
+  std::string config_name;
+  std::string benchmark;
+  std::uint64_t interval_instrs = 0;  ///< sampling period, 0 when off
+  std::uint64_t seed = 0;
+};
+
+/// Full machine-readable report of one finished run: config/benchmark
+/// identity, schema version, raw counters, every registry metric, the
+/// per-cluster dispatch shares and the host-side throughput block.  One
+/// JSON object, no trailing newline.  This is exactly what
+/// `ringclu_sim --json` prints (pinned by a parse round-trip test).
+[[nodiscard]] std::string result_to_json(
+    const SimResult& result,
+    const MetricsRegistry& registry = MetricsRegistry::builtin());
+
+/// One JSON Lines record for an interval sample: run identity, interval
+/// index/bounds, the delta counters and every time-resolved registry
+/// metric evaluated on the delta.  One JSON object, no trailing newline.
+[[nodiscard]] std::string interval_to_json(
+    const MetricRunContext& context, const IntervalSample& sample,
+    const MetricsRegistry& registry = MetricsRegistry::builtin());
+
+}  // namespace ringclu

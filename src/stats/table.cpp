@@ -64,11 +64,38 @@ std::string TextTable::render_aligned() const {
   return out;
 }
 
+namespace {
+
+/// RFC-4180 field encoding: quote when the cell contains a comma, a
+/// double quote or a line break, doubling embedded quotes.
+std::string csv_field(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_row(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c != 0) out += ',';
+    out += csv_field(cells[c]);
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
 std::string TextTable::render_csv() const {
-  std::string out = join(headers_, ",") + "\n";
+  std::string out = csv_row(headers_);
   for (const auto& row : rows_) {
     RINGCLU_EXPECTS(row.size() == headers_.size());
-    out += join(row, ",") + "\n";
+    out += csv_row(row);
   }
   return out;
 }

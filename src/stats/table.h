@@ -29,7 +29,8 @@ class TextTable {
   /// Space-aligned rendering for terminals.
   [[nodiscard]] std::string render_aligned() const;
 
-  /// Comma-separated rendering (no quoting; cells must not contain commas).
+  /// RFC-4180 comma-separated rendering: cells containing commas, double
+  /// quotes or newlines are quoted, with embedded quotes doubled.
   [[nodiscard]] std::string render_csv() const;
 
   /// GitHub-flavored markdown rendering.

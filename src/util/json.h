@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file json.h
+/// Minimal JSON support: an escaping writer for the machine-readable
+/// outputs (ringclu_sim --json, JSON Lines metric sinks) and a small
+/// recursive-descent parser used to validate those outputs round-trip.
+/// Deliberately tiny — objects, arrays, strings, doubles, bools, null —
+/// no external dependency.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ringclu {
+
+/// Escapes \p text for use inside a JSON string literal (quotes not
+/// included): ", \, control characters.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Formats \p value the way JSON requires: no NaN/Inf (mapped to 0),
+/// integral values without a trailing ".0" explosion, %.17g otherwise so
+/// doubles round-trip exactly.
+[[nodiscard]] std::string json_number(double value);
+
+/// Streaming writer for one JSON document.  Keys/values are emitted in
+/// call order; the writer inserts commas and quotes and escapes strings.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("gzip");
+///   w.key("ipc").value(1.25);
+///   w.end_object();
+///   std::string doc = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key (inside an object only).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// The document so far.  \pre all containers closed for a full document.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  std::string out_;
+  /// One entry per open container: true when a value has already been
+  /// written at this level (so the next one needs a comma).
+  std::vector<bool> needs_comma_;
+};
+
+/// Parsed JSON value (tree form).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Ordered (insertion order is not preserved; lookups by key).
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::Array; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one JSON document (object, array or scalar).  Returns nullopt on
+/// any syntax error or trailing garbage.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace ringclu

@@ -3,11 +3,17 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ringclu {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+LogLevel initial_level() {
+  const char* env = std::getenv("RINGCLU_LOG");
+  return env != nullptr ? parse_log_level(env) : LogLevel::Warn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 
 const char* level_tag(LogLevel level) {
   switch (level) {

@@ -396,5 +396,83 @@ TEST(Report, FindResult) {
   EXPECT_EQ(find_result(results, "art").benchmark, "art");
 }
 
+TEST(Report, TryFindResultReturnsNullWhenAbsent) {
+  std::vector<SimResult> results;
+  results.push_back(make_result("ring", "swim", 1, 1));
+  results.push_back(make_result("conv", "swim", 1, 1));
+
+  const SimResult* by_bench = try_find_result(results, "swim");
+  ASSERT_NE(by_bench, nullptr);
+  EXPECT_EQ(by_bench->config_name, "ring");  // first match wins
+  EXPECT_EQ(try_find_result(results, "gzip"), nullptr);
+
+  const SimResult* by_pair = try_find_result(results, "conv", "swim");
+  ASSERT_NE(by_pair, nullptr);
+  EXPECT_EQ(by_pair->config_name, "conv");
+  EXPECT_EQ(try_find_result(results, "conv", "gzip"), nullptr);
+  EXPECT_EQ(try_find_result(results, "ssa", "swim"), nullptr);
+  EXPECT_EQ(try_find_result({}, "swim"), nullptr);
+}
+
+TEST(Report, FindResultDiesWhenAbsent) {
+  std::vector<SimResult> results;
+  results.push_back(make_result("c", "swim", 1, 1));
+  EXPECT_DEATH((void)find_result(results, "gzip"), "not present");
+}
+
+TEST(Report, EmptyGroupMeanIsZero) {
+  const std::vector<SimResult> empty;
+  EXPECT_EQ(group_mean(empty, BenchGroup::All,
+                       [](const SimResult& r) { return r.ipc(); }),
+            0.0);
+  // An all-INT result set has an empty FP group.
+  std::vector<SimResult> int_only;
+  int_only.push_back(make_result("c", "gzip", 100, 200));
+  EXPECT_EQ(group_mean(int_only, BenchGroup::Fp,
+                       [](const SimResult& r) { return r.ipc(); }),
+            0.0);
+  EXPECT_EQ(group_speedup(empty, empty, BenchGroup::All), 0.0);
+}
+
+TEST(Report, GroupMeanByRegisteredMetricName) {
+  std::vector<SimResult> results;
+  results.push_back(make_result("c", "swim", 100, 200));  // ipc 2
+  results.push_back(make_result("c", "gzip", 100, 100));  // ipc 1
+  EXPECT_DOUBLE_EQ(group_mean(results, BenchGroup::All, "ipc"), 1.5);
+  EXPECT_DOUBLE_EQ(group_mean(results, BenchGroup::All, "cycles"), 100.0);
+  EXPECT_DOUBLE_EQ(
+      group_mean(results, BenchGroup::Int, "comms_per_instr"),
+      results[1].comms_per_instr());
+}
+
+TEST(Report, GroupMeanByUnknownMetricNameDies) {
+  std::vector<SimResult> results;
+  results.push_back(make_result("c", "swim", 100, 200));
+  EXPECT_DEATH((void)group_mean(results, BenchGroup::All, "no_such"),
+               "unknown metric");
+}
+
+TEST(Report, ZeroIpcSpeedupEntryDies) {
+  // A zero-IPC entry would make the geometric mean ill-defined; the
+  // contract is an abort, not a NaN propagating into a figure.
+  std::vector<SimResult> ring;
+  std::vector<SimResult> conv;
+  ring.push_back(make_result("r", "swim", 100, 0));  // 0 IPC
+  conv.push_back(make_result("c", "swim", 100, 200));
+  EXPECT_DEATH((void)group_speedup(ring, conv, BenchGroup::All), "ratio");
+}
+
+TEST(Report, MisalignedSpeedupSpansDie) {
+  std::vector<SimResult> ring;
+  std::vector<SimResult> conv;
+  ring.push_back(make_result("r", "swim", 100, 220));
+  // Size mismatch dies on the span-length precondition.
+  EXPECT_DEATH((void)group_speedup(ring, conv, BenchGroup::All), "size");
+  // Equal sizes but different benchmark order dies on the alignment check.
+  conv.push_back(make_result("c", "gzip", 100, 200));
+  EXPECT_DEATH((void)group_speedup(ring, conv, BenchGroup::All),
+               "benchmark");
+}
+
 }  // namespace
 }  // namespace ringclu

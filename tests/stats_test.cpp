@@ -77,6 +77,29 @@ TEST(TextTable, CsvRendering) {
   EXPECT_EQ(table.render_csv(), "x,y\n1.5,z\n");
 }
 
+TEST(TextTable, CsvQuotesCellsContainingCommas) {
+  TextTable table({"name", "note"});
+  table.begin_row();
+  table.add_cell("gzip,swim");
+  table.add_cell("plain");
+  EXPECT_EQ(table.render_csv(), "name,note\n\"gzip,swim\",plain\n");
+}
+
+TEST(TextTable, CsvDoublesEmbeddedQuotes) {
+  TextTable table({"h"});
+  table.begin_row();
+  table.add_cell("say \"hi\"");
+  EXPECT_EQ(table.render_csv(), "h\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTable, CsvQuotesNewlinesAndQuotedHeaders) {
+  TextTable table({"a,b", "c"});
+  table.begin_row();
+  table.add_cell("line1\nline2");
+  table.add_cell("x");
+  EXPECT_EQ(table.render_csv(), "\"a,b\",c\n\"line1\nline2\",x\n");
+}
+
 TEST(TextTable, MarkdownRendering) {
   TextTable table({"h"});
   table.begin_row();

@@ -3,7 +3,7 @@
 /// with arbitrary parameter overrides, or a whole matrix through the
 /// asynchronous SimService.
 ///
-///   ringclu_sim <preset> <benchmark|trace.rct> [key=value ...]
+///   ringclu_sim [--json] <preset> <benchmark|trace.rct> [key=value ...]
 ///   ringclu_sim --matrix [key=value ...]
 ///   ringclu_sim --list
 ///
@@ -13,7 +13,7 @@
 ///   regs, iq, comm_iq, rob, lsq   structure sizes
 ///   dcount_threshold              Conv imbalance threshold
 ///   eviction, eager_release       copy policies (bool)
-///   report=summary|detailed|csv   output format
+///   report=summary|detailed|csv|json   output format (--json == report=json)
 ///
 /// --matrix overrides:
 ///   configs=<preset,preset,...>   (default: the ten paper presets)
@@ -22,17 +22,24 @@
 ///   backend=tsv|sharded|memory    result store (RINGCLU_CACHE_BACKEND)
 ///   cache=<path>                  store path   (RINGCLU_CACHE)
 ///   force=1                       re-simulate despite the store
+///   interval=N                    sample metrics every N committed instrs
+///   json=<path> | csv=<path>      interval-metric sink (needs interval=N;
+///                                 sampled jobs always simulate)
 ///
 /// Examples:
 ///   ringclu_sim Ring_8clus_1bus_2IW swim instrs=1000000
+///   ringclu_sim --json Ring_8clus_1bus_2IW swim
 ///   ringclu_sim Conv_8clus_1bus_2IW gcc dcount_threshold=32 report=detailed
 ///   ringclu_sim Ring_4clus_1bus_2IW /tmp/capture.rct
 ///   ringclu_sim --matrix configs=Ring_8clus_1bus_2IW,Conv_8clus_1bus_2IW
 ///       benchmarks=gzip,swim backend=memory instrs=50000
+///   ringclu_sim --matrix benchmarks=gzip,swim interval=10000
+///       json=metrics.jsonl
 
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -41,6 +48,8 @@
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "harness/sim_service.h"
+#include "stats/metric_sink.h"
+#include "stats/metrics.h"
 #include "stats/table.h"
 #include "trace/synth/suite.h"
 #include "trace/trace_file.h"
@@ -146,19 +155,55 @@ int run_matrix_mode(const Config& options) {
     return 2;
   }
 
+  // Time-resolved metric streaming: interval=N plus a json=/csv= sink.
+  // CLI overrides win; RINGCLU_INTERVAL / RINGCLU_METRICS (already
+  // validated by from_env) are the defaults.
+  const std::uint64_t interval = static_cast<std::uint64_t>(options.get_int(
+      "interval", static_cast<std::int64_t>(runner_options.interval)));
+  std::string json_path = options.get_string("json", "");
+  std::string csv_path = options.get_string("csv", "");
+  if (interval > 0 && json_path.empty() && csv_path.empty() &&
+      !runner_options.metrics_sink.empty()) {
+    const auto spec = parse_metric_sink_spec(runner_options.metrics_sink);
+    if (spec.has_value()) {
+      (spec->first == MetricSinkKind::JsonLines ? json_path : csv_path) =
+          spec->second;
+    }
+  }
+  if (!json_path.empty() && !csv_path.empty()) {
+    std::fprintf(stderr, "pick one metric sink: json=<path> or csv=<path>\n");
+    return 2;
+  }
+  const std::string sink_path = !json_path.empty() ? json_path : csv_path;
+  if ((interval > 0) != !sink_path.empty()) {
+    std::fprintf(stderr,
+                 "interval metrics need both interval=N and json=<path> "
+                 "(or csv=<path>)\n");
+    return 2;
+  }
+
   // Declared before the service: progress callbacks capture these by
-  // reference, and ~SimService joins workers (which may still be running
-  // a callback) before anything declared earlier is destroyed.
+  // reference, the jobs stream into the sink, and ~SimService joins
+  // workers (which may still be running a callback or a sink write)
+  // before anything declared earlier is destroyed.
   const std::size_t total = configs.size() * benchmarks.size();
   std::atomic<std::size_t> completed{0};
+  std::unique_ptr<MetricSink> sink;
+  if (interval > 0) {
+    sink = make_metric_sink(!json_path.empty() ? MetricSinkKind::JsonLines
+                                               : MetricSinkKind::Csv,
+                            sink_path);
+  }
 
   SimService service(runner_options);
+  RunParams params = runner_options.run_params();
+  params.interval = interval;
   std::vector<SimJob> jobs;
   jobs.reserve(total);
   for (const std::string& config : configs) {
     for (const std::string& benchmark : benchmarks) {
-      jobs.push_back(SimJob{ArchConfig::preset(config), benchmark,
-                            runner_options.run_params()});
+      jobs.push_back(
+          SimJob{ArchConfig::preset(config), benchmark, params, sink.get()});
     }
   }
 
@@ -167,6 +212,13 @@ int run_matrix_mode(const Config& options) {
                "%d thread(s), %s store)\n",
                total, configs.size(), benchmarks.size(),
                service.options().threads, service.store().describe().c_str());
+  if (sink != nullptr) {
+    std::fprintf(stderr,
+                 "[matrix] streaming interval metrics (every %llu committed "
+                 "instrs) to %s\n",
+                 static_cast<unsigned long long>(interval),
+                 sink->describe().c_str());
+  }
 
   std::vector<JobHandle> handles = service.submit_batch(std::move(jobs));
   for (JobHandle& handle : handles) {
@@ -194,18 +246,27 @@ int run_matrix_mode(const Config& options) {
               benchmarks.size(), service.simulations_run(),
               service.store_hits(), service.coalesced_submissions());
   TextTable table({"config", "AVERAGE", "INT", "FP"});
-  const std::size_t per_config = benchmarks.size();
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    const std::span<const SimResult> slice(results.data() + i * per_config,
-                                           per_config);
+  for (const std::string& config : configs) {
+    // Assemble the per-config slice by named lookup instead of index
+    // arithmetic; a missing pair is reported, not asserted.
+    std::vector<SimResult> slice;
+    slice.reserve(benchmarks.size());
+    for (const std::string& benchmark : benchmarks) {
+      const SimResult* result = try_find_result(results, config, benchmark);
+      if (result == nullptr) {
+        std::fprintf(stderr, "[matrix] missing result for %s/%s\n",
+                     config.c_str(), benchmark.c_str());
+        return 1;
+      }
+      slice.push_back(*result);
+    }
     table.begin_row();
-    table.add_cell(configs[i]);
+    table.add_cell(config);
     for (const BenchGroup group :
          {BenchGroup::All, BenchGroup::Int, BenchGroup::Fp}) {
-      table.add_cell(
-          group_mean(slice, group,
-                     [](const SimResult& r) { return r.ipc(); }),
-          3);
+      // Aggregation is registry-generic: any metric name from
+      // stats/metrics.h works here.
+      table.add_cell(group_mean(slice, group, "ipc"), 3);
     }
   }
   std::printf("%s\n", table.render_aligned().c_str());
@@ -233,9 +294,17 @@ int main(int argc, char** argv) {
     return run_matrix_mode(options);
   }
 
+  // --json: machine-readable single-run report (same as report=json).
+  bool json_report = false;
+  if (argc >= 2 && std::strcmp(argv[1], "--json") == 0) {
+    json_report = true;
+    --argc;
+    ++argv;
+  }
+
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: ringclu_sim <preset> <benchmark|trace.rct> "
+                 "usage: ringclu_sim [--json] <preset> <benchmark|trace.rct> "
                  "[key=value ...]\n"
                  "       ringclu_sim --matrix [key=value ...]\n"
                  "       ringclu_sim --list\n");
@@ -294,8 +363,13 @@ int main(int argc, char** argv) {
   Processor processor(config, seed);
   const SimResult result = processor.run(*trace, warmup, instrs);
 
-  const std::string report = options.get_string("report", "detailed");
-  if (report == "summary") {
+  const std::string report =
+      options.get_string("report", json_report ? "json" : "detailed");
+  if (report == "json") {
+    // The full metrics registry for one run, as one JSON document
+    // (round-trip pinned by tests/metrics_test.cpp).
+    std::printf("%s\n", result_to_json(result).c_str());
+  } else if (report == "summary") {
     std::printf("%s\n", result.summary().c_str());
   } else if (report == "csv") {
     std::printf("%s\n", serialize_result(result).c_str());
