@@ -1,13 +1,13 @@
 /// \file design_space.cpp
 /// Domain example: explore a clustered-machine design space the way an
-/// architect would — sweep cluster count, issue width and bus count for
-/// both machines on a chosen workload and print IPC plus the communication
-/// picture, normalized against a given baseline.
+/// architect would — declare the sweep instead of spelling out every run.
 ///
-/// The sweep goes through the asynchronous SimService: all ten design
-/// points are submitted as one batch, simulate in parallel on the worker
-/// pool, and report progress via completion callbacks while the main
-/// thread waits.
+/// The ten Table 3 design points are expressed as one declarative
+/// ExperimentSpec (harness/experiment.h) — the same JSON grammar
+/// `ringclu_sim --sweep` loads from disk — expanded into named points,
+/// and submitted as one batch through the asynchronous SimService: the
+/// points simulate in parallel on the worker pool and report progress via
+/// completion callbacks while the main thread waits.
 ///
 ///   ./design_space [benchmark] [instructions]
 ///
@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/arch_config.h"
+#include "harness/experiment.h"
 #include "harness/report.h"
 #include "harness/sim_service.h"
 #include "stats/table.h"
@@ -34,29 +35,49 @@ int main(int argc, char** argv) {
   std::printf("Design-space sweep on %s (%llu instructions per point)\n\n",
               benchmark.c_str(), static_cast<unsigned long long>(instrs));
 
-  const std::vector<std::string> presets = {
-      "Conv_4clus_1bus_2IW", "Ring_4clus_1bus_2IW",  //
-      "Conv_8clus_1bus_1IW", "Ring_8clus_1bus_1IW",  //
-      "Conv_8clus_2bus_1IW", "Ring_8clus_2bus_1IW",  //
-      "Conv_8clus_1bus_2IW", "Ring_8clus_1bus_2IW",  //
-      "Conv_8clus_2bus_2IW", "Ring_8clus_2bus_2IW",  //
-  };
+  // The whole experiment as one declarative spec: a "preset" axis whose
+  // values are the paper's design points, Conv/Ring paired per geometry.
+  // Writing this JSON to a file and running `ringclu_sim --sweep` is the
+  // command-line spelling of the same thing.
+  const std::string spec_json = str_format(
+      R"({
+        "name": "table3_design_space",
+        "axes": [
+          {"field": "preset", "values": [
+            "Conv_4clus_1bus_2IW", "Ring_4clus_1bus_2IW",
+            "Conv_8clus_1bus_1IW", "Ring_8clus_1bus_1IW",
+            "Conv_8clus_2bus_1IW", "Ring_8clus_2bus_1IW",
+            "Conv_8clus_1bus_2IW", "Ring_8clus_1bus_2IW",
+            "Conv_8clus_2bus_2IW", "Ring_8clus_2bus_2IW"]}
+        ],
+        "benchmarks": ["%s"],
+        "run": {"instrs": %llu, "warmup": %llu, "seed": 42}
+      })",
+      benchmark.c_str(), static_cast<unsigned long long>(instrs),
+      static_cast<unsigned long long>(instrs / 10));
+
+  std::vector<std::string> errors;
+  const std::optional<ExperimentSpec> spec =
+      ExperimentSpec::from_json(spec_json, &errors);
+  if (!spec) {
+    for (const std::string& error : errors) {
+      std::fprintf(stderr, "spec error: %s\n", error.c_str());
+    }
+    return 1;
+  }
+  const std::vector<ExperimentPoint> points = spec->expand();
 
   // Declared before the service: the progress callbacks capture these by
   // reference and can still be running inside ~SimService's worker join.
   std::atomic<std::size_t> completed{0};
-  const std::size_t total = presets.size();
+  const std::size_t total = points.size();
 
   SimService service(
       make_result_store(StoreBackend::Memory, "", /*verbose=*/false));
-  const RunParams params{instrs, instrs / 10, /*seed=*/42};
+  const RunParams params = spec->resolve_params(RunParams{});
 
-  std::vector<SimJob> jobs;
-  for (const std::string& preset : presets) {
-    jobs.push_back(SimJob{ArchConfig::preset(preset), benchmark, params});
-  }
-
-  std::vector<JobHandle> handles = service.submit_batch(std::move(jobs));
+  std::vector<JobHandle> handles = service.submit_batch(
+      make_sweep_jobs(points, spec->benchmarks, params));
   for (JobHandle& handle : handles) {
     handle.on_complete([&completed, total](const SimResult& result) {
       std::fprintf(stderr, "  [%zu/%zu] %s done\n",
@@ -77,26 +98,27 @@ int main(int argc, char** argv) {
 
   // The baseline row is found by name, not position: a reordered preset
   // list (or a dropped job) degrades to an error message, not a bad table.
+  const std::string& baseline_name = points.front().name;
   const SimResult* baseline =
-      try_find_result(results, presets.front(), benchmark);
+      try_find_result(results, baseline_name, benchmark);
   if (baseline == nullptr || baseline->ipc() == 0.0) {
     std::fprintf(stderr, "missing or empty baseline result %s/%s\n",
-                 presets.front().c_str(), benchmark.c_str());
+                 baseline_name.c_str(), benchmark.c_str());
     return 1;
   }
   const double baseline_ipc = baseline->ipc();
 
   TextTable table({"config", "IPC", "vs baseline", "comms/instr",
                    "avg dist", "contention", "NREADY"});
-  for (const std::string& preset : presets) {
-    const SimResult* result = try_find_result(results, preset, benchmark);
+  for (const ExperimentPoint& point : points) {
+    const SimResult* result = try_find_result(results, point.name, benchmark);
     if (result == nullptr) {
-      std::fprintf(stderr, "missing result for %s/%s\n", preset.c_str(),
+      std::fprintf(stderr, "missing result for %s/%s\n", point.name.c_str(),
                    benchmark.c_str());
       return 1;
     }
     table.begin_row();
-    table.add_cell(preset);
+    table.add_cell(point.name);
     table.add_cell(result->ipc(), 3);
     table.add_cell(pct(result->ipc() / baseline_ipc - 1.0));
     table.add_cell(result->comms_per_instr(), 3);
@@ -106,6 +128,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.render_aligned().c_str());
   std::printf("(baseline for the 'vs baseline' column: %s)\n",
-              presets.front().c_str());
+              baseline_name.c_str());
   return 0;
 }

@@ -43,6 +43,8 @@ class HybridPredictor {
     std::size_t bimodal_entries = 2048;
     std::size_t selector_entries = 1024;
     int history_bits = 11;
+
+    friend bool operator==(const SizeConfig&, const SizeConfig&) = default;
   };
 
   HybridPredictor() : HybridPredictor(SizeConfig{}) {}

@@ -19,10 +19,23 @@
 
 namespace ringclu {
 
+struct JsonValue;
+
+/// Version of the JSON configuration schema (the "config_schema" field
+/// emitted by ArchConfig::to_json).  Bumped when a field changes meaning;
+/// loading a file with a NEWER version than this is an error, an older or
+/// absent version loads defaults-aware as usual.
+inline constexpr int kArchConfigSchemaVersion = 1;
+
 struct ArchConfig {
   std::string name = "Ring_8clus_1bus_2IW";
   ArchKind arch = ArchKind::Ring;
   SteerAlgo steer = SteerAlgo::Enhanced;
+  /// Steering policy by registry name (steer/registry.h).  Empty (the
+  /// default) defers to the \c steer enum above — the compatibility path
+  /// every preset and legacy call site uses; non-empty names win and may
+  /// name policies the enum cannot (externally registered ones).
+  std::string steer_policy;
 
   int num_clusters = 8;
   int issue_width = 2;  ///< per class (INT and FP) per cluster
@@ -69,8 +82,75 @@ struct ArchConfig {
   /// Aborts on inconsistent parameters.
   void validate() const;
 
+  /// Lenient validation: every violated constraint as a human-readable
+  /// message ("num_clusters = 99 out of range [2, 16]"), empty when the
+  /// configuration is valid.  validate() aborts on exactly these checks;
+  /// loaders report the whole list at once and exit gracefully instead.
+  [[nodiscard]] std::vector<std::string> try_validate() const;
+
+  /// The steering policy's registry name: \c steer_policy when set, the
+  /// \c steer enum's name otherwise.
+  [[nodiscard]] std::string steering_policy_name() const;
+
+  /// Sets the steering policy by name — THE resolution rule every surface
+  /// (JSON "steer", CLI steer=, sweep axes) shares: enum names land on
+  /// the \c steer enum with \c steer_policy cleared (fingerprints and
+  /// legacy comparisons agree), other registered names ride in
+  /// \c steer_policy.  Returns the error message (listing the registered
+  /// policies) for unknown names, nullopt on success.
+  [[nodiscard]] std::optional<std::string> set_steering(
+      std::string_view policy_name);
+
   /// Table 2-style multi-line description.
   [[nodiscard]] std::string describe() const;
+
+  /// The full configuration (nested mem + bpred included) as one JSON
+  /// document, schema-versioned and round-trippable through from_json.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses \p text (a to_json document or a hand-written subset).
+  /// Defaults-aware: an absent field keeps its ArchConfig default; an
+  /// unknown field is an error listing the valid keys at that level; a
+  /// type mismatch, unregistered steering policy, newer config_schema or
+  /// try_validate() violation is an error too.  On failure returns
+  /// nullopt with every accumulated message appended to \p errors (may be
+  /// nullptr when the caller only needs the verdict).
+  ///
+  /// A top-level "preset" string loads that preset as the base the other
+  /// fields then override — sweep specs lean on this.
+  [[nodiscard]] static std::optional<ArchConfig> from_json(
+      std::string_view text, std::vector<std::string>* errors = nullptr);
+
+  /// Same, over an already-parsed document (sweep specs embed config
+  /// objects and reuse this directly).
+  [[nodiscard]] static std::optional<ArchConfig> from_json(
+      const JsonValue& document, std::vector<std::string>* errors = nullptr);
+
+  /// Stable digest of every simulated-behavior field (the name is
+  /// excluded: it is a display label).  Two configs with equal
+  /// fingerprints produce bit-identical simulations; the harness keys the
+  /// result store with it for non-preset configs.  Format: "cfg" + 16 hex
+  /// digits (FNV-1a over the canonical field dump).
+  [[nodiscard]] std::string fingerprint() const;
+
+  /// The identity the result store and coalescing key on: the preset name
+  /// when this config IS that preset (byte-compatible with every existing
+  /// cache and golden), the fingerprint otherwise (two differently-named
+  /// but identical sweep points share one simulation; two same-named but
+  /// divergent configs no longer collide).
+  [[nodiscard]] std::string cache_identity() const;
+
+  /// Sets the field with dotted \p path (e.g. "num_clusters",
+  /// "mem.l1d.size_bytes", "steer") from a JSON scalar.  Returns nullopt
+  /// on success, the error message otherwise.  The assignment surface
+  /// sweep axes use; validation is deferred to try_validate().
+  [[nodiscard]] std::optional<std::string> set_field(std::string_view path,
+                                                     const JsonValue& value);
+
+  /// Every settable dotted field path, in serialization order.
+  [[nodiscard]] static std::vector<std::string> field_names();
+
+  friend bool operator==(const ArchConfig&, const ArchConfig&) = default;
 
   /// Bus orientation implied by the architecture (Ring: all forward;
   /// Conv with 2 buses: one per direction).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "steer/registry.h"
 #include "util/assert.h"
 #include "util/rng.h"
 #include "stats/nready.h"
@@ -18,9 +19,13 @@ constexpr std::int64_t kWatchdogCycles = 100000;
 
 Processor::Processor(const ArchConfig& config, std::uint64_t seed)
     : config_(config),
-      policy_(make_steering_policy(config.steer, config.arch,
-                                   config.num_clusters,
-                                   config.dcount_threshold, seed)),
+      // Resolved through the string-keyed registry so externally
+      // registered policies work; enum-named configs construct the exact
+      // objects the old closed factory did.
+      policy_(SteeringRegistry::global().create(
+          config.steering_policy_name(),
+          SteerFactoryArgs{config.arch, config.num_clusters,
+                           config.dcount_threshold, seed})),
       values_(config.num_clusters),
       regs_(config.num_clusters, config.regs_per_class),
       buses_(config.num_clusters, config.num_buses, config.bus_orientation(),

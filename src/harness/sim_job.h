@@ -52,6 +52,8 @@ struct SimJob {
 /// The identity of a job for caching and coalescing purposes.  Pinned
 /// format (an interchange surface: keys are written into on-disk stores):
 ///   <config>|<benchmark>|<instrs>|<warmup>|<seed>|v<schema>
+/// where <config> is ArchConfig::cache_identity(): the preset name for a
+/// preset config, the "cfg<hex>" fingerprint for any other design point.
 [[nodiscard]] std::string sim_cache_key(std::string_view config_name,
                                         std::string_view benchmark,
                                         const RunParams& params);

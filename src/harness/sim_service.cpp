@@ -25,7 +25,13 @@ std::string sim_cache_key(std::string_view config_name,
 }
 
 std::string sim_cache_key(const SimJob& job) {
-  return sim_cache_key(job.config.name, job.benchmark, job.params);
+  // cache_identity(): the preset name for genuine presets (byte-compatible
+  // with every pre-existing store and golden), the config fingerprint for
+  // anything hand-built or sweep-expanded — so identical design points
+  // coalesce regardless of display name, and same-named-but-divergent
+  // configs never collide.
+  return sim_cache_key(job.config.cache_identity(), job.benchmark,
+                       job.params);
 }
 
 std::string_view job_status_name(JobStatus status) {

@@ -13,6 +13,8 @@ struct CacheConfig {
   std::uint64_t size_bytes = 32 * 1024;
   std::uint32_t line_bytes = 32;
   std::uint32_t ways = 4;
+
+  friend bool operator==(const CacheConfig&, const CacheConfig&) = default;
 };
 
 /// Set-associative, write-allocate cache directory (tags only).

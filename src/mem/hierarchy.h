@@ -22,6 +22,9 @@ struct MemHierarchyConfig {
   int l2_hit_latency = 10;
   int l2_miss_latency = 100;
   int l1d_ports = 4;  ///< combined read/write ports per cycle
+
+  friend bool operator==(const MemHierarchyConfig&,
+                         const MemHierarchyConfig&) = default;
 };
 
 /// Composes the caches into end-to-end access latencies.

@@ -1,5 +1,6 @@
 #include "steer/conv_steering.h"
 #include "steer/extra_policies.h"
+#include "steer/registry.h"
 #include "steer/ring_steering.h"
 #include "steer/ssa_steering.h"
 #include "steer/steering.h"
@@ -7,25 +8,43 @@
 
 namespace ringclu {
 
+void register_builtin_steering_policies(SteeringRegistry& registry) {
+  // "enhanced" is the only name whose meaning depends on the machine: the
+  // paper's Ring steering (§3.1) or the Conv DCOUNT baseline (§4.1).
+  registry.register_policy(
+      "enhanced", [](const SteerFactoryArgs& args) {
+        if (args.arch == ArchKind::Ring) {
+          return std::unique_ptr<SteeringPolicy>(
+              std::make_unique<RingSteering>(args.num_clusters));
+        }
+        return std::unique_ptr<SteeringPolicy>(std::make_unique<ConvSteering>(
+            args.num_clusters, args.dcount_threshold));
+      });
+  registry.register_policy("ssa", [](const SteerFactoryArgs& args) {
+    return std::unique_ptr<SteeringPolicy>(
+        std::make_unique<SimpleSteering>(args.num_clusters));
+  });
+  registry.register_policy("round_robin", [](const SteerFactoryArgs& args) {
+    return std::unique_ptr<SteeringPolicy>(
+        std::make_unique<RoundRobinSteering>(args.num_clusters));
+  });
+  registry.register_policy("random", [](const SteerFactoryArgs& args) {
+    return std::unique_ptr<SteeringPolicy>(
+        std::make_unique<RandomSteering>(args.num_clusters, args.seed));
+  });
+}
+
+// Compatibility shim: the closed-enum factory the pre-registry call sites
+// use.  Every enum value maps onto its registered name, so enum and
+// string callers construct identical policy objects.
 std::unique_ptr<SteeringPolicy> make_steering_policy(SteerAlgo algo,
                                                      ArchKind arch,
                                                      int num_clusters,
                                                      int dcount_threshold,
                                                      std::uint64_t seed) {
-  switch (algo) {
-    case SteerAlgo::Enhanced:
-      if (arch == ArchKind::Ring) {
-        return std::make_unique<RingSteering>(num_clusters);
-      }
-      return std::make_unique<ConvSteering>(num_clusters, dcount_threshold);
-    case SteerAlgo::Simple:
-      return std::make_unique<SimpleSteering>(num_clusters);
-    case SteerAlgo::RoundRobin:
-      return std::make_unique<RoundRobinSteering>(num_clusters);
-    case SteerAlgo::Random:
-      return std::make_unique<RandomSteering>(num_clusters, seed);
-  }
-  RINGCLU_UNREACHABLE("unknown steering algorithm");
+  return SteeringRegistry::global().create(
+      steer_algo_name(algo),
+      SteerFactoryArgs{arch, num_clusters, dcount_threshold, seed});
 }
 
 }  // namespace ringclu

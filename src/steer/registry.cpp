@@ -1,0 +1,67 @@
+#include "steer/registry.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/format.h"
+
+namespace ringclu {
+
+SteeringRegistry& SteeringRegistry::global() {
+  static SteeringRegistry* registry = [] {
+    auto* r = new SteeringRegistry();
+    // Defined in factory.cpp, next to the policies it registers; going
+    // through it here guarantees the built-ins are present before any
+    // lookup, regardless of link order.
+    register_builtin_steering_policies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SteeringRegistry::register_policy(std::string name, Factory factory) {
+  RINGCLU_EXPECTS(!name.empty() && "policy name must be non-empty");
+  RINGCLU_EXPECTS(factory != nullptr && "policy factory must be callable");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const bool inserted =
+      policies_.emplace(std::move(name), std::move(factory)).second;
+  RINGCLU_EXPECTS(inserted && "steering policy name already registered");
+}
+
+bool SteeringRegistry::contains(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return policies_.find(name) != policies_.end();
+}
+
+std::unique_ptr<SteeringPolicy> SteeringRegistry::create(
+    std::string_view name, const SteerFactoryArgs& args) const {
+  std::unique_ptr<SteeringPolicy> policy = try_create(name, args);
+  RINGCLU_EXPECTS(policy != nullptr && "unknown steering policy");
+  return policy;
+}
+
+std::unique_ptr<SteeringPolicy> SteeringRegistry::try_create(
+    std::string_view name, const SteerFactoryArgs& args) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = policies_.find(name);
+    if (it == policies_.end()) return nullptr;
+    factory = it->second;  // Copy: run the factory outside the lock.
+  }
+  return factory(args);
+}
+
+std::vector<std::string> SteeringRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(policies_.size());
+  for (const auto& [name, factory] : policies_) out.push_back(name);
+  return out;  // std::map iterates in sorted order.
+}
+
+std::string SteeringRegistry::names_joined() const {
+  return join(names(), ", ");
+}
+
+}  // namespace ringclu

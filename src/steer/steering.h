@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string_view>
 
 #include "cluster/value_map.h"
@@ -127,8 +128,20 @@ enum class SteerAlgo : std::uint8_t {
   return "?";
 }
 
-/// Factory.  \p dcount_threshold only affects Conv+Enhanced; \p seed only
-/// affects Random.
+/// Inverse of steer_algo_name: nullopt when \p name is not an enum name
+/// (it may still be a registered policy — see steer/registry.h).
+[[nodiscard]] constexpr std::optional<SteerAlgo> try_steer_algo(
+    std::string_view name) {
+  if (name == "enhanced") return SteerAlgo::Enhanced;
+  if (name == "ssa") return SteerAlgo::Simple;
+  if (name == "round_robin") return SteerAlgo::RoundRobin;
+  if (name == "random") return SteerAlgo::Random;
+  return std::nullopt;
+}
+
+/// Factory (compatibility shim over SteeringRegistry — steer/registry.h is
+/// the open, string-keyed surface).  \p dcount_threshold only affects
+/// Conv+Enhanced; \p seed only affects Random.
 [[nodiscard]] std::unique_ptr<SteeringPolicy> make_steering_policy(
     SteerAlgo algo, ArchKind arch, int num_clusters, int dcount_threshold,
     std::uint64_t seed);

@@ -322,4 +322,64 @@ std::optional<JsonValue> json_parse(std::string_view text) {
   return Parser(text).parse_document();
 }
 
+namespace {
+
+void pretty_append(const JsonValue& value, int indent, int depth,
+                   std::string& out) {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+  switch (value.kind) {
+    case JsonValue::Kind::Null: out += "null"; return;
+    case JsonValue::Kind::Bool: out += value.boolean ? "true" : "false"; return;
+    case JsonValue::Kind::Number: out += json_number(value.number); return;
+    case JsonValue::Kind::String:
+      out += '"';
+      out += json_escape(value.string);
+      out += '"';
+      return;
+    case JsonValue::Kind::Array: {
+      if (value.array.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        out += pad;
+        pretty_append(value.array[i], indent, depth + 1, out);
+        out += i + 1 < value.array.size() ? ",\n" : "\n";
+      }
+      out += close_pad;
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::Object: {
+      if (value.object.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      std::size_t remaining = value.object.size();
+      for (const auto& [key, member] : value.object) {
+        out += pad;
+        out += '"';
+        out += json_escape(key);
+        out += "\": ";
+        pretty_append(member, indent, depth + 1, out);
+        out += --remaining > 0 ? ",\n" : "\n";
+      }
+      out += close_pad;
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_pretty(const JsonValue& value, int indent) {
+  std::string out;
+  pretty_append(value, indent, 0, out);
+  return out;
+}
+
 }  // namespace ringclu

@@ -90,4 +90,10 @@ struct JsonValue {
 /// any syntax error or trailing garbage.
 [[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
 
+/// Serializes \p value back to JSON text, indented \p indent spaces per
+/// level (human-facing outputs: --dump-config, expanded sweep artifacts).
+/// Object keys emit in JsonValue's map order (sorted); numbers print via
+/// json_number, so parse -> pretty -> parse round-trips.
+[[nodiscard]] std::string json_pretty(const JsonValue& value, int indent = 2);
+
 }  // namespace ringclu

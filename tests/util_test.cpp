@@ -6,6 +6,7 @@
 
 #include "util/config.h"
 #include "util/format.h"
+#include "util/json.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/static_vector.h"
@@ -215,6 +216,29 @@ TEST(Log, ParseLevels) {
   EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
   EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
   EXPECT_EQ(parse_log_level("bogus"), LogLevel::Warn);
+}
+
+TEST(JsonPretty, IndentsAndRoundTrips) {
+  const std::string compact =
+      R"({"b":[1,2,{"x":true}],"a":"hi\n","empty":{},"none":null})";
+  const std::optional<JsonValue> parsed = json_parse(compact);
+  ASSERT_TRUE(parsed.has_value());
+  const std::string pretty = json_pretty(*parsed);
+  // Indented output, keys in map (sorted) order, escapes intact.
+  EXPECT_NE(pretty.find("  \"a\": \"hi\\n\""), std::string::npos);
+  EXPECT_NE(pretty.find("\"empty\": {}"), std::string::npos);
+  EXPECT_LT(pretty.find("\"a\""), pretty.find("\"b\""));
+  // parse -> pretty -> parse is lossless.
+  const std::optional<JsonValue> reparsed = json_parse(pretty);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(json_pretty(*reparsed), pretty);
+}
+
+TEST(JsonPretty, ScalarsPrintBare) {
+  ASSERT_TRUE(json_parse("42").has_value());
+  EXPECT_EQ(json_pretty(*json_parse("42")), "42");
+  EXPECT_EQ(json_pretty(*json_parse("\"x\"")), "\"x\"");
+  EXPECT_EQ(json_pretty(*json_parse("[]")), "[]");
 }
 
 }  // namespace

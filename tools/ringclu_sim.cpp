@@ -1,60 +1,79 @@
 /// \file ringclu_sim.cpp
 /// The command-line driver: simulate one (configuration, workload) pair
-/// with arbitrary parameter overrides, or a whole matrix through the
-/// asynchronous SimService.
+/// with arbitrary parameter overrides, run a whole preset matrix, or
+/// expand and run a declarative sweep spec through the asynchronous
+/// SimService.
 ///
-///   ringclu_sim [--json] <preset> <benchmark|trace.rct> [key=value ...]
+///   ringclu_sim [--json] <preset|config.json> <benchmark|trace.rct>
+///       [key=value ...]
+///   ringclu_sim --config <file.json> <benchmark|trace.rct> [key=value ...]
+///   ringclu_sim --dump-config <preset|config.json> [key=value ...]
 ///   ringclu_sim --matrix [key=value ...]
+///   ringclu_sim --sweep <spec.json> [key=value ...]
 ///   ringclu_sim --list
+///
+/// A configuration is named either by a Table 3-style preset
+/// (Ring_8clus_1bus_2IW, suffixes +SSA / @2cyc) or by a JSON file written
+/// by --dump-config / ArchConfig::to_json.  Malformed files and invalid
+/// parameter combinations report every problem at once and exit 2.
 ///
 /// Overrides (key=value):
 ///   instrs, warmup, seed          run control
 ///   clusters, width, buses, hop   machine geometry
 ///   regs, iq, comm_iq, rob, lsq   structure sizes
 ///   dcount_threshold              Conv imbalance threshold
+///   steer                         steering policy by registry name
 ///   eviction, eager_release       copy policies (bool)
 ///   report=summary|detailed|csv|json   output format (--json == report=json)
 ///
-/// --matrix overrides:
-///   configs=<preset,preset,...>   (default: the ten paper presets)
-///   benchmarks=<name,name,...>    (default: suite / RINGCLU_BENCHMARKS)
-///   instrs, warmup, seed, threads run control
+/// --matrix / --sweep overrides:
+///   configs=<preset,preset,...>   (--matrix only; default: ten presets)
+///   benchmarks=<name,name,...>    (default: spec / suite / RINGCLU_BENCHMARKS)
+///   instrs, warmup, seed, threads run control (--sweep: spec's run block
+///                                 loses to the command line)
 ///   backend=tsv|sharded|memory    result store (RINGCLU_CACHE_BACKEND)
 ///   cache=<path>                  store path   (RINGCLU_CACHE)
 ///   force=1                       re-simulate despite the store
 ///   interval=N                    sample metrics every N committed instrs
 ///   json=<path> | csv=<path>      interval-metric sink (needs interval=N;
 ///                                 sampled jobs always simulate)
+///   expand=<path>                 (--sweep only) write the expanded design
+///                                 points as a JSON artifact
 ///
 /// Examples:
 ///   ringclu_sim Ring_8clus_1bus_2IW swim instrs=1000000
-///   ringclu_sim --json Ring_8clus_1bus_2IW swim
-///   ringclu_sim Conv_8clus_1bus_2IW gcc dcount_threshold=32 report=detailed
-///   ringclu_sim Ring_4clus_1bus_2IW /tmp/capture.rct
+///   ringclu_sim --dump-config Ring_8clus_1bus_2IW clusters=4 > my.json
+///   ringclu_sim --config my.json swim
+///   ringclu_sim Conv_8clus_1bus_2IW gcc steer=round_robin report=summary
 ///   ringclu_sim --matrix configs=Ring_8clus_1bus_2IW,Conv_8clus_1bus_2IW
 ///       benchmarks=gzip,swim backend=memory instrs=50000
-///   ringclu_sim --matrix benchmarks=gzip,swim interval=10000
-///       json=metrics.jsonl
+///   ringclu_sim --sweep sweep.json interval=10000 json=metrics.jsonl
 
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/processor.h"
+#include "harness/experiment.h"
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "harness/sim_service.h"
 #include "stats/metric_sink.h"
 #include "stats/metrics.h"
 #include "stats/table.h"
+#include "steer/registry.h"
 #include "trace/synth/suite.h"
 #include "trace/trace_file.h"
+#include "util/assert.h"
 #include "util/config.h"
 #include "util/format.h"
+#include "util/json.h"
 
 namespace {
 
@@ -70,256 +89,71 @@ int list_everything() {
     std::printf(" %s%s", std::string(desc.name).c_str(),
                 desc.is_fp ? "(fp)" : "");
   }
-  std::printf("\n");
+  std::printf("\nsteering policies:\n  %s\n",
+              SteeringRegistry::global().names_joined().c_str());
+  std::printf("config fields (--dump-config shows defaults; sweep axes "
+              "accept these or 'preset'):\n  %s\n",
+              join(ArchConfig::field_names(), ", ").c_str());
   return 0;
 }
 
-bool is_trace_file(const std::string& name) {
-  return name.size() > 4 && name.substr(name.size() - 4) == ".rct";
+bool ends_with(const std::string& name, std::string_view suffix) {
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
 }
 
-/// The ten paper presets, Conv/Ring interleaved (Figure 7-10 legend order).
-std::vector<std::string> default_matrix_configs() {
-  std::vector<std::string> out;
-  for (const char* pair :
-       {"4clus_1bus_2IW", "8clus_2bus_1IW", "8clus_1bus_1IW",
-        "8clus_2bus_2IW", "8clus_1bus_2IW"}) {
-    out.push_back(std::string("Conv_") + pair);
-    out.push_back(std::string("Ring_") + pair);
+bool is_trace_file(const std::string& name) { return ends_with(name, ".rct"); }
+
+/// Reads a whole file; nullopt (with a diagnostic) when unreadable.
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+    return std::nullopt;
   }
-  return out;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
 }
 
-/// --matrix: run a (configs x benchmarks) sweep through SimService with
-/// live progress on stderr, then print the per-config IPC figure.
-int run_matrix_mode(const Config& options) {
-  RunnerOptions runner_options = RunnerOptions::from_env();
-  runner_options.instrs = static_cast<std::uint64_t>(
-      options.get_int("instrs", static_cast<std::int64_t>(
-                                    runner_options.instrs)));
-  runner_options.warmup = static_cast<std::uint64_t>(
-      options.get_int("warmup", static_cast<std::int64_t>(
-                                    runner_options.warmup)));
-  runner_options.seed = static_cast<std::uint64_t>(
-      options.get_int("seed", static_cast<std::int64_t>(runner_options.seed)));
-  runner_options.threads = static_cast<int>(
-      options.get_int("threads", runner_options.threads));
-  runner_options.force = options.get_bool("force", runner_options.force);
-  runner_options.verbose = false;  // Progress line below instead.
-  const StoreBackend env_backend = runner_options.cache_backend;
-  const std::string backend_name = options.get_string(
-      "backend", std::string(store_backend_name(env_backend)));
-  const std::optional<StoreBackend> backend =
-      parse_store_backend(backend_name);
-  if (!backend) {
-    std::fprintf(stderr,
-                 "bad backend '%s' (valid: tsv, sharded, memory)\n",
-                 backend_name.c_str());
-    return 2;
+void print_errors(const char* what, const std::vector<std::string>& errors) {
+  std::fprintf(stderr, "%s:\n", what);
+  for (const std::string& error : errors) {
+    std::fprintf(stderr, "  - %s\n", error.c_str());
   }
-  runner_options.cache_backend = *backend;
-  // Resolve the cache path AFTER the backend: a backend= override must
-  // also move a defaulted path (e.g. backend=sharded needs the shard
-  // directory default, not the tsv file inherited from the environment).
-  const std::string cache_token = options.get_string("cache", "");
-  if (!cache_token.empty()) {
-    runner_options.cache_path = cache_token;
-  } else if (runner_options.cache_path == default_cache_path(env_backend)) {
-    runner_options.cache_path = default_cache_path(*backend);
-  }
-
-  std::vector<std::string> configs;
-  for (const std::string& name :
-       split(options.get_string("configs", ""), ',')) {
-    if (!ArchConfig::try_preset(name)) {
-      std::fprintf(stderr,
-                   "unknown preset '%s' (want Arch_Nclus_Bbus_WIW, e.g. %s; "
-                   "suffixes +SSA, @2cyc; see --list)\n",
-                   name.c_str(), ArchConfig::paper_preset_names().front().c_str());
-      return 2;
-    }
-    configs.push_back(name);
-  }
-  if (configs.empty()) configs = default_matrix_configs();
-
-  std::vector<std::string> benchmarks;
-  for (const std::string& name :
-       split(options.get_string("benchmarks", ""), ',')) {
-    benchmarks.push_back(name);
-  }
-  if (benchmarks.empty()) {
-    benchmarks = ExperimentRunner::default_benchmarks();
-  } else if (const std::optional<std::string> error =
-                 validate_benchmark_names(benchmarks)) {
-    std::fprintf(stderr, "%s\n", error->c_str());
-    return 2;
-  }
-
-  // Time-resolved metric streaming: interval=N plus a json=/csv= sink.
-  // CLI overrides win; RINGCLU_INTERVAL / RINGCLU_METRICS (already
-  // validated by from_env) are the defaults.
-  const std::uint64_t interval = static_cast<std::uint64_t>(options.get_int(
-      "interval", static_cast<std::int64_t>(runner_options.interval)));
-  std::string json_path = options.get_string("json", "");
-  std::string csv_path = options.get_string("csv", "");
-  if (interval > 0 && json_path.empty() && csv_path.empty() &&
-      !runner_options.metrics_sink.empty()) {
-    const auto spec = parse_metric_sink_spec(runner_options.metrics_sink);
-    if (spec.has_value()) {
-      (spec->first == MetricSinkKind::JsonLines ? json_path : csv_path) =
-          spec->second;
-    }
-  }
-  if (!json_path.empty() && !csv_path.empty()) {
-    std::fprintf(stderr, "pick one metric sink: json=<path> or csv=<path>\n");
-    return 2;
-  }
-  const std::string sink_path = !json_path.empty() ? json_path : csv_path;
-  if ((interval > 0) != !sink_path.empty()) {
-    std::fprintf(stderr,
-                 "interval metrics need both interval=N and json=<path> "
-                 "(or csv=<path>)\n");
-    return 2;
-  }
-
-  // Declared before the service: progress callbacks capture these by
-  // reference, the jobs stream into the sink, and ~SimService joins
-  // workers (which may still be running a callback or a sink write)
-  // before anything declared earlier is destroyed.
-  const std::size_t total = configs.size() * benchmarks.size();
-  std::atomic<std::size_t> completed{0};
-  std::unique_ptr<MetricSink> sink;
-  if (interval > 0) {
-    sink = make_metric_sink(!json_path.empty() ? MetricSinkKind::JsonLines
-                                               : MetricSinkKind::Csv,
-                            sink_path);
-  }
-
-  SimService service(runner_options);
-  RunParams params = runner_options.run_params();
-  params.interval = interval;
-  std::vector<SimJob> jobs;
-  jobs.reserve(total);
-  for (const std::string& config : configs) {
-    for (const std::string& benchmark : benchmarks) {
-      jobs.push_back(
-          SimJob{ArchConfig::preset(config), benchmark, params, sink.get()});
-    }
-  }
-
-  std::fprintf(stderr,
-               "[matrix] %zu jobs (%zu configs x %zu benchmarks, "
-               "%d thread(s), %s store)\n",
-               total, configs.size(), benchmarks.size(),
-               service.options().threads, service.store().describe().c_str());
-  if (sink != nullptr) {
-    std::fprintf(stderr,
-                 "[matrix] streaming interval metrics (every %llu committed "
-                 "instrs) to %s\n",
-                 static_cast<unsigned long long>(interval),
-                 sink->describe().c_str());
-  }
-
-  std::vector<JobHandle> handles = service.submit_batch(std::move(jobs));
-  for (JobHandle& handle : handles) {
-    handle.on_complete([&completed, total](const SimResult&) {
-      const std::size_t done = completed.fetch_add(1) + 1;
-      std::fprintf(stderr, "\r[matrix] %zu/%zu done", done, total);
-      if (done == total) std::fprintf(stderr, "\n");
-    });
-  }
-
-  std::vector<SimResult> results;
-  results.reserve(handles.size());
-  for (const JobHandle& handle : handles) {
-    if (handle.wait() != JobStatus::Done) {
-      std::fprintf(stderr, "\n[matrix] job %s: %s\n", handle.key().c_str(),
-                   std::string(job_status_name(handle.status())).c_str());
-      return 1;
-    }
-    results.push_back(handle.result());
-  }
-  if (completed.load() < total) std::fprintf(stderr, "\n");
-
-  std::printf("IPC by config (%zu benchmarks; %zu simulated, %zu from "
-              "store, %zu coalesced)\n",
-              benchmarks.size(), service.simulations_run(),
-              service.store_hits(), service.coalesced_submissions());
-  TextTable table({"config", "AVERAGE", "INT", "FP"});
-  for (const std::string& config : configs) {
-    // Assemble the per-config slice by named lookup instead of index
-    // arithmetic; a missing pair is reported, not asserted.
-    std::vector<SimResult> slice;
-    slice.reserve(benchmarks.size());
-    for (const std::string& benchmark : benchmarks) {
-      const SimResult* result = try_find_result(results, config, benchmark);
-      if (result == nullptr) {
-        std::fprintf(stderr, "[matrix] missing result for %s/%s\n",
-                     config.c_str(), benchmark.c_str());
-        return 1;
-      }
-      slice.push_back(*result);
-    }
-    table.begin_row();
-    table.add_cell(config);
-    for (const BenchGroup group :
-         {BenchGroup::All, BenchGroup::Int, BenchGroup::Fp}) {
-      // Aggregation is registry-generic: any metric name from
-      // stats/metrics.h works here.
-      table.add_cell(group_mean(slice, group, "ipc"), 3);
-    }
-  }
-  std::printf("%s\n", table.render_aligned().c_str());
-  if (aggregate_sim_ips(results) > 0.0) {
-    std::printf("%s\n", throughput_summary(results).c_str());
-  }
-  return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
-    return list_everything();
-  }
-
-  if (argc >= 2 && std::strcmp(argv[1], "--matrix") == 0) {
-    Config options;
-    for (int i = 2; i < argc; ++i) {
-      if (!options.parse_token(argv[i])) {
-        std::fprintf(stderr, "bad override (want key=value): %s\n", argv[i]);
-        return 2;
-      }
+/// Resolves a configuration token: a .json file (ArchConfig::from_json) or
+/// a preset name.  All problems are reported at once; nullopt means the
+/// caller should exit 2.
+std::optional<ArchConfig> load_config_token(const std::string& token) {
+  if (ends_with(token, ".json")) {
+    const std::optional<std::string> text = read_file(token);
+    if (!text) return std::nullopt;
+    std::vector<std::string> errors;
+    std::optional<ArchConfig> config = ArchConfig::from_json(*text, &errors);
+    if (!config) {
+      print_errors(("invalid configuration in " + token).c_str(), errors);
+      return std::nullopt;
     }
-    return run_matrix_mode(options);
+    return config;
   }
-
-  // --json: machine-readable single-run report (same as report=json).
-  bool json_report = false;
-  if (argc >= 2 && std::strcmp(argv[1], "--json") == 0) {
-    json_report = true;
-    --argc;
-    ++argv;
-  }
-
-  if (argc < 3) {
+  std::optional<ArchConfig> config = ArchConfig::try_preset(token);
+  if (!config) {
     std::fprintf(stderr,
-                 "usage: ringclu_sim [--json] <preset> <benchmark|trace.rct> "
-                 "[key=value ...]\n"
-                 "       ringclu_sim --matrix [key=value ...]\n"
-                 "       ringclu_sim --list\n");
-    return 2;
+                 "unknown preset '%s' (want Arch_Nclus_Bbus_WIW, e.g. %s; "
+                 "suffixes +SSA, @2cyc; or a .json config file; see --list)\n",
+                 token.c_str(),
+                 ArchConfig::paper_preset_names().front().c_str());
+    return std::nullopt;
   }
+  return config;
+}
 
-  Config options;
-  for (int i = 3; i < argc; ++i) {
-    if (!options.parse_token(argv[i])) {
-      std::fprintf(stderr, "bad override (want key=value): %s\n", argv[i]);
-      return 2;
-    }
-  }
-
-  ArchConfig config = ArchConfig::preset(argv[1]);
+/// Applies the single-run key=value overrides onto \p config.  Returns
+/// false (diagnostic printed) on an unknown steering policy.
+bool apply_config_overrides(ArchConfig& config, const Config& options) {
   config.num_clusters = static_cast<int>(
       options.get_int("clusters", config.num_clusters));
   config.issue_width =
@@ -343,7 +177,461 @@ int main(int argc, char** argv) {
   config.copy_eviction = options.get_bool("eviction", config.copy_eviction);
   config.eager_copy_release =
       options.get_bool("eager_release", config.eager_copy_release);
-  config.validate();
+  const std::string steer = options.get_string("steer", "");
+  if (!steer.empty()) {
+    // Same resolution rule as JSON "steer" and sweep axes.
+    if (const std::optional<std::string> error = config.set_steering(steer)) {
+      std::fprintf(stderr, "%s\n", error->c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The ten paper presets, Conv/Ring interleaved (Figure 7-10 legend order).
+std::vector<std::string> default_matrix_configs() {
+  std::vector<std::string> out;
+  for (const char* pair :
+       {"4clus_1bus_2IW", "8clus_2bus_1IW", "8clus_1bus_1IW",
+        "8clus_2bus_2IW", "8clus_1bus_2IW"}) {
+    out.push_back(std::string("Conv_") + pair);
+    out.push_back(std::string("Ring_") + pair);
+  }
+  return out;
+}
+
+/// RunnerOptions with the batch-mode key=value overrides applied
+/// (threads/backend/cache/force and run control); nullopt (diagnostic
+/// printed) on a bad backend name.
+std::optional<RunnerOptions> resolve_batch_options(const Config& options) {
+  RunnerOptions runner_options = RunnerOptions::from_env();
+  runner_options.instrs = static_cast<std::uint64_t>(
+      options.get_int("instrs", static_cast<std::int64_t>(
+                                    runner_options.instrs)));
+  runner_options.warmup = static_cast<std::uint64_t>(
+      options.get_int("warmup", static_cast<std::int64_t>(
+                                    runner_options.warmup)));
+  runner_options.seed = static_cast<std::uint64_t>(
+      options.get_int("seed", static_cast<std::int64_t>(runner_options.seed)));
+  runner_options.threads = static_cast<int>(
+      options.get_int("threads", runner_options.threads));
+  runner_options.force = options.get_bool("force", runner_options.force);
+  runner_options.verbose = false;  // Progress line instead.
+  const StoreBackend env_backend = runner_options.cache_backend;
+  const std::string backend_name = options.get_string(
+      "backend", std::string(store_backend_name(env_backend)));
+  const std::optional<StoreBackend> backend =
+      parse_store_backend(backend_name);
+  if (!backend) {
+    std::fprintf(stderr,
+                 "bad backend '%s' (valid: tsv, sharded, memory)\n",
+                 backend_name.c_str());
+    return std::nullopt;
+  }
+  runner_options.cache_backend = *backend;
+  // Resolve the cache path AFTER the backend: a backend= override must
+  // also move a defaulted path (e.g. backend=sharded needs the shard
+  // directory default, not the tsv file inherited from the environment).
+  const std::string cache_token = options.get_string("cache", "");
+  if (!cache_token.empty()) {
+    runner_options.cache_path = cache_token;
+  } else if (runner_options.cache_path == default_cache_path(env_backend)) {
+    runner_options.cache_path = default_cache_path(*backend);
+  }
+  return runner_options;
+}
+
+/// Interval-metric streaming setup shared by --matrix and --sweep: CLI
+/// interval=/json=/csv= overrides win; RINGCLU_INTERVAL / RINGCLU_METRICS
+/// (already validated by from_env) are the defaults.  Returns false
+/// (diagnostic printed) on an inconsistent combination.
+struct StreamingSetup {
+  std::uint64_t interval = 0;
+  std::unique_ptr<MetricSink> sink;
+};
+
+bool resolve_streaming(const Config& options,
+                       const RunnerOptions& runner_options,
+                       StreamingSetup& setup) {
+  setup.interval = static_cast<std::uint64_t>(options.get_int(
+      "interval", static_cast<std::int64_t>(runner_options.interval)));
+  std::string json_path = options.get_string("json", "");
+  std::string csv_path = options.get_string("csv", "");
+  if (setup.interval > 0 && json_path.empty() && csv_path.empty() &&
+      !runner_options.metrics_sink.empty()) {
+    const auto spec = parse_metric_sink_spec(runner_options.metrics_sink);
+    if (spec.has_value()) {
+      (spec->first == MetricSinkKind::JsonLines ? json_path : csv_path) =
+          spec->second;
+    }
+  }
+  if (!json_path.empty() && !csv_path.empty()) {
+    std::fprintf(stderr, "pick one metric sink: json=<path> or csv=<path>\n");
+    return false;
+  }
+  const std::string sink_path = !json_path.empty() ? json_path : csv_path;
+  if ((setup.interval > 0) != !sink_path.empty()) {
+    std::fprintf(stderr,
+                 "interval metrics need both interval=N and json=<path> "
+                 "(or csv=<path>)\n");
+    return false;
+  }
+  if (setup.interval > 0) {
+    setup.sink = make_metric_sink(!json_path.empty()
+                                      ? MetricSinkKind::JsonLines
+                                      : MetricSinkKind::Csv,
+                                  sink_path);
+  }
+  return true;
+}
+
+/// Submits \p jobs, streams a progress line, waits for completion and
+/// returns the results in input order; non-zero on any failed job.
+///
+/// The progress counter is shared_ptr-owned by the callbacks themselves:
+/// workers publish Done (waking wait()) BEFORE running callbacks, so this
+/// frame can unwind — normally or via the early error return — while a
+/// worker is still counting; a by-reference capture would be a
+/// use-after-scope.  \p tag must be a string literal.
+int run_batch(SimService& service, const char* tag, std::vector<SimJob> jobs,
+              std::vector<SimResult>& results) {
+  const std::size_t total = jobs.size();
+  auto completed = std::make_shared<std::atomic<std::size_t>>(0);
+  std::vector<JobHandle> handles = service.submit_batch(std::move(jobs));
+  for (JobHandle& handle : handles) {
+    handle.on_complete([completed, total, tag](const SimResult&) {
+      const std::size_t done = completed->fetch_add(1) + 1;
+      std::fprintf(stderr, "\r[%s] %zu/%zu done", tag, done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    });
+  }
+  results.clear();
+  results.reserve(handles.size());
+  for (const JobHandle& handle : handles) {
+    if (handle.wait() != JobStatus::Done) {
+      std::fprintf(stderr, "\n[%s] job %s: %s\n", tag, handle.key().c_str(),
+                   std::string(job_status_name(handle.status())).c_str());
+      return 1;
+    }
+    results.push_back(handle.result());
+  }
+  if (completed->load() < total) std::fprintf(stderr, "\n");
+  return 0;
+}
+
+/// The per-config IPC table both batch modes print: one row per name in
+/// \p rows, group means over \p benchmarks.  \p results are row-major
+/// (jobs were built row-major and submit_batch preserves order).
+void print_ipc_table(const std::vector<std::string>& rows,
+                     const std::vector<std::string>& benchmarks,
+                     std::span<const SimResult> results) {
+  TextTable table({"config", "AVERAGE", "INT", "FP"});
+  for (std::size_t row = 0; row < rows.size(); ++row) {
+    const std::span<const SimResult> slice =
+        results.subspan(row * benchmarks.size(), benchmarks.size());
+    table.begin_row();
+    table.add_cell(rows[row]);
+    for (const BenchGroup group :
+         {BenchGroup::All, BenchGroup::Int, BenchGroup::Fp}) {
+      // Aggregation is registry-generic: any metric name from
+      // stats/metrics.h works here.
+      table.add_cell(group_mean(slice, group, "ipc"), 3);
+    }
+  }
+  std::printf("%s\n", table.render_aligned().c_str());
+  if (aggregate_sim_ips(results) > 0.0) {
+    std::printf("%s\n", throughput_summary(results).c_str());
+  }
+}
+
+/// --matrix: run a (configs x benchmarks) sweep through SimService with
+/// live progress on stderr, then print the per-config IPC figure.
+int run_matrix_mode(const Config& options) {
+  std::optional<RunnerOptions> runner_options = resolve_batch_options(options);
+  if (!runner_options) return 2;
+
+  std::vector<std::string> configs;
+  for (const std::string& name :
+       split(options.get_string("configs", ""), ',')) {
+    if (!ArchConfig::try_preset(name)) {
+      std::fprintf(stderr,
+                   "unknown preset '%s' (want Arch_Nclus_Bbus_WIW, e.g. %s; "
+                   "suffixes +SSA, @2cyc; see --list)\n",
+                   name.c_str(),
+                   ArchConfig::paper_preset_names().front().c_str());
+      return 2;
+    }
+    configs.push_back(name);
+  }
+  if (configs.empty()) configs = default_matrix_configs();
+
+  std::vector<std::string> benchmarks;
+  for (const std::string& name :
+       split(options.get_string("benchmarks", ""), ',')) {
+    benchmarks.push_back(name);
+  }
+  if (benchmarks.empty()) {
+    benchmarks = ExperimentRunner::default_benchmarks();
+  } else if (const std::optional<std::string> error =
+                 validate_benchmark_names(benchmarks)) {
+    std::fprintf(stderr, "%s\n", error->c_str());
+    return 2;
+  }
+
+  // Declared before the service: progress callbacks capture these by
+  // reference, the jobs stream into the sink, and ~SimService joins
+  // workers (which may still be running a callback or a sink write)
+  // before anything declared earlier is destroyed.
+  StreamingSetup streaming;
+  if (!resolve_streaming(options, *runner_options, streaming)) return 2;
+
+  SimService service(*runner_options);
+  RunParams params = runner_options->run_params();
+  params.interval = streaming.interval;
+  const std::size_t total = configs.size() * benchmarks.size();
+  std::vector<SimJob> jobs;
+  jobs.reserve(total);
+  for (const std::string& config : configs) {
+    for (const std::string& benchmark : benchmarks) {
+      jobs.push_back(SimJob{ArchConfig::preset(config), benchmark, params,
+                            streaming.sink.get()});
+    }
+  }
+
+  std::fprintf(stderr,
+               "[matrix] %zu jobs (%zu configs x %zu benchmarks, "
+               "%d thread(s), %s store)\n",
+               total, configs.size(), benchmarks.size(),
+               service.options().threads, service.store().describe().c_str());
+  if (streaming.sink != nullptr) {
+    std::fprintf(stderr,
+                 "[matrix] streaming interval metrics (every %llu committed "
+                 "instrs) to %s\n",
+                 static_cast<unsigned long long>(streaming.interval),
+                 streaming.sink->describe().c_str());
+  }
+
+  std::vector<SimResult> results;
+  if (const int status = run_batch(service, "matrix", std::move(jobs), results);
+      status != 0) {
+    return status;
+  }
+
+  std::printf("IPC by config (%zu benchmarks; %zu simulated, %zu from "
+              "store, %zu coalesced)\n",
+              benchmarks.size(), service.simulations_run(),
+              service.store_hits(), service.coalesced_submissions());
+  print_ipc_table(configs, benchmarks, results);
+  return 0;
+}
+
+/// --sweep: load a declarative ExperimentSpec, expand its axes, run every
+/// (point, benchmark) pair and print the per-point IPC figure.
+int run_sweep_mode(const std::string& spec_path, const Config& options) {
+  const std::optional<std::string> text = read_file(spec_path);
+  if (!text) return 2;
+  std::vector<std::string> errors;
+  const std::optional<ExperimentSpec> spec =
+      ExperimentSpec::from_json(*text, &errors);
+  if (!spec) {
+    print_errors(("invalid sweep spec " + spec_path).c_str(), errors);
+    return 2;
+  }
+
+  std::optional<RunnerOptions> runner_options = resolve_batch_options(options);
+  if (!runner_options) return 2;
+
+  // Run control: environment defaults, then the spec's run block, then
+  // explicit command-line overrides.
+  RunParams params = spec->resolve_params(
+      RunnerOptions::from_env().run_params());
+  if (options.contains("instrs")) params.instrs = runner_options->instrs;
+  if (options.contains("warmup")) params.warmup = runner_options->warmup;
+  if (options.contains("seed")) params.seed = runner_options->seed;
+
+  std::vector<std::string> benchmarks;
+  for (const std::string& name :
+       split(options.get_string("benchmarks", ""), ',')) {
+    benchmarks.push_back(name);
+  }
+  if (!benchmarks.empty()) {
+    if (const std::optional<std::string> error =
+            validate_benchmark_names(benchmarks)) {
+      std::fprintf(stderr, "%s\n", error->c_str());
+      return 2;
+    }
+  } else if (!spec->benchmarks.empty()) {
+    benchmarks = spec->benchmarks;
+  } else {
+    benchmarks = ExperimentRunner::default_benchmarks();
+  }
+
+  const std::vector<ExperimentPoint> points = spec->expand();
+  RINGCLU_ASSERT(!points.empty());  // from_json validated the expansion.
+
+  if (const std::string expand_path = options.get_string("expand", "");
+      !expand_path.empty()) {
+    std::ofstream outfile(expand_path, std::ios::binary | std::ios::trunc);
+    if (!outfile) {
+      std::fprintf(stderr, "cannot write '%s'\n", expand_path.c_str());
+      return 2;
+    }
+    outfile << ExperimentSpec::points_to_json(points) << "\n";
+    std::fprintf(stderr, "[sweep] wrote %zu expanded configs to %s\n",
+                 points.size(), expand_path.c_str());
+  }
+
+  StreamingSetup streaming;
+  if (!resolve_streaming(options, *runner_options, streaming)) return 2;
+
+  SimService service(*runner_options);
+  params.interval = streaming.interval;
+
+  const std::size_t raw = spec->cross_product_size();
+  std::fprintf(stderr,
+               "[sweep] %s: %zu design points (%zu raw, %zu collapsed as "
+               "duplicates) x %zu benchmarks, %d thread(s), %s store\n",
+               spec->name.c_str(), points.size(), raw, raw - points.size(),
+               benchmarks.size(), service.options().threads,
+               service.store().describe().c_str());
+  if (streaming.sink != nullptr) {
+    std::fprintf(stderr,
+                 "[sweep] streaming interval metrics (every %llu committed "
+                 "instrs) to %s\n",
+                 static_cast<unsigned long long>(streaming.interval),
+                 streaming.sink->describe().c_str());
+  }
+
+  std::vector<SimResult> results;
+  if (const int status =
+          run_batch(service, "sweep",
+                    make_sweep_jobs(points, benchmarks, params,
+                                    streaming.sink.get()),
+                    results);
+      status != 0) {
+    return status;
+  }
+
+  std::vector<std::string> rows;
+  rows.reserve(points.size());
+  for (const ExperimentPoint& point : points) rows.push_back(point.name);
+  std::printf("IPC by design point (%zu benchmarks; %zu simulated, %zu from "
+              "store, %zu coalesced)\n",
+              benchmarks.size(), service.simulations_run(),
+              service.store_hits(), service.coalesced_submissions());
+  print_ipc_table(rows, benchmarks, results);
+  return 0;
+}
+
+/// --dump-config: print the resolved configuration as pretty JSON.
+int run_dump_config(const std::string& token, const Config& options) {
+  std::optional<ArchConfig> config = load_config_token(token);
+  if (!config) return 2;
+  if (!apply_config_overrides(*config, options)) return 2;
+  if (const std::vector<std::string> violations = config->try_validate();
+      !violations.empty()) {
+    print_errors("invalid configuration", violations);
+    return 2;
+  }
+  const std::optional<JsonValue> document = json_parse(config->to_json());
+  RINGCLU_ASSERT(document.has_value());
+  std::printf("%s\n", json_pretty(*document).c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ringclu_sim [--json] <preset|config.json> <benchmark|trace.rct> "
+      "[key=value ...]\n"
+      "       ringclu_sim --config <file.json> <benchmark|trace.rct> "
+      "[key=value ...]\n"
+      "       ringclu_sim --dump-config <preset|config.json> [key=value ...]\n"
+      "       ringclu_sim --matrix [key=value ...]\n"
+      "       ringclu_sim --sweep <spec.json> [key=value ...]\n"
+      "       ringclu_sim --list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
+    return list_everything();
+  }
+
+  if (argc >= 2 && std::strcmp(argv[1], "--matrix") == 0) {
+    Config options;
+    for (int i = 2; i < argc; ++i) {
+      if (!options.parse_token(argv[i])) {
+        std::fprintf(stderr, "bad override (want key=value): %s\n", argv[i]);
+        return 2;
+      }
+    }
+    return run_matrix_mode(options);
+  }
+
+  if (argc >= 2 && std::strcmp(argv[1], "--sweep") == 0) {
+    if (argc < 3) return usage();
+    Config options;
+    for (int i = 3; i < argc; ++i) {
+      if (!options.parse_token(argv[i])) {
+        std::fprintf(stderr, "bad override (want key=value): %s\n", argv[i]);
+        return 2;
+      }
+    }
+    return run_sweep_mode(argv[2], options);
+  }
+
+  if (argc >= 2 && std::strcmp(argv[1], "--dump-config") == 0) {
+    if (argc < 3) return usage();
+    Config options;
+    for (int i = 3; i < argc; ++i) {
+      if (!options.parse_token(argv[i])) {
+        std::fprintf(stderr, "bad override (want key=value): %s\n", argv[i]);
+        return 2;
+      }
+    }
+    return run_dump_config(argv[2], options);
+  }
+
+  // --json: machine-readable single-run report (same as report=json).
+  bool json_report = false;
+  if (argc >= 2 && std::strcmp(argv[1], "--json") == 0) {
+    json_report = true;
+    --argc;
+    ++argv;
+  }
+
+  // --config <file>: explicit form of passing a .json path positionally.
+  if (argc >= 2 && std::strcmp(argv[1], "--config") == 0) {
+    --argc;
+    ++argv;
+    if (argc < 2 || !ends_with(argv[1], ".json")) {
+      std::fprintf(stderr, "--config needs a .json file argument\n");
+      return 2;
+    }
+  }
+
+  if (argc < 3) return usage();
+
+  Config options;
+  for (int i = 3; i < argc; ++i) {
+    if (!options.parse_token(argv[i])) {
+      std::fprintf(stderr, "bad override (want key=value): %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::optional<ArchConfig> loaded = load_config_token(argv[1]);
+  if (!loaded) return 2;
+  ArchConfig config = *std::move(loaded);
+  if (!apply_config_overrides(config, options)) return 2;
+  if (const std::vector<std::string> violations = config.try_validate();
+      !violations.empty()) {
+    print_errors("invalid configuration", violations);
+    return 2;
+  }
 
   const std::uint64_t instrs =
       static_cast<std::uint64_t>(options.get_int("instrs", 200000));
@@ -357,6 +645,11 @@ int main(int argc, char** argv) {
   if (is_trace_file(workload)) {
     trace = std::make_unique<TraceFileReader>(workload);
   } else {
+    if (const std::optional<std::string> error =
+            validate_benchmark_names({workload})) {
+      std::fprintf(stderr, "%s\n", error->c_str());
+      return 2;
+    }
     trace = make_benchmark_trace(workload, seed);
   }
 
