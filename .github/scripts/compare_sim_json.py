@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compares two ringclu_sim --json reports for simulated-number equality.
+
+Host-timing fields (wall clock, rates, amortization bookkeeping) legitimately
+differ between a cold run and a checkpoint-restored run; every other field --
+cycles, commits, per-cluster counters, IPC -- must be bit-identical.  Exits
+non-zero listing the first differing keys otherwise.
+"""
+
+import json
+import sys
+
+TIMING_MARKERS = ("wall", "seconds", "rate", "ips", "per_second",
+                  "amortized", "restored")
+
+
+def flatten(value, prefix=""):
+    out = {}
+    if isinstance(value, dict):
+        for key, item in value.items():
+            out.update(flatten(item, f"{prefix}{key}."))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            out.update(flatten(item, f"{prefix}{index}."))
+    else:
+        out[prefix.rstrip(".")] = value
+    return out
+
+
+def simulated_fields(path):
+    with open(path, encoding="utf-8") as handle:
+        flat = flatten(json.load(handle))
+    return {key: value for key, value in flat.items()
+            if not any(marker in key.lower() for marker in TIMING_MARKERS)}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <a.json> <b.json>")
+    a = simulated_fields(sys.argv[1])
+    b = simulated_fields(sys.argv[2])
+    diffs = [key for key in sorted(set(a) | set(b)) if a.get(key) != b.get(key)]
+    if diffs:
+        for key in diffs[:20]:
+            print(f"MISMATCH {key}: {a.get(key)!r} != {b.get(key)!r}")
+        sys.exit(1)
+    print(f"identical simulated numbers ({len(a)} fields compared)")
+
+
+if __name__ == "__main__":
+    main()

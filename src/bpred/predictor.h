@@ -17,6 +17,9 @@
 
 namespace ringclu {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Saturating 2-bit counter table indexed by a hash of the PC (and,
 /// optionally, global history).
 class CounterTable {
@@ -29,6 +32,9 @@ class CounterTable {
   [[nodiscard]] std::size_t size() const { return counters_.size(); }
   [[nodiscard]] std::size_t mask() const { return counters_.size() - 1; }
   [[nodiscard]] std::uint8_t raw(std::size_t index) const;
+
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
 
  private:
   std::vector<std::uint8_t> counters_;
@@ -58,6 +64,9 @@ class HybridPredictor {
 
   [[nodiscard]] std::uint64_t history() const { return history_; }
 
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
+
  private:
   [[nodiscard]] std::size_t gshare_index(std::uint64_t pc) const;
   [[nodiscard]] std::size_t bimodal_index(std::uint64_t pc) const;
@@ -83,6 +92,9 @@ class Btb {
 
   [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
 
  private:
   struct Entry {
@@ -111,6 +123,9 @@ class ReturnAddressStack {
   /// Pops and returns the predicted return target (0 when empty).
   [[nodiscard]] std::uint64_t pop();
   [[nodiscard]] std::size_t size() const { return count_; }
+
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
 
  private:
   std::vector<std::uint64_t> stack_;
@@ -143,6 +158,9 @@ class FrontEnd {
                : static_cast<double>(mispredicts_) /
                      static_cast<double>(branches_);
   }
+
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
 
  private:
   HybridPredictor direction_;

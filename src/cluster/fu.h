@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "isa/op_class.h"
 #include "util/assert.h"
 
@@ -69,6 +70,18 @@ class FuPool {
 
   [[nodiscard]] int width() const {
     return static_cast<int>(busy_until_[0].size());
+  }
+
+  void save_state(CheckpointWriter& out) const {
+    for (const auto& group : busy_until_) out.vec_i64(group);
+  }
+
+  void restore_state(CheckpointReader& in) {
+    const std::size_t width = busy_until_[0].size();
+    for (auto& group : busy_until_) {
+      in.vec_i64(group);
+      if (in.ok() && group.size() != width) in.fail("fu width mismatch");
+    }
   }
 
  private:

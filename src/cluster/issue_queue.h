@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/value_map.h"
+#include "core/checkpoint.h"
 #include "util/assert.h"
 
 namespace ringclu {
@@ -51,7 +52,9 @@ class IssueQueue {
   void remove_seq(std::uint64_t seq) {
     const auto it = std::lower_bound(
         entries_.begin(), entries_.end(), seq,
-        [](const IqEntry& entry, std::uint64_t key) { return entry.seq < key; });
+        [](const IqEntry& entry, std::uint64_t key) {
+          return entry.seq < key;
+        });
     RINGCLU_EXPECTS(it != entries_.end() && it->seq == seq);
     entries_.erase(it);
   }
@@ -63,6 +66,29 @@ class IssueQueue {
 
   [[nodiscard]] const std::vector<IqEntry>& entries() const {
     return entries_;
+  }
+
+  void save_state(CheckpointWriter& out) const {
+    out.u64(entries_.size());
+    for (const IqEntry& entry : entries_) {
+      out.u32(entry.rob_index);
+      out.u64(entry.seq);
+    }
+  }
+
+  void restore_state(CheckpointReader& in) {
+    const std::uint64_t count = in.u64();
+    if (count > capacity_) {
+      in.fail("issue queue overflow in checkpoint");
+      return;
+    }
+    entries_.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      IqEntry entry;
+      entry.rob_index = in.u32();
+      entry.seq = in.u64();
+      entries_.push_back(entry);
+    }
   }
 
  private:
@@ -125,6 +151,37 @@ class CommQueue {
   }
 
   [[nodiscard]] std::vector<CommOp>& entries() { return entries_; }
+
+  void save_state(CheckpointWriter& out) const {
+    out.u64(entries_.size());
+    for (const CommOp& op : entries_) {
+      out.u32(op.value);
+      out.u64(op.id);
+      out.u8(op.src_cluster);
+      out.u8(op.dst_cluster);
+      out.i64(op.created_cycle);
+      out.i64(op.first_ready_cycle);
+    }
+  }
+
+  void restore_state(CheckpointReader& in) {
+    const std::uint64_t count = in.u64();
+    if (count > capacity_) {
+      in.fail("comm queue overflow in checkpoint");
+      return;
+    }
+    entries_.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      CommOp op;
+      op.value = in.u32();
+      op.id = in.u64();
+      op.src_cluster = in.u8();
+      op.dst_cluster = in.u8();
+      op.created_cycle = in.i64();
+      op.first_ready_cycle = in.i64();
+      entries_.push_back(op);
+    }
+  }
 
  private:
   std::size_t capacity_;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "isa/reg.h"
 #include "util/assert.h"
 
@@ -49,6 +50,20 @@ class RegFileSet {
   /// Total registers in use across all clusters (both classes).  Maintained
   /// incrementally: this is read every cycle for the occupancy integral.
   [[nodiscard]] int total_in_use() const { return in_use_; }
+
+  void save_state(CheckpointWriter& out) const {
+    out.vec_int(free_);
+    out.i64(in_use_);
+  }
+
+  void restore_state(CheckpointReader& in) {
+    in.vec_int(free_);
+    in_use_ = static_cast<int>(in.i64());
+    if (in.ok() && free_.size() != static_cast<std::size_t>(num_clusters_) *
+                                       kNumRegClasses) {
+      in.fail("regfile geometry mismatch");
+    }
+  }
 
  private:
   [[nodiscard]] std::size_t index(int cluster, RegClass cls) const {

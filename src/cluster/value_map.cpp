@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "core/checkpoint.h"
+
 namespace ringclu {
 
 ValueMap::ValueMap(int num_clusters)
@@ -140,6 +142,91 @@ int ValueMap::total_mapped_count() const {
     if (value.live) total += std::popcount(value.mapped_mask);
   }
   return total;
+}
+
+void ValueMap::save_state(CheckpointWriter& out) const {
+  // Dead slots are serialized too: free_slots_ and the core's ValueIds are
+  // raw indices into values_, so slot layout must survive the round trip.
+  out.u64(values_.size());
+  for (const ValueInfo& value : values_) {
+    out.u8(static_cast<std::uint8_t>(value.cls));
+    out.u8(value.home);
+    out.u16(value.mapped_mask);
+    out.boolean(value.produced);
+    out.boolean(value.live);
+    for (std::int64_t cycle : value.readable_cycle) out.i64(cycle);
+    for (std::uint16_t readers : value.pending_readers) out.u16(readers);
+  }
+  out.vec_int(idle_copies_);
+  out.u64(waiters_.size());
+  for (const auto& slot : waiters_) {
+    out.u64(slot.size());
+    for (const ValueWaiter& waiter : slot) {
+      out.u8(waiter.cluster);
+      out.u64(waiter.token);
+    }
+  }
+  out.vec_u64(fired_);
+  out.u64(free_slots_.size());
+  for (ValueId id : free_slots_) out.u32(id);
+  out.u64(live_count_);
+}
+
+void ValueMap::restore_state(CheckpointReader& in) {
+  const std::uint64_t num_values = in.u64();
+  if (!in.ok() || num_values > (1u << 24)) {
+    in.fail("value map size out of range");
+    return;
+  }
+  values_.clear();
+  values_.reserve(num_values);
+  for (std::uint64_t i = 0; i < num_values; ++i) {
+    ValueInfo value;
+    value.cls = static_cast<RegClass>(in.u8());
+    value.home = in.u8();
+    value.mapped_mask = in.u16();
+    value.produced = in.boolean();
+    value.live = in.boolean();
+    for (std::int64_t& cycle : value.readable_cycle) cycle = in.i64();
+    for (std::uint16_t& readers : value.pending_readers) readers = in.u16();
+    values_.push_back(value);
+  }
+  in.vec_int(idle_copies_);
+  if (in.ok() && idle_copies_.size() !=
+                     static_cast<std::size_t>(num_clusters_) * kNumRegClasses) {
+    in.fail("value map idle-copy geometry mismatch");
+    return;
+  }
+  const std::uint64_t num_waiter_slots = in.u64();
+  if (!in.ok() || num_waiter_slots != num_values) {
+    in.fail("value map waiter table mismatch");
+    return;
+  }
+  waiters_.assign(num_waiter_slots, {});
+  for (auto& slot : waiters_) {
+    const std::uint64_t count = in.u64();
+    if (!in.ok() || count > (1u << 20)) {
+      in.fail("waiter list out of range");
+      return;
+    }
+    slot.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ValueWaiter waiter;
+      waiter.cluster = in.u8();
+      waiter.token = in.u64();
+      slot.push_back(waiter);
+    }
+  }
+  in.vec_u64(fired_);
+  const std::uint64_t num_free = in.u64();
+  if (!in.ok() || num_free > num_values) {
+    in.fail("free-slot list out of range");
+    return;
+  }
+  free_slots_.clear();
+  free_slots_.reserve(num_free);
+  for (std::uint64_t i = 0; i < num_free; ++i) free_slots_.push_back(in.u32());
+  live_count_ = in.u64();
 }
 
 void ValueMap::evict_copy(ValueId id, int cluster) {

@@ -23,6 +23,9 @@
 
 namespace ringclu {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 using ValueId = std::uint32_t;
 inline constexpr ValueId kInvalidValue = 0xffffffffu;
 inline constexpr int kMaxClusters = 16;
@@ -151,6 +154,9 @@ class ValueMap {
   /// Total (value, cluster) register mappings across live values; equals the
   /// physical registers in use when core/value bookkeeping is consistent.
   [[nodiscard]] int total_mapped_count() const;
+
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
 
  private:
   [[nodiscard]] std::size_t idle_index(int cluster, RegClass cls) const {

@@ -1,0 +1,204 @@
+#pragma once
+
+/// \file checkpoint.h
+/// Versioned binary checkpoint format for full simulation state.
+///
+/// A checkpoint is a flat byte stream: a fixed header (magic, format
+/// version, simulator schema version, configuration fingerprint, workload
+/// identity, trace position) followed by tagged, length-prefixed
+/// per-component sections.  Every stateful component implements
+///   void save_state(CheckpointWriter&) const;
+///   void restore_state(CheckpointReader&);
+/// and restoring a checkpoint into a freshly constructed Processor (same
+/// configuration, same workload) is bit-identical to having simulated the
+/// saved prefix cold — the contract the checkpoint round-trip tests pin.
+///
+/// Invalidation rules: a checkpoint is rejected (restore_checkpoint
+/// returns false; the caller falls back to a cold run) when any of magic,
+/// kCheckpointFormatVersion, kSimSchemaVersion, the configuration
+/// fingerprint, the workload name or the seed disagrees, or when the byte
+/// stream is truncated or structurally malformed.  Readers never abort on
+/// malformed input: every primitive is bounds-checked and failure is
+/// sticky (ok() turns false, subsequent reads return zeros).
+///
+/// Integers are fixed-width little-endian; file writes are atomic
+/// (temp file + rename) so concurrent sweep workers racing to publish the
+/// same warmup checkpoint are safe — the simulator is deterministic, so
+/// both writers produce identical bytes and either rename wins.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/micro_op.h"
+
+namespace ringclu {
+
+class Processor;
+class TraceSource;
+
+/// "RCLUCKPT", little-endian.
+inline constexpr std::uint64_t kCheckpointMagic = 0x54504B43554C4352ULL;
+
+/// Version of the checkpoint byte format itself.  Bump on any layout
+/// change; old files are then rejected (never misread).  kSimSchemaVersion
+/// is embedded separately: it invalidates checkpoints whenever simulator
+/// semantics change, even when the layout did not.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// Builds a checkpoint byte stream.
+class CheckpointWriter {
+ public:
+  void u8(std::uint8_t value) { buffer_.push_back(static_cast<char>(value)); }
+  void u16(std::uint16_t value);
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
+  void f64(double value);
+  void boolean(bool value) { u8(value ? 1 : 0); }
+  void str(std::string_view text);
+
+  void vec_u8(const std::vector<std::uint8_t>& values);
+  void vec_u64(const std::vector<std::uint64_t>& values);
+  void vec_i64(const std::vector<std::int64_t>& values);
+  void vec_int(const std::vector<int>& values);
+
+  /// Opens a tagged, length-prefixed section.  Sections nest.
+  void begin_section(std::uint32_t tag);
+  void end_section();
+
+  [[nodiscard]] const std::string& bytes() const { return buffer_; }
+
+  /// Writes the buffer to \p path atomically (unique temp file in the same
+  /// directory, then rename).  Returns false with \p error set on I/O
+  /// failure.  \pre every section is closed.
+  [[nodiscard]] bool write_file(const std::string& path,
+                                std::string* error) const;
+
+ private:
+  std::string buffer_;
+  std::vector<std::size_t> open_sections_;  ///< offsets of length fields
+};
+
+/// Consumes a checkpoint byte stream.  All failures are sticky and
+/// non-fatal: after the first malformed read, ok() is false, error()
+/// explains, and every subsequent read returns a zero value.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::string bytes) : bytes_(std::move(bytes)) {}
+
+  /// Reads a whole file.  nullopt with \p error set when unreadable.
+  [[nodiscard]] static std::optional<CheckpointReader> from_file(
+      const std::string& path, std::string* error);
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+  [[nodiscard]] std::string str();
+
+  void vec_u8(std::vector<std::uint8_t>& out);
+  void vec_u64(std::vector<std::uint64_t>& out);
+  void vec_i64(std::vector<std::int64_t>& out);
+  void vec_int(std::vector<int>& out);
+
+  /// Enters the next section, which must carry \p tag; false (sticky
+  /// failure) otherwise.
+  bool begin_section(std::uint32_t tag);
+  /// Leaves the current section, verifying its declared length was
+  /// consumed exactly.
+  bool end_section();
+
+  /// Fails validation explicitly (component found impossible state).
+  void fail(std::string message);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  [[nodiscard]] bool need(std::size_t count);
+
+  std::string bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+  std::vector<std::pair<std::uint32_t, std::size_t>> sections_;  // tag, end
+};
+
+/// Four-character section tags used by Processor::save_state.
+[[nodiscard]] constexpr std::uint32_t checkpoint_tag(char a, char b, char c,
+                                                     char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24);
+}
+
+/// MicroOp serialization, shared by the ROB, the front-end queues and the
+/// fetch peek slot.
+void save_micro_op(CheckpointWriter& out, const MicroOp& op);
+void restore_micro_op(CheckpointReader& in, MicroOp& op);
+
+/// Header metadata identifying what a checkpoint contains.
+struct CheckpointMeta {
+  std::uint32_t format_version = kCheckpointFormatVersion;
+  std::int32_t sim_schema = 0;
+  std::string config_fingerprint;  ///< ArchConfig::fingerprint()
+  std::string workload;            ///< TraceSource::name()
+  std::uint64_t seed = 0;
+  std::uint64_t committed = 0;  ///< committed instructions at save time
+  std::uint64_t trace_position = 0;
+  /// Host wall-clock seconds the saved prefix cost to simulate; restored
+  /// runs report the difference to restore time as amortized savings.
+  double prefix_wall_seconds = 0.0;
+};
+
+/// Expected identity a checkpoint must match to be restored.
+struct CheckpointExpectation {
+  std::string config_fingerprint;
+  std::string workload;
+  std::uint64_t seed = 0;
+};
+
+/// Serializes processor + trace position to \p path (atomic).  Returns
+/// false with \p error set on I/O failure.
+[[nodiscard]] bool save_checkpoint(const std::string& path,
+                                   const Processor& processor,
+                                   const TraceSource& trace,
+                                   const CheckpointMeta& meta,
+                                   std::string* error);
+
+/// Restores \p processor and \p trace from \p path after validating the
+/// header against \p expect.  On any failure returns false with \p error
+/// set; the processor is then in an unspecified state and must be
+/// discarded (reconstruct and run cold).  \p meta (optional) receives the
+/// header of a successfully restored checkpoint.
+[[nodiscard]] bool restore_checkpoint(const std::string& path,
+                                      Processor& processor, TraceSource& trace,
+                                      const CheckpointExpectation& expect,
+                                      CheckpointMeta* meta,
+                                      std::string* error);
+
+/// Reads only the header of \p path (inspection / tooling).
+[[nodiscard]] std::optional<CheckpointMeta> read_checkpoint_meta(
+    const std::string& path, std::string* error);
+
+/// File name (no directory) of the shared warmup checkpoint for a
+/// (config fingerprint, workload, warmup, seed) identity:
+/// "warm_<16-hex-digest>.ckpt".  The digest covers both version constants,
+/// so format or schema bumps change the name and stale files are simply
+/// never opened.
+[[nodiscard]] std::string warmup_checkpoint_name(
+    std::string_view config_fingerprint, std::string_view workload,
+    std::uint64_t warmup_instrs, std::uint64_t seed);
+
+/// File name of the crash-resume snapshot for a fully keyed run
+/// ("snap_<16-hex-digest>.ckpt"); \p run_key is the sim_cache_key.
+[[nodiscard]] std::string snapshot_checkpoint_name(std::string_view run_key);
+
+}  // namespace ringclu

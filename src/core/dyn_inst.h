@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cluster/value_map.h"
+#include "core/checkpoint.h"
 #include "isa/micro_op.h"
 #include "util/assert.h"
 #include "util/static_vector.h"
@@ -54,6 +55,47 @@ struct DynInst {
   std::int64_t ready_at = -1;
 
   [[nodiscard]] bool done() const { return state == InstState::Done; }
+
+  void save_state(CheckpointWriter& out) const {
+    save_micro_op(out, op);
+    out.u64(seq);
+    out.u8(static_cast<std::uint8_t>(state));
+    out.i64(cluster);
+    out.u32(dst_value);
+    out.u32(released_value);
+    out.u8(static_cast<std::uint8_t>(srcs.size()));
+    for (ValueId src : srcs) out.u32(src);
+    out.u32(store_data);
+    out.i64(dispatch_cycle);
+    out.i64(issue_cycle);
+    out.i64(complete_cycle);
+    out.i64(mem_ready_cycle);
+    out.u32(wait_srcs);
+    out.i64(ready_at);
+  }
+
+  void restore_state(CheckpointReader& in) {
+    restore_micro_op(in, op);
+    seq = in.u64();
+    state = static_cast<InstState>(in.u8());
+    cluster = static_cast<int>(in.i64());
+    dst_value = in.u32();
+    released_value = in.u32();
+    const std::uint8_t num_srcs = in.u8();
+    srcs.clear();
+    if (num_srcs > kMaxSrcOperands) {
+      in.fail("dyn inst source count out of range");
+      return;
+    }
+    for (std::uint8_t i = 0; i < num_srcs; ++i) srcs.push_back(in.u32());
+    store_data = in.u32();
+    dispatch_cycle = in.i64();
+    issue_cycle = in.i64();
+    complete_cycle = in.i64();
+    mem_ready_cycle = in.i64();
+    wait_srcs = in.u32();
+    ready_at = in.i64();
+  }
 };
 
 /// Fixed-capacity circular reorder buffer.  Slot indices are stable for an
@@ -103,6 +145,33 @@ class ReorderBuffer {
   [[nodiscard]] const DynInst& at(std::uint32_t index) const {
     RINGCLU_EXPECTS(index < capacity_);
     return slots_[index];
+  }
+
+  void save_state(CheckpointWriter& out) const {
+    // Live slots are serialized at their physical indices (issue queues
+    // reference ROB slots by index), so head/tail/size plus the occupied
+    // window reproduce the exact layout.
+    out.u32(head_);
+    out.u32(tail_);
+    out.u64(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      slots_[(head_ + i) % capacity_].save_state(out);
+    }
+  }
+
+  void restore_state(CheckpointReader& in) {
+    head_ = in.u32();
+    tail_ = in.u32();
+    size_ = in.u64();
+    if (!in.ok() || size_ > capacity_ || head_ >= capacity_ ||
+        tail_ >= capacity_) {
+      in.fail("rob geometry mismatch");
+      return;
+    }
+    for (DynInst& slot : slots_) slot = DynInst{};
+    for (std::size_t i = 0; i < size_; ++i) {
+      slots_[(head_ + i) % capacity_].restore_state(in);
+    }
   }
 
  private:

@@ -883,7 +883,8 @@ void Processor::dump_state(std::FILE* out) const {
     for (const ValueId src : head.srcs) {
       const ValueInfo& info = values_.info(src);
       std::fprintf(out,
-                   "  src v%u: home=%d mapped=%03x produced=%d readable@%d=%s\n",
+                   "  src v%u: home=%d mapped=%03x produced=%d "
+                   "readable@%d=%s\n",
                    src, info.home, info.mapped_mask, info.produced,
                    head.cluster,
                    head.cluster >= 0 &&
@@ -903,71 +904,121 @@ void Processor::dump_state(std::FILE* out) const {
   }
 }
 
-SimResult Processor::run(TraceSource& trace, std::uint64_t warmup_instrs,
-                         std::uint64_t measure_instrs,
-                         const RunHooks& hooks) {
-  const auto wall_start = std::chrono::steady_clock::now();
-  const std::uint64_t committed_at_start = committed_total_;
-  auto drained = [this]() {
-    return trace_exhausted_ && !have_peeked_ && rob_.empty() &&
-           fetchq_.empty() && decodeq_.empty();
-  };
-  auto sync_external = [this]() {
-    counters_.branches = frontend_.branches();
-    counters_.mispredicts = frontend_.mispredicts();
-    counters_.l1d_accesses = mem_.l1d().accesses();
-    counters_.l1d_misses = mem_.l1d().misses();
-    counters_.l2_accesses = mem_.l2().accesses();
-    counters_.l2_misses = mem_.l2().misses();
-    counters_.load_forwards = lsq_.forwards();
-  };
+bool Processor::drained() const {
+  return trace_exhausted_ && !have_peeked_ && rob_.empty() &&
+         fetchq_.empty() && decodeq_.empty();
+}
 
+void Processor::sync_external() {
+  counters_.branches = frontend_.branches();
+  counters_.mispredicts = frontend_.mispredicts();
+  counters_.l1d_accesses = mem_.l1d().accesses();
+  counters_.l1d_misses = mem_.l1d().misses();
+  counters_.l2_accesses = mem_.l2().accesses();
+  counters_.l2_misses = mem_.l2().misses();
+  counters_.load_forwards = lsq_.forwards();
+}
+
+void Processor::warmup(TraceSource& trace, std::uint64_t warmup_instrs) {
+  RINGCLU_EXPECTS(!measuring_);
+  const auto wall_start = std::chrono::steady_clock::now();
+  run_start_committed_ = committed_total_;
+  // The bound is absolute (total committed), matching the historical
+  // monolithic run(): a second run() on the same processor skips warmup.
   while (committed_total_ < warmup_instrs && !drained()) {
     step();
     do_fetch(trace);
   }
+  // Synced here so a warmup checkpoint captures consistent counters.
   sync_external();
-  const SimCounters baseline = counters_;
+  warmup_pending_ = true;
+  pre_run_wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+}
 
-  // Relative to the post-warmup commit count: the warmup loop may overshoot
-  // by up to a commit burst, which must not shorten the measured window.
-  const std::uint64_t target = committed_total_ + measure_instrs;
+SimResult Processor::measure(TraceSource& trace, std::uint64_t measure_instrs,
+                             const RunHooks& hooks) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (!measuring_) {
+    if (!warmup_pending_) run_start_committed_ = committed_total_;
+    warmup_pending_ = false;
+    sync_external();
+    measure_baseline_ = counters_;
+    measure_start_committed_ = committed_total_;
+    // Relative to the post-warmup commit count: the warmup loop may
+    // overshoot by up to a commit burst, which must not shorten the
+    // measured window.
+    measure_target_ = committed_total_ + measure_instrs;
+    measuring_ = true;
+  }
+  // Else: resuming a mid-measure snapshot — baseline/target/start were
+  // restored with the rest of the state and measure_instrs is ignored.
 
   // Time-resolved sampling state (sim_observer.h).  Sampling only reads
   // counters between steps, so the simulated numbers are identical with
   // and without hooks; the disabled path costs one branch per iteration.
+  // On a resumed run the interval series restarts from the resume point
+  // (sample_index continues, deltas reconcile from here); the end-of-run
+  // counters are exact either way.
   const bool sampling = hooks.sampling();
-  const std::uint64_t measure_start = committed_total_;
-  std::uint64_t next_boundary = hooks.interval_instrs;
-  std::uint64_t sample_index = 0;
+  const std::uint64_t already_done =
+      committed_total_ - measure_start_committed_;
+  std::uint64_t next_boundary =
+      sampling ? (already_done / hooks.interval_instrs + 1) *
+                     hooks.interval_instrs
+               : 0;
+  std::uint64_t sample_index =
+      sampling ? already_done / hooks.interval_instrs : 0;
   SimCounters prev_cumulative;  // zeros; dispatched vector sized on use
   if (sampling) {
     prev_cumulative.dispatched_per_cluster.assign(
         counters_.dispatched_per_cluster.size(), 0);
+    if (already_done > 0) {
+      prev_cumulative = counters_.minus(measure_baseline_);
+    }
   }
   auto emit_sample = [&](bool final_sample) {
     IntervalSample sample;
     sample.index = sample_index++;
     sample.interval_instrs = hooks.interval_instrs;
     sample.final_sample = final_sample;
-    sample.cumulative = counters_.minus(baseline);
+    sample.cumulative = counters_.minus(measure_baseline_);
     sample.delta = sample.cumulative.minus(prev_cumulative);
     prev_cumulative = sample.cumulative;
     hooks.observer->on_interval(sample);
   };
 
-  while (committed_total_ < target && !drained()) {
+  // Crash-resume snapshot cadence, fully parallel to sampling and equally
+  // read-only (save_state mutates nothing).
+  const bool snapshotting = hooks.snapshotting();
+  std::uint64_t next_snapshot =
+      snapshotting ? (already_done / hooks.snapshot_interval_instrs + 1) *
+                         hooks.snapshot_interval_instrs
+                   : 0;
+
+  while (committed_total_ < measure_target_ && !drained()) {
     step();
     do_fetch(trace);
-    if (sampling && committed_total_ - measure_start >= next_boundary) {
+    if (sampling &&
+        committed_total_ - measure_start_committed_ >= next_boundary) {
       // One sample per crossing step: a commit burst that jumps several
       // boundaries yields a single wider interval, keeping sample count
       // bounded by instructions retired.
       sync_external();
       emit_sample(/*final_sample=*/false);
-      const std::uint64_t done = committed_total_ - measure_start;
+      const std::uint64_t done = committed_total_ - measure_start_committed_;
       next_boundary =
           (done / hooks.interval_instrs + 1) * hooks.interval_instrs;
+    }
+    if (snapshotting &&
+        committed_total_ - measure_start_committed_ >= next_snapshot) {
+      sync_external();
+      hooks.on_snapshot();
+      const std::uint64_t done = committed_total_ - measure_start_committed_;
+      next_snapshot = (done / hooks.snapshot_interval_instrs + 1) *
+                      hooks.snapshot_interval_instrs;
     }
   }
   sync_external();
@@ -976,17 +1027,27 @@ SimResult Processor::run(TraceSource& trace, std::uint64_t warmup_instrs,
     // reconciles exactly with the end-of-run counters.
     emit_sample(/*final_sample=*/true);
   }
+  measuring_ = false;
 
   SimResult result;
   result.config_name = config_.name;
   result.benchmark = std::string(trace.name());
-  result.counters = counters_.minus(baseline);
+  result.counters = counters_.minus(measure_baseline_);
   result.wall_seconds =
+      pre_run_wall_seconds_ +
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  result.total_committed = committed_total_ - committed_at_start;
+  pre_run_wall_seconds_ = 0.0;
+  result.total_committed = committed_total_ - run_start_committed_;
   return result;
+}
+
+SimResult Processor::run(TraceSource& trace, std::uint64_t warmup_instrs,
+                         std::uint64_t measure_instrs,
+                         const RunHooks& hooks) {
+  warmup(trace, warmup_instrs);
+  return measure(trace, measure_instrs, hooks);
 }
 
 }  // namespace ringclu

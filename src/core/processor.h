@@ -53,6 +53,38 @@ class Processor final : public SteerOracle {
                               std::uint64_t measure_instrs,
                               const RunHooks& hooks = {});
 
+  /// Phase-split API: run() is exactly warmup() followed by measure().
+  /// Splitting lets the harness checkpoint between the phases (save after
+  /// warmup, or restore a warmup checkpoint and call measure() directly)
+  /// with bit-identical results to a monolithic run().
+  void warmup(TraceSource& trace, std::uint64_t warmup_instrs);
+  [[nodiscard]] SimResult measure(TraceSource& trace,
+                                  std::uint64_t measure_instrs,
+                                  const RunHooks& hooks = {});
+
+  /// True between the first step of a measure() and its return — i.e. when
+  /// a snapshot taken now would resume mid-measurement.
+  [[nodiscard]] bool mid_measure() const { return measuring_; }
+
+  /// Attributes host wall-clock spent outside warmup()/measure() (e.g.
+  /// checkpoint restore) to the next measure()'s wall_seconds.
+  void add_pre_run_wall_seconds(double seconds) {
+    pre_run_wall_seconds_ += seconds;
+  }
+
+  /// Committed instructions since construction (warmup included).
+  [[nodiscard]] std::uint64_t committed_total() const {
+    return committed_total_;
+  }
+
+  /// Checkpoint hooks: serialize/restore the complete microarchitectural
+  /// state (pipeline, queues, caches, predictor, values, steering,
+  /// counters and measurement-phase bookkeeping).  restore_state requires
+  /// a Processor constructed with the identical ArchConfig and leaves the
+  /// processor bit-identical to the one save_state captured.
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
+
   // --- SteerOracle -------------------------------------------------------
   [[nodiscard]] bool iq_can_accept(int cluster, UnitKind kind) const override;
   [[nodiscard]] int comm_free_entries(int cluster) const override;
@@ -164,6 +196,12 @@ class Processor final : public SteerOracle {
     return (static_cast<std::uint64_t>(kind) << 62) |
            (static_cast<std::uint64_t>(cluster) << 58) | index;
   }
+
+  /// True when the trace ended and the pipeline fully emptied.
+  [[nodiscard]] bool drained() const;
+  /// Copies component-owned statistics (front end, caches, LSQ) into
+  /// counters_; called at phase boundaries and before sampling/snapshots.
+  void sync_external();
 
   // Pipeline stages.
   void step();
@@ -286,6 +324,21 @@ class Processor final : public SteerOracle {
   StaticVector<ValueId, kMaxSrcOperands> steering_srcs_;
 
   SimCounters counters_;
+
+  // Measurement-phase bookkeeping (serialized, so a mid-measure snapshot
+  // resumes exactly where it left off).
+  bool measuring_ = false;       ///< inside a measure() window
+  bool warmup_pending_ = false;  ///< warmup() ran; measure() not yet started
+  SimCounters measure_baseline_;
+  std::uint64_t measure_target_ = 0;
+  std::uint64_t measure_start_committed_ = 0;
+  std::uint64_t run_start_committed_ = 0;
+
+  /// Host wall-clock seconds accumulated by warmup() (or checkpoint
+  /// restore, via add_pre_run_wall_seconds) and folded into the next
+  /// measure()'s wall_seconds.  Host-side instrumentation: never
+  /// serialized, excluded from the determinism contract.
+  double pre_run_wall_seconds_ = 0.0;
 };
 
 }  // namespace ringclu

@@ -17,6 +17,7 @@
 /// and the last sample's cumulative counters equal them exactly.
 
 #include <cstdint>
+#include <functional>
 
 #include "core/sim_result.h"
 
@@ -52,8 +53,20 @@ struct RunHooks {
   SimObserver* observer = nullptr;   ///< non-owning; may be nullptr
   std::uint64_t interval_instrs = 0; ///< sampling period; 0 disables
 
+  /// Crash-resume snapshot cadence (committed instructions); 0 disables.
+  /// At each boundary crossing the processor invokes on_snapshot, which is
+  /// expected to call Processor::save_state (e.g. via save_checkpoint).
+  /// Like sampling, snapshotting is read-only with respect to simulation
+  /// state, so results are bit-identical with and without it.
+  std::uint64_t snapshot_interval_instrs = 0;
+  std::function<void()> on_snapshot = {};
+
   [[nodiscard]] bool sampling() const {
     return observer != nullptr && interval_instrs > 0;
+  }
+
+  [[nodiscard]] bool snapshotting() const {
+    return on_snapshot != nullptr && snapshot_interval_instrs > 0;
   }
 };
 

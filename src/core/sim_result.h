@@ -10,6 +10,9 @@
 
 namespace ringclu {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Version of the result schema: bump when simulator semantics or the
 /// serialized counter set change so stale cache entries re-run.  Lives
 /// with SimCounters (the schema it versions); cache keys (sim_job.h),
@@ -57,6 +60,10 @@ struct SimCounters {
   /// Field-wise difference (this - baseline); used to subtract warmup.
   [[nodiscard]] SimCounters minus(const SimCounters& baseline) const;
 
+  /// Checkpoint serialization of every counter field.
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
+
   /// Bit-identical comparison, the determinism-regression contract.
   [[nodiscard]] friend bool operator==(const SimCounters&,
                                        const SimCounters&) = default;
@@ -76,6 +83,16 @@ struct SimResult {
   /// Total simulated instructions committed inside run(), including warmup
   /// (the denominator of wall_seconds covers both).
   std::uint64_t total_committed = 0;
+
+  /// Wall-clock seconds this run saved by restoring a warmup checkpoint
+  /// instead of re-simulating warmup (checkpointed warmup cost minus
+  /// restore cost, floored at 0).  Like wall_seconds: host-specific
+  /// instrumentation, excluded from serialization and the determinism
+  /// contract.  0 when no checkpoint was used.
+  double warmup_amortized_seconds = 0.0;
+  /// True when warmup state came from a checkpoint rather than cold
+  /// simulation.  Excluded from serialization like wall_seconds.
+  bool warmup_restored = false;
 
   [[nodiscard]] double ipc() const {
     return counters.cycles == 0

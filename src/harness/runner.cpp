@@ -1,5 +1,6 @@
 #include "harness/runner.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -18,19 +19,63 @@ int default_thread_count() {
   return hw > 0 ? hw : 2;
 }
 
+namespace {
+
+/// One RINGCLU_<KEY> environment value for exit-2 diagnostics.
+[[noreturn]] void env_knob_fail(std::string_view key, const std::string& raw,
+                                const char* want) {
+  std::string upper(key);
+  for (char& c : upper) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  std::fprintf(stderr, "[ringclu] RINGCLU_%s=%s is not %s\n", upper.c_str(),
+               raw.c_str(), want);
+  std::exit(2);
+}
+
+/// Strict unsigned env knob: missing -> fallback; malformed, negative,
+/// overflowing or > \p max -> diagnostic naming the variable, exit 2.
+/// (The permissive Config::get_int would abort() on malformed input and
+/// silently wrap an overflow — unacceptable for user-typed knobs.)
+std::uint64_t env_uint(const Config& env, std::string_view key,
+                       std::uint64_t fallback,
+                       std::uint64_t max = UINT64_MAX) {
+  const std::optional<std::string> raw = env.get(key);
+  if (!raw) return fallback;
+  const std::optional<std::uint64_t> parsed = parse_uint(*raw);
+  if (!parsed || *parsed > max) {
+    env_knob_fail(key, *raw,
+                  "a non-negative integer (or is out of range)");
+  }
+  return *parsed;
+}
+
+/// Strict boolean env knob (same contract as env_uint).
+bool env_bool(const Config& env, std::string_view key, bool fallback) {
+  const std::optional<std::string> raw = env.get(key);
+  if (!raw) return fallback;
+  const std::optional<bool> parsed = parse_bool(*raw);
+  if (!parsed) {
+    env_knob_fail(key, *raw, "a boolean (1/0, true/false, yes/no, on/off)");
+  }
+  return *parsed;
+}
+
+}  // namespace
+
 RunnerOptions RunnerOptions::from_env() {
   Config env;
   env.import_env("RINGCLU_");
   RunnerOptions options;
-  options.instrs =
-      static_cast<std::uint64_t>(env.get_int("instrs", 200000));
-  options.warmup = static_cast<std::uint64_t>(
-      env.get_int("warmup", static_cast<std::int64_t>(options.instrs / 10)));
-  options.seed = static_cast<std::uint64_t>(env.get_int("seed", 42));
-  options.threads =
-      static_cast<int>(env.get_int("threads", default_thread_count()));
-  options.force = env.get_bool("force", false);
-  options.verbose = env.get_bool("verbose", true);
+  options.instrs = env_uint(env, "instrs", 200000);
+  options.warmup = env_uint(env, "warmup", options.instrs / 10);
+  options.seed = env_uint(env, "seed", 42);
+  options.threads = static_cast<int>(
+      env_uint(env, "threads", static_cast<std::uint64_t>(
+                                   default_thread_count()),
+               1u << 20));
+  options.force = env_bool(env, "force", false);
+  options.verbose = env_bool(env, "verbose", true);
   const std::string backend = env.get_string(
       "cache_backend", std::string(store_backend_name(options.cache_backend)));
   if (const std::optional<StoreBackend> parsed = parse_store_backend(backend)) {
@@ -44,9 +89,22 @@ RunnerOptions RunnerOptions::from_env() {
   }
   options.cache_path =
       env.get_string("cache", default_cache_path(options.cache_backend));
-  options.interval =
-      static_cast<std::uint64_t>(env.get_int("interval", 0));
+  options.interval = env_uint(env, "interval", 0);
   options.metrics_sink = env.get_string("metrics", "");
+  options.checkpoint_dir = env.get_string("checkpoint_dir", "");
+  options.snapshot_interval = env_uint(env, "snapshot_interval", 0);
+  options.resume = env_bool(env, "resume", false);
+  if (options.snapshot_interval > 0 && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "[ringclu] RINGCLU_SNAPSHOT_INTERVAL is set but "
+                 "RINGCLU_CHECKPOINT_DIR is not; no snapshots will be "
+                 "written\n");
+  }
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "[ringclu] RINGCLU_RESUME is set but RINGCLU_CHECKPOINT_DIR "
+                 "is not; nothing to resume from\n");
+  }
   if (!options.metrics_sink.empty()) {
     if (options.interval == 0) {
       std::fprintf(stderr,

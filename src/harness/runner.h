@@ -28,6 +28,17 @@
 ///                           kind jsonl | csv (e.g. jsonl:metrics.jsonl);
 ///                           needs RINGCLU_INTERVAL > 0.  Sampled runs
 ///                           always simulate (never cache hits).
+///   RINGCLU_CHECKPOINT_DIR  checkpoint directory; set to reuse warmup
+///                           checkpoints across sweep points (default off)
+///   RINGCLU_SNAPSHOT_INTERVAL  crash-resume snapshot cadence in committed
+///                           instructions (default 0 = off; needs
+///                           RINGCLU_CHECKPOINT_DIR)
+///   RINGCLU_RESUME          resume interrupted runs from their snapshots
+///                           when set to 1
+///
+/// Malformed knob values (non-numeric counts, overflow, negative where a
+/// count is expected, unknown booleans) print a diagnostic naming the
+/// variable and exit with status 2.
 
 #include <cstdint>
 #include <memory>
@@ -50,7 +61,9 @@ class SimService;
 
 struct RunnerOptions {
   std::uint64_t instrs = 200000;
-  std::uint64_t warmup = 20000;
+  /// Defaults to instrs/10, tracking a designated-initializer instrs (the
+  /// documented RINGCLU_WARMUP default; 20000 for the default budget).
+  std::uint64_t warmup = instrs / 10;
   std::uint64_t seed = 42;
   int threads = default_thread_count();
   bool force = false;
@@ -60,11 +73,35 @@ struct RunnerOptions {
   /// Metric-sampling period (committed instructions); 0 = off.
   std::uint64_t interval = 0;
   /// Interval-metric sink spec, "<jsonl|csv>:<path>"; "" = none.
-  std::string metrics_sink;
+  std::string metrics_sink = {};
+  /// Checkpoint directory (RINGCLU_CHECKPOINT_DIR); "" disables
+  /// checkpointing.  With a directory set, workers restore shared warmup
+  /// checkpoints instead of re-simulating warmup, and write one per
+  /// (warmup-relevant config, workload) on first need.
+  std::string checkpoint_dir = {};
+  /// Crash-resume snapshot cadence (RINGCLU_SNAPSHOT_INTERVAL) in
+  /// committed instructions; 0 disables.  Needs checkpoint_dir.
+  std::uint64_t snapshot_interval = 0;
+  /// Resume interrupted runs from mid-measure snapshots (RINGCLU_RESUME).
+  bool resume = false;
 
   /// The run-control slice, as SimService consumes it.
   [[nodiscard]] RunParams run_params() const {
-    return RunParams{instrs, warmup, seed, interval};
+    RunParams params;
+    params.instrs = instrs;
+    params.warmup = warmup;
+    params.seed = seed;
+    params.interval = interval;
+    params.snapshot_interval = snapshot_interval;
+    return params;
+  }
+
+  /// The checkpoint slice, as SimService consumes it.
+  [[nodiscard]] CheckpointOptions checkpoint_options() const {
+    CheckpointOptions checkpoint;
+    checkpoint.dir = checkpoint_dir;
+    checkpoint.resume = resume;
+    return checkpoint;
   }
 
   /// Reads the RINGCLU_* environment overrides.  Exits with a diagnostic

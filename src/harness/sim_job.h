@@ -25,11 +25,33 @@ class MetricSink;
 /// end-of-run counters), so it is deliberately outside the key.
 struct RunParams {
   std::uint64_t instrs = 200000;  ///< measured instructions
-  std::uint64_t warmup = 20000;   ///< warmup instructions (not measured)
+  /// Warmup instructions (not measured).  Defaults to instrs/10 so a
+  /// designated-initializer instrs override scales warmup with it, exactly
+  /// like the documented RINGCLU_WARMUP default (20000 for the default
+  /// 200000-instruction budget).
+  std::uint64_t warmup = instrs / 10;
   std::uint64_t seed = 42;        ///< workload seed
   /// Metric-sampling period in committed instructions; 0 disables
   /// sampling (the default: byte-identical goldens, zero overhead).
   std::uint64_t interval = 0;
+  /// Crash-resume snapshot cadence in committed instructions; 0 disables.
+  /// Snapshotting is read-only (bit-identical results) and, like interval,
+  /// outside the cache key.
+  std::uint64_t snapshot_interval = 0;
+};
+
+/// Where (and whether) the harness checkpoints.  With a directory set,
+/// run_sim_job restores a shared warmup checkpoint when one matches
+/// (skipping warmup simulation entirely) and writes one after the first
+/// cold warmup; jobs with params.snapshot_interval > 0 additionally drop
+/// mid-measure snapshots for crash resume (picked up when \c resume).
+/// Checkpointing never changes simulated numbers: restore is bit-identical
+/// to a cold run, and any invalid/mismatched file falls back to cold.
+struct CheckpointOptions {
+  std::string dir = {};  ///< checkpoint directory; "" disables everything
+  bool resume = false; ///< resume from mid-measure snapshots when present
+
+  [[nodiscard]] bool enabled() const { return !dir.empty(); }
 };
 
 /// One simulation request.

@@ -1,8 +1,12 @@
 #include "harness/sim_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <optional>
 
+#include "core/checkpoint.h"
 #include "core/processor.h"
 #include "harness/runner.h"
 #include "stats/metric_sink.h"
@@ -61,21 +65,161 @@ class SinkObserver final : public SimObserver {
   const MetricRunContext& context_;
 };
 
+[[nodiscard]] double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 SimResult run_sim_job(const SimJob& job) {
+  return run_sim_job(job, CheckpointOptions{});
+}
+
+SimResult run_sim_job(const SimJob& job, const CheckpointOptions& checkpoint) {
   auto trace = make_benchmark_trace(job.benchmark, job.params.seed);
-  Processor processor(job.config, job.params.seed);
-  if (!job.streaming()) {
-    return processor.run(*trace, job.params.warmup, job.params.instrs);
+  return run_sim_job_on_trace(job, checkpoint, *trace);
+}
+
+SimResult run_sim_job_on_trace(const SimJob& job,
+                               const CheckpointOptions& checkpoint,
+                               TraceSource& trace) {
+  // optional<> so the fallback paths can reconstruct after a failed
+  // restore leaves the processor in an unspecified state (Processor is
+  // non-copyable; the optional's inline storage keeps &*processor stable
+  // across emplace, which the snapshot hook relies on).
+  std::optional<Processor> processor;
+  processor.emplace(job.config, job.params.seed);
+
+  RunHooks hooks;
+  std::optional<MetricRunContext> context;
+  std::optional<SinkObserver> observer;
+  if (job.streaming()) {
+    context.emplace(
+        MetricRunContext{job.config.name, job.benchmark, job.params.interval,
+                         job.params.seed});
+    observer.emplace(*job.sink, *context);
+    hooks.observer = &*observer;
+    hooks.interval_instrs = job.params.interval;
   }
-  const MetricRunContext context{job.config.name, job.benchmark,
-                                 job.params.interval, job.params.seed};
-  SinkObserver observer(*job.sink, context);
-  const SimResult result =
-      processor.run(*trace, job.params.warmup, job.params.instrs,
-                    RunHooks{&observer, job.params.interval});
-  job.sink->on_run_complete(context, result);
+
+  SimResult result;
+  if (!checkpoint.enabled()) {
+    result = processor->run(trace, job.params.warmup, job.params.instrs,
+                            hooks);
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint.dir, ec);
+
+    const CheckpointExpectation expect{job.config.fingerprint(),
+                                       std::string(trace.name()),
+                                       job.params.seed};
+    const std::string warm_path =
+        checkpoint.dir + "/" +
+        warmup_checkpoint_name(expect.config_fingerprint, expect.workload,
+                               job.params.warmup, job.params.seed);
+    const std::string snapshot_path =
+        checkpoint.dir + "/" + snapshot_checkpoint_name(sim_cache_key(job));
+
+    const double run_start = wall_now();
+    double restored_prefix = 0.0;  ///< wall cost of the restored prefix
+    double restore_cost = 0.0;
+    bool resumed_snapshot = false;
+    bool restored_warmup = false;
+
+    // A failed restore may leave processor/trace partially mutated:
+    // reconstruct both so every fallback starts truly cold.
+    const auto attempt_restore = [&](const std::string& path,
+                                     CheckpointMeta& meta) {
+      std::string error;
+      if (restore_checkpoint(path, *processor, trace, expect, &meta,
+                             &error)) {
+        return true;
+      }
+      processor.emplace(job.config, job.params.seed);
+      trace.reset();
+      return false;
+    };
+
+    // 1. Crash resume: continue an interrupted measurement mid-stream.
+    //    A snapshot that is not mid-measure cannot be continued soundly
+    //    (the measurement baseline is gone) — treat it as unusable.
+    if (checkpoint.resume) {
+      CheckpointMeta meta;
+      const bool restored = attempt_restore(snapshot_path, meta);
+      if (restored && processor->mid_measure()) {
+        resumed_snapshot = true;
+        restored_prefix = meta.prefix_wall_seconds;
+        restore_cost = wall_now() - run_start;
+        processor->add_pre_run_wall_seconds(restore_cost);
+      } else if (restored) {
+        processor.emplace(job.config, job.params.seed);
+        trace.reset();
+      }
+    }
+
+    // 2. Warmup: restore the shared checkpoint, else simulate warmup cold
+    //    and publish it for the other sweep points of this workload.
+    if (!resumed_snapshot) {
+      CheckpointMeta meta;
+      if (job.params.warmup > 0 && attempt_restore(warm_path, meta)) {
+        restored_warmup = true;
+        restored_prefix = meta.prefix_wall_seconds;
+        restore_cost = wall_now() - run_start;
+        processor->add_pre_run_wall_seconds(restore_cost);
+      } else {
+        processor->warmup(trace, job.params.warmup);
+        if (job.params.warmup > 0) {
+          CheckpointMeta save_meta;
+          save_meta.seed = job.params.seed;
+          save_meta.prefix_wall_seconds = wall_now() - run_start;
+          std::string error;
+          if (!save_checkpoint(warm_path, *processor, trace, save_meta,
+                               &error)) {
+            std::fprintf(stderr,
+                         "[ringclu] warmup checkpoint write failed (%s); "
+                         "continuing without\n",
+                         error.c_str());
+          }
+        }
+      }
+    }
+
+    // 3. Periodic mid-measure snapshots for crash resume.
+    if (job.params.snapshot_interval > 0) {
+      hooks.snapshot_interval_instrs = job.params.snapshot_interval;
+      hooks.on_snapshot = [&] {
+        CheckpointMeta snap_meta;
+        snap_meta.seed = job.params.seed;
+        snap_meta.prefix_wall_seconds =
+            restored_prefix + (wall_now() - run_start);
+        std::string error;
+        if (!save_checkpoint(snapshot_path, *processor, trace, snap_meta,
+                             &error)) {
+          std::fprintf(stderr,
+                       "[ringclu] snapshot write failed (%s); "
+                       "continuing without\n",
+                       error.c_str());
+        }
+      };
+    }
+
+    result = processor->measure(trace, job.params.instrs, hooks);
+    result.warmup_restored = restored_warmup || resumed_snapshot;
+    if (result.warmup_restored) {
+      // What the restored prefix cost to simulate cold, minus what the
+      // restore itself cost: the measured saving of this run.
+      result.warmup_amortized_seconds =
+          std::max(0.0, restored_prefix - restore_cost);
+    }
+    // The run finished: its crash-resume snapshot is spent.
+    if (job.params.snapshot_interval > 0 || checkpoint.resume) {
+      std::filesystem::remove(snapshot_path, ec);
+    }
+  }
+
+  if (job.streaming()) job.sink->on_run_complete(*context, result);
   return result;
 }
 
@@ -146,6 +290,7 @@ SimServiceOptions service_options_from_runner(const RunnerOptions& options) {
   service_options.threads = options.threads;
   service_options.force = options.force;
   service_options.verbose = options.verbose;
+  service_options.checkpoint = options.checkpoint_options();
   return service_options;
 }
 
@@ -320,7 +465,7 @@ void SimService::worker_loop() {
     ++running_;
     lock.unlock();
 
-    SimResult result = run_sim_job(state->job);
+    SimResult result = run_sim_job(state->job, options_.checkpoint);
     // Streaming jobs skipped the store read, so an entry may already
     // exist; re-putting would append a duplicate line to persistent
     // backends on every repeated streaming run (first-write-wins makes

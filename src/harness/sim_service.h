@@ -47,12 +47,29 @@
 namespace ringclu {
 
 class SimService;
+class TraceSource;
 struct RunnerOptions;
 
 /// Runs \p job synchronously in the calling thread (the primitive the
 /// service workers use; exposed for tools that want exactly one run with
 /// no scheduling).
 [[nodiscard]] SimResult run_sim_job(const SimJob& job);
+
+/// As above, with checkpointing: when \p checkpoint.enabled(), restores a
+/// matching warmup checkpoint instead of re-simulating warmup (writing one
+/// after the first cold warmup), honors job.params.snapshot_interval for
+/// crash-resume snapshots, and — when \p checkpoint.resume — continues an
+/// interrupted run from its snapshot.  Results are bit-identical to
+/// run_sim_job(job); any unusable checkpoint file falls back to cold.
+[[nodiscard]] SimResult run_sim_job(const SimJob& job,
+                                    const CheckpointOptions& checkpoint);
+
+/// As run_sim_job(job, checkpoint) but over a caller-provided workload
+/// (the CLI's .rct trace files).  job.benchmark is used only for keying;
+/// the checkpoint identity comes from trace.name().
+[[nodiscard]] SimResult run_sim_job_on_trace(
+    const SimJob& job, const CheckpointOptions& checkpoint,
+    TraceSource& trace);
 
 /// Future-like view of one submitted job.  Copyable; copies share the
 /// same interest (cancelling one cancels the handle, not its copies'
@@ -120,6 +137,9 @@ struct SimServiceOptions {
   /// Start with dispatch paused (tests and controlled batching); no job
   /// runs until resume().
   bool start_paused = false;
+  /// Warmup-checkpoint / crash-resume configuration (sim_job.h); disabled
+  /// unless checkpoint.dir is set.  Workers pass it to run_sim_job.
+  CheckpointOptions checkpoint = {};
 };
 
 /// Owns the worker pool, the pending-job queue, the in-flight coalescing

@@ -1,5 +1,6 @@
 #include "interconnect/bus_set.h"
 
+#include "core/checkpoint.h"
 #include "util/assert.h"
 
 namespace ringclu {
@@ -51,6 +52,20 @@ std::optional<int> BusSet::try_inject(int src, int dst,
 
 void BusSet::tick(std::vector<BusDelivery>& out) {
   for (PipelinedRingBus& bus : buses_) bus.tick(out);
+}
+
+void BusSet::save_state(CheckpointWriter& out) const {
+  out.u64(buses_.size());
+  for (const PipelinedRingBus& bus : buses_) bus.save_state(out);
+}
+
+void BusSet::restore_state(CheckpointReader& in) {
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count != buses_.size()) {
+    in.fail("bus set size mismatch");
+    return;
+  }
+  for (PipelinedRingBus& bus : buses_) bus.restore_state(in);
 }
 
 }  // namespace ringclu

@@ -66,6 +66,11 @@ class BusSet {
     return buses_[static_cast<std::size_t>(index)];
   }
 
+  /// min_distance_ is rebuilt at construction, so only bus pipeline state
+  /// is serialized.
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
+
  private:
   int num_clusters_;
   std::vector<PipelinedRingBus> buses_;

@@ -1,5 +1,7 @@
 #include "interconnect/ring_bus.h"
 
+#include "core/checkpoint.h"
+
 namespace ringclu {
 
 PipelinedRingBus::PipelinedRingBus(int num_clusters, int hop_latency,
@@ -59,6 +61,38 @@ void PipelinedRingBus::tick(std::vector<BusDelivery>& out) {
       --in_flight_;
     }
   }
+}
+
+void PipelinedRingBus::save_state(CheckpointWriter& out) const {
+  out.u64(slots_.size());
+  for (const Slot& slot : slots_) {
+    out.boolean(slot.full);
+    out.i64(slot.dst);
+    out.u64(slot.payload);
+  }
+  out.u64(shift_);
+  out.i64(in_flight_);
+  out.u64(busy_slot_cycles_);
+  out.u64(ticks_);
+  out.u64(injections_);
+}
+
+void PipelinedRingBus::restore_state(CheckpointReader& in) {
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count != slots_.size()) {
+    in.fail("ring bus geometry mismatch");
+    return;
+  }
+  for (Slot& slot : slots_) {
+    slot.full = in.boolean();
+    slot.dst = static_cast<int>(in.i64());
+    slot.payload = in.u64();
+  }
+  shift_ = in.u64();
+  in_flight_ = static_cast<int>(in.i64());
+  busy_slot_cycles_ = in.u64();
+  ticks_ = in.u64();
+  injections_ = in.u64();
 }
 
 }  // namespace ringclu

@@ -22,6 +22,9 @@
 
 namespace ringclu {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Direction of travel around the ring.
 enum class RingDirection : std::int8_t { Forward = 1, Backward = -1 };
 
@@ -63,6 +66,9 @@ class PipelinedRingBus {
   }
   [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
   [[nodiscard]] std::uint64_t injections() const { return injections_; }
+
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
 
  private:
   struct Slot {

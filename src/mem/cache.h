@@ -9,6 +9,9 @@
 
 namespace ringclu {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 struct CacheConfig {
   std::uint64_t size_bytes = 32 * 1024;
   std::uint32_t line_bytes = 32;
@@ -42,6 +45,10 @@ class SetAssocCache {
   [[nodiscard]] std::size_t num_sets() const { return sets_; }
 
   void reset_stats() { accesses_ = misses_ = 0; }
+
+  /// Serializes tags, LRU state and statistics counters.
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
 
  private:
   struct Line {

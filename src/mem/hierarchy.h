@@ -46,6 +46,9 @@ class MemoryHierarchy {
 
   void reset_stats();
 
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
+
  private:
   MemHierarchyConfig config_;
   SetAssocCache l1i_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.h"
+
 namespace ringclu {
 namespace {
 
@@ -89,6 +91,45 @@ bool LoadStoreQueue::release(std::uint64_t seq) {
   const bool was_store = entries_.front().is_store;
   entries_.pop_front();
   return was_store;
+}
+
+void LoadStoreQueue::save_state(CheckpointWriter& out) const {
+  out.u64(entries_.size());
+  for (const Entry& entry : entries_) {
+    out.u64(entry.seq);
+    out.u64(entry.addr);
+    out.u32(entry.size);
+    out.boolean(entry.is_store);
+    out.boolean(entry.addr_known);
+    out.boolean(entry.must_wait_memo);
+    out.u64(entry.blocker_seq);
+    out.boolean(entry.blocker_addr_known);
+  }
+  out.u64(forwards_);
+  out.u64(load_waits_);
+}
+
+void LoadStoreQueue::restore_state(CheckpointReader& in) {
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count > capacity_) {
+    in.fail("lsq overflow in checkpoint");
+    return;
+  }
+  entries_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Entry entry;
+    entry.seq = in.u64();
+    entry.addr = in.u64();
+    entry.size = in.u32();
+    entry.is_store = in.boolean();
+    entry.addr_known = in.boolean();
+    entry.must_wait_memo = in.boolean();
+    entry.blocker_seq = in.u64();
+    entry.blocker_addr_known = in.boolean();
+    entries_.push_back(entry);
+  }
+  forwards_ = in.u64();
+  load_waits_ = in.u64();
 }
 
 }  // namespace ringclu

@@ -16,6 +16,9 @@
 
 namespace ringclu {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Result of asking whether a load may proceed.
 enum class LoadGate : std::uint8_t {
   Proceed,     ///< no conflicting older store; access the cache
@@ -51,6 +54,9 @@ class LoadStoreQueue {
   [[nodiscard]] std::uint64_t load_waits() const { return load_waits_; }
   void count_forward() { ++forwards_; }
   void count_load_wait() { ++load_waits_; }
+
+  void save_state(CheckpointWriter& out) const;
+  void restore_state(CheckpointReader& in);
 
  private:
   struct Entry {

@@ -41,6 +41,14 @@ class ConvSteering final : public SteeringPolicy {
 
   [[nodiscard]] const DcountTracker& dcount() const { return dcount_; }
 
+  void save_state(CheckpointWriter& out) const override {
+    dcount_.save_state(out);
+  }
+
+  void restore_state(CheckpointReader& in) override {
+    dcount_.restore_state(in);
+  }
+
  private:
   /// Least-loaded viable cluster within \p candidate_mask.
   [[nodiscard]] SteerDecision select_least_loaded(

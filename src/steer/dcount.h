@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "util/assert.h"
 
 namespace ringclu {
@@ -41,6 +42,16 @@ class DcountTracker {
   }
 
   void reset();
+
+  void save_state(CheckpointWriter& out) const { out.vec_i64(counters_); }
+
+  void restore_state(CheckpointReader& in) {
+    const std::size_t size = counters_.size();
+    in.vec_i64(counters_);
+    if (in.ok() && counters_.size() != size) {
+      in.fail("dcount size mismatch");
+    }
+  }
 
  private:
   std::vector<std::int64_t> counters_;

@@ -5,6 +5,7 @@
 /// (perfect balance, dependence-blind) and uniformly random placement.
 /// They bound the design space the paper's Figure 6/13 comparisons live in.
 
+#include "core/checkpoint.h"
 #include "steer/steer_common.h"
 #include "steer/steering.h"
 #include "util/rng.h"
@@ -24,6 +25,12 @@ class RoundRobinSteering final : public SteeringPolicy {
     return "round_robin";
   }
 
+  void save_state(CheckpointWriter& out) const override { out.i64(next_); }
+
+  void restore_state(CheckpointReader& in) override {
+    next_ = static_cast<int>(in.i64());
+  }
+
  private:
   int num_clusters_;
   int next_ = 0;
@@ -39,6 +46,16 @@ class RandomSteering final : public SteeringPolicy {
                                     const SteerContext& context) override;
 
   [[nodiscard]] std::string_view name() const override { return "random"; }
+
+  void save_state(CheckpointWriter& out) const override {
+    for (std::uint64_t word : rng_.state()) out.u64(word);
+  }
+
+  void restore_state(CheckpointReader& in) override {
+    std::uint64_t words[4];
+    for (std::uint64_t& word : words) word = in.u64();
+    rng_.set_state(words);
+  }
 
  private:
   int num_clusters_;

@@ -21,6 +21,7 @@
 /// communications — and the horizontal slicing of the dependence graph
 /// balances the workload with no explicit mechanism.
 
+#include "core/checkpoint.h"
 #include "steer/steer_common.h"
 #include "steer/steering.h"
 
@@ -37,6 +38,14 @@ class RingSteering final : public SteeringPolicy {
 
   [[nodiscard]] std::string_view name() const override {
     return "ring_dependence";
+  }
+
+  void save_state(CheckpointWriter& out) const override {
+    out.i64(rotate_);
+  }
+
+  void restore_state(CheckpointReader& in) override {
+    rotate_ = static_cast<int>(in.i64());
   }
 
  private:

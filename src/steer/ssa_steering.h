@@ -14,6 +14,7 @@
 /// balance (and Conv's collapse onto a few clusters) emerges from the value
 /// homes, not from the policy.
 
+#include "core/checkpoint.h"
 #include "steer/steer_common.h"
 #include "steer/steering.h"
 
@@ -27,6 +28,14 @@ class SimpleSteering final : public SteeringPolicy {
                                     const SteerContext& context) override;
 
   [[nodiscard]] std::string_view name() const override { return "ssa"; }
+
+  void save_state(CheckpointWriter& out) const override {
+    out.i64(round_robin_);
+  }
+
+  void restore_state(CheckpointReader& in) override {
+    round_robin_ = static_cast<int>(in.i64());
+  }
 
  private:
   int num_clusters_;

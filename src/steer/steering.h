@@ -23,6 +23,9 @@
 
 namespace ringclu {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Which machine organization is being simulated.
 enum class ArchKind : std::uint8_t { Ring, Conv };
 
@@ -108,6 +111,14 @@ class SteeringPolicy {
   virtual void on_dispatch(int cluster) { (void)cluster; }
 
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Checkpoint hooks.  The defaults serialize nothing — correct only for
+  /// stateless policies; every policy with mutable state (rotation
+  /// counters, DCOUNT, RNG, ...) must override both, or restored runs will
+  /// diverge from cold runs.  The built-in policies all do; externally
+  /// registered policies (steer/registry.h) are expected to as well.
+  virtual void save_state(CheckpointWriter& out) const { (void)out; }
+  virtual void restore_state(CheckpointReader& in) { (void)in; }
 };
 
 /// Which steering algorithm to instantiate.

@@ -222,7 +222,7 @@ SyntheticProgram::SyntheticProgram(ProgramSpec spec, std::uint64_t seed)
   buffer_.reserve(4096);
 }
 
-void SyntheticProgram::reset() {
+void SyntheticProgram::do_reset() {
   rng_ = Rng(seed_);
   buffer_.clear();
   cursor_ = 0;
@@ -280,7 +280,7 @@ void SyntheticProgram::refill() {
   }
 }
 
-bool SyntheticProgram::next(MicroOp& out) {
+bool SyntheticProgram::produce(MicroOp& out) {
   if (cursor_ >= buffer_.size()) refill();
   out = buffer_[cursor_++];
   return true;

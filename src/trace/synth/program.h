@@ -88,11 +88,13 @@ class SyntheticProgram final : public TraceSource {
  public:
   SyntheticProgram(ProgramSpec spec, std::uint64_t seed);
 
-  bool next(MicroOp& out) override;
-  void reset() override;
   [[nodiscard]] std::string_view name() const override { return spec_.name; }
 
   [[nodiscard]] const ProgramSpec& spec() const { return spec_; }
+
+ protected:
+  bool produce(MicroOp& out) override;
+  void do_reset() override;
 
  private:
   void refill();

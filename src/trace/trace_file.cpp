@@ -126,7 +126,7 @@ std::uint64_t TraceFileReader::get_varint() {
   return value;
 }
 
-bool TraceFileReader::next(MicroOp& out) {
+bool TraceFileReader::produce(MicroOp& out) {
   if (consumed_ >= total_) return false;
   out = MicroOp{};
   const int flags = std::fgetc(file_);
@@ -161,7 +161,7 @@ bool TraceFileReader::next(MicroOp& out) {
   return true;
 }
 
-void TraceFileReader::reset() {
+void TraceFileReader::do_reset() {
   std::fseek(file_, 16, SEEK_SET);
   consumed_ = 0;
   last_pc_ = 0;

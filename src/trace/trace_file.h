@@ -54,11 +54,13 @@ class TraceFileReader final : public TraceSource {
   TraceFileReader(const TraceFileReader&) = delete;
   TraceFileReader& operator=(const TraceFileReader&) = delete;
 
-  bool next(MicroOp& out) override;
-  void reset() override;
   [[nodiscard]] std::string_view name() const override { return name_; }
 
   [[nodiscard]] std::uint64_t total_ops() const { return total_; }
+
+ protected:
+  bool produce(MicroOp& out) override;
+  void do_reset() override;
 
  private:
   [[nodiscard]] std::uint64_t get_varint();

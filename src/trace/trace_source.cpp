@@ -1,0 +1,24 @@
+#include "trace/trace_source.h"
+
+#include "core/checkpoint.h"
+
+namespace ringclu {
+
+void TraceSource::save_pos(CheckpointWriter& out) const {
+  out.u64(position_);
+}
+
+void TraceSource::restore_pos(CheckpointReader& in) {
+  const std::uint64_t target = in.u64();
+  if (!in.ok()) return;
+  reset();
+  MicroOp scratch;
+  for (std::uint64_t i = 0; i < target; ++i) {
+    if (!next(scratch)) {
+      in.fail("trace ended before checkpointed position");
+      return;
+    }
+  }
+}
+
+}  // namespace ringclu

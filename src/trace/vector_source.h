@@ -24,7 +24,10 @@ class VectorTraceSource final : public TraceSource {
     RINGCLU_EXPECTS(!ops_.empty());
   }
 
-  bool next(MicroOp& out) override {
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ protected:
+  bool produce(MicroOp& out) override {
     if (cursor_ >= ops_.size()) {
       if (!loop_) return false;
       cursor_ = 0;
@@ -33,9 +36,7 @@ class VectorTraceSource final : public TraceSource {
     return true;
   }
 
-  void reset() override { cursor_ = 0; }
-
-  [[nodiscard]] std::string_view name() const override { return name_; }
+  void do_reset() override { cursor_ = 0; }
 
  private:
   std::vector<MicroOp> ops_;

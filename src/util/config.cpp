@@ -1,6 +1,7 @@
 #include "util/config.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/assert.h"
@@ -12,11 +13,57 @@ namespace {
 
 std::string to_lower(std::string_view text) {
   std::string out(text);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 
 }  // namespace
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
+  // strtoull silently skips leading whitespace and *negates* a '-' value
+  // into the unsigned range; reject both up front, along with an explicit
+  // '+', so exactly the canonical spellings parse.
+  if (text.empty()) return std::nullopt;
+  const unsigned char first = static_cast<unsigned char>(text.front());
+  if (std::isspace(first) || text.front() == '-' || text.front() == '+') {
+    return std::nullopt;
+  }
+  const std::string copy(text);  // strtoull needs NUL termination
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(copy.c_str(), &end, 0);
+  if (errno == ERANGE) return std::nullopt;
+  if (end != copy.c_str() + copy.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const unsigned char first = static_cast<unsigned char>(text.front());
+  if (std::isspace(first) || text.front() == '+') return std::nullopt;
+  const std::string copy(text);
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(copy.c_str(), &end, 0);
+  if (errno == ERANGE) return std::nullopt;
+  if (end != copy.c_str() + copy.size()) return std::nullopt;
+  return static_cast<std::int64_t>(parsed);
+}
+
+std::optional<bool> parse_bool(std::string_view text) {
+  const std::string lowered = to_lower(text);
+  if (lowered == "1" || lowered == "true" || lowered == "yes" ||
+      lowered == "on") {
+    return true;
+  }
+  if (lowered == "0" || lowered == "false" || lowered == "no" ||
+      lowered == "off") {
+    return false;
+  }
+  return std::nullopt;
+}
 
 bool Config::parse_tokens(const std::vector<std::string>& tokens) {
   for (const auto& token : tokens) {
@@ -67,10 +114,11 @@ std::int64_t Config::get_int(std::string_view key,
                              std::int64_t fallback) const {
   auto value = get(key);
   if (!value) return fallback;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(value->c_str(), &end, 0);
-  RINGCLU_EXPECTS(end != nullptr && *end == '\0' && !value->empty());
-  return parsed;
+  // parse_int instead of raw strtoll: overflow and trailing junk become a
+  // contract failure here, never a silently wrapped value.
+  const std::optional<std::int64_t> parsed = parse_int(*value);
+  RINGCLU_EXPECTS(parsed.has_value() && "unparseable integer config value");
+  return *parsed;
 }
 
 double Config::get_double(std::string_view key, double fallback) const {
@@ -85,17 +133,9 @@ double Config::get_double(std::string_view key, double fallback) const {
 bool Config::get_bool(std::string_view key, bool fallback) const {
   auto value = get(key);
   if (!value) return fallback;
-  const std::string lowered = to_lower(*value);
-  if (lowered == "1" || lowered == "true" || lowered == "yes" ||
-      lowered == "on") {
-    return true;
-  }
-  if (lowered == "0" || lowered == "false" || lowered == "no" ||
-      lowered == "off") {
-    return false;
-  }
-  RINGCLU_EXPECTS(false && "unparseable boolean config value");
-  return fallback;
+  const std::optional<bool> parsed = parse_bool(*value);
+  RINGCLU_EXPECTS(parsed.has_value() && "unparseable boolean config value");
+  return *parsed;
 }
 
 std::vector<std::string> Config::entries() const {

@@ -14,6 +14,20 @@
 
 namespace ringclu {
 
+/// Strictly parses \p text as an unsigned 64-bit integer (base 10, or
+/// 0x-/0-prefixed via base 0).  Returns nullopt — never aborts, wraps or
+/// accepts partially — for empty input, any sign or leading whitespace,
+/// trailing characters, or out-of-range values.  This is the parser for
+/// every externally supplied count (RINGCLU_* knobs, CLI values).
+[[nodiscard]] std::optional<std::uint64_t> parse_uint(std::string_view text);
+
+/// Strict signed companion of parse_uint (same rejection rules; a single
+/// leading '-' is allowed).
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view text);
+
+/// Parses a boolean token: 1/true/yes/on, 0/false/no/off (case-folded).
+[[nodiscard]] std::optional<bool> parse_bool(std::string_view text);
+
 /// A flat, ordered key/value configuration.
 class Config {
  public:

@@ -105,6 +105,16 @@ class Rng {
     return k;
   }
 
+  /// Raw generator state, for checkpoint serialization only.
+  [[nodiscard]] constexpr std::span<const std::uint64_t, 4> state() const {
+    return std::span<const std::uint64_t, 4>(state_);
+  }
+
+  /// Restores state captured by state(); resumes the identical stream.
+  constexpr void set_state(std::span<const std::uint64_t, 4> words) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = words[i];
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

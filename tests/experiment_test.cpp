@@ -544,7 +544,7 @@ TEST(SweepService, IdenticalDesignPointsCoalesceAcrossNames) {
   second.name = "point_b";
 
   SimService service(make_result_store(StoreBackend::Memory, "", false),
-                     SimServiceOptions{1, false, false, true});
+                     SimServiceOptions{.threads = 1, .start_paused = true});
   const RunParams params{2000, 200, 42, 0};
   std::vector<JobHandle> handles = service.submit_batch(
       {SimJob{first, "gzip", params}, SimJob{second, "gzip", params}});

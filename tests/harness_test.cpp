@@ -293,6 +293,72 @@ TEST(RunnerDeathTest, UnknownBenchmarkInEnvFailsWithValidNames) {
   ::unsetenv("RINGCLU_BENCHMARKS");
 }
 
+// Malformed RINGCLU_* knob values must produce a diagnostic naming the
+// variable and exit 2 — never abort, wrap around or silently clamp.
+// setenv runs inside the EXPECT_EXIT statement so only the forked child
+// sees the poisoned environment.
+
+TEST(RunnerDeathTest, NonNumericWarmupEnvExitsWithDiagnostic) {
+  EXPECT_EXIT(
+      {
+        ::setenv("RINGCLU_WARMUP", "abc", 1);
+        (void)RunnerOptions::from_env();
+      },
+      ::testing::ExitedWithCode(2), "RINGCLU_WARMUP=abc");
+}
+
+TEST(RunnerDeathTest, OverflowingInstrsEnvExitsWithDiagnostic) {
+  EXPECT_EXIT(
+      {
+        ::setenv("RINGCLU_INSTRS", "99999999999999999999999999", 1);
+        (void)RunnerOptions::from_env();
+      },
+      ::testing::ExitedWithCode(2), "RINGCLU_INSTRS");
+}
+
+TEST(RunnerDeathTest, NegativeIntervalEnvExitsWithDiagnostic) {
+  EXPECT_EXIT(
+      {
+        ::setenv("RINGCLU_INTERVAL", "-5", 1);
+        (void)RunnerOptions::from_env();
+      },
+      ::testing::ExitedWithCode(2), "RINGCLU_INTERVAL=-5");
+}
+
+TEST(RunnerDeathTest, UnknownBooleanForceEnvExitsWithDiagnostic) {
+  EXPECT_EXIT(
+      {
+        ::setenv("RINGCLU_FORCE", "maybe", 1);
+        (void)RunnerOptions::from_env();
+      },
+      ::testing::ExitedWithCode(2), "RINGCLU_FORCE=maybe");
+}
+
+TEST(RunnerDeathTest, MalformedSnapshotIntervalEnvExitsWithDiagnostic) {
+  EXPECT_EXIT(
+      {
+        ::setenv("RINGCLU_SNAPSHOT_INTERVAL", "10s", 1);
+        (void)RunnerOptions::from_env();
+      },
+      ::testing::ExitedWithCode(2), "RINGCLU_SNAPSHOT_INTERVAL");
+}
+
+TEST(Runner, CheckpointKnobsReadFromEnv) {
+  ::setenv("RINGCLU_CHECKPOINT_DIR", "/tmp/ringclu_ckpts", 1);
+  ::setenv("RINGCLU_SNAPSHOT_INTERVAL", "50000", 1);
+  ::setenv("RINGCLU_RESUME", "1", 1);
+  const RunnerOptions options = RunnerOptions::from_env();
+  EXPECT_EQ(options.checkpoint_dir, "/tmp/ringclu_ckpts");
+  EXPECT_EQ(options.snapshot_interval, 50000u);
+  EXPECT_TRUE(options.resume);
+  EXPECT_TRUE(options.checkpoint_options().enabled());
+  EXPECT_TRUE(options.checkpoint_options().resume);
+  EXPECT_EQ(options.run_params().snapshot_interval, 50000u);
+  ::unsetenv("RINGCLU_CHECKPOINT_DIR");
+  ::unsetenv("RINGCLU_SNAPSHOT_INTERVAL");
+  ::unsetenv("RINGCLU_RESUME");
+}
+
 TEST(Runner, CacheBackendFromEnv) {
   ::setenv("RINGCLU_CACHE_BACKEND", "sharded", 1);
   EXPECT_EQ(RunnerOptions::from_env().cache_backend, StoreBackend::Sharded);

@@ -33,7 +33,12 @@ class CappedTrace final : public TraceSource {
   CappedTrace(TraceSource& inner, std::uint64_t cap)
       : inner_(inner), cap_(cap) {}
 
-  bool next(MicroOp& out) override {
+  [[nodiscard]] std::string_view name() const override {
+    return inner_.name();
+  }
+
+ protected:
+  bool produce(MicroOp& out) override {
     if (emitted_ >= cap_) return false;
     if (!inner_.next(out)) return false;
     ++emitted_;
@@ -41,16 +46,13 @@ class CappedTrace final : public TraceSource {
     return true;
   }
 
-  void reset() override {
+  void do_reset() override {
     inner_.reset();
     emitted_ = 0;
     nops_ = 0;
   }
 
-  [[nodiscard]] std::string_view name() const override {
-    return inner_.name();
-  }
-
+ public:
   [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
   [[nodiscard]] std::uint64_t nops() const { return nops_; }
 

@@ -230,16 +230,18 @@ SimCounters add_counters(SimCounters accum, const SimCounters& delta) {
 TEST(Sampling, ObserverLeavesCountersBitIdentical) {
   const SimResult plain = simulate("Ring_4clus_1bus_2IW", "gzip");
   CollectObserver observer;
-  const SimResult hooked = simulate("Ring_4clus_1bus_2IW", "gzip",
-                                    RunHooks{&observer, kInterval});
+  const SimResult hooked = simulate(
+      "Ring_4clus_1bus_2IW", "gzip",
+      RunHooks{.observer = &observer, .interval_instrs = kInterval});
   EXPECT_TRUE(plain.counters == hooked.counters);
   EXPECT_FALSE(observer.samples.empty());
 }
 
 TEST(Sampling, IntervalSeriesReconcilesExactlyWithEndOfRunCounters) {
   CollectObserver observer;
-  const SimResult result = simulate("Conv_8clus_1bus_2IW", "swim",
-                                    RunHooks{&observer, kInterval});
+  const SimResult result = simulate(
+      "Conv_8clus_1bus_2IW", "swim",
+      RunHooks{.observer = &observer, .interval_instrs = kInterval});
   ASSERT_GE(observer.samples.size(), 2u);
 
   SimCounters summed;
@@ -263,18 +265,23 @@ TEST(Sampling, IntervalSeriesReconcilesExactlyWithEndOfRunCounters) {
 
 TEST(Sampling, DisabledHooksProduceNoSamples) {
   CollectObserver observer;
-  const SimResult result = simulate("Ring_4clus_1bus_2IW", "gzip",
-                                    RunHooks{&observer, /*interval=*/0});
+  const SimResult result = simulate(
+      "Ring_4clus_1bus_2IW", "gzip",
+      RunHooks{.observer = &observer, .interval_instrs = 0});
   EXPECT_GT(result.counters.committed, 0u);
   EXPECT_TRUE(observer.samples.empty());
-  EXPECT_FALSE((RunHooks{nullptr, 100}.sampling()));
-  EXPECT_FALSE((RunHooks{&observer, 0}.sampling()));
-  EXPECT_TRUE((RunHooks{&observer, 100}.sampling()));
+  EXPECT_FALSE(
+      (RunHooks{.observer = nullptr, .interval_instrs = 100}.sampling()));
+  EXPECT_FALSE(
+      (RunHooks{.observer = &observer, .interval_instrs = 0}.sampling()));
+  EXPECT_TRUE(
+      (RunHooks{.observer = &observer, .interval_instrs = 100}.sampling()));
 }
 
 // ---- run_sim_job + sinks ----------------------------------------------
 
-SimJob streaming_job(MetricSink* sink, const std::string& preset = "Ring_4clus_1bus_2IW",
+SimJob streaming_job(MetricSink* sink,
+                     const std::string& preset = "Ring_4clus_1bus_2IW",
                      const std::string& benchmark = "gzip") {
   return SimJob{ArchConfig::preset(preset), benchmark,
                 RunParams{kInstrs, kWarmup, 42, kInterval}, sink};
@@ -452,8 +459,9 @@ TEST(ResultJson, RoundTripsThroughParser) {
 
 TEST(ResultJson, IntervalRecordRoundTrips) {
   CollectObserver observer;
-  const SimResult result = simulate("Ring_4clus_1bus_2IW", "gzip",
-                                    RunHooks{&observer, kInterval});
+  const SimResult result = simulate(
+      "Ring_4clus_1bus_2IW", "gzip",
+      RunHooks{.observer = &observer, .interval_instrs = kInterval});
   ASSERT_FALSE(observer.samples.empty());
   const MetricRunContext context{result.config_name, result.benchmark,
                                  kInterval, 42};

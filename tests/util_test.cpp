@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 
 #include "util/config.h"
@@ -129,6 +130,57 @@ TEST(Config, ParsesBooleans) {
   EXPECT_FALSE(config.get_bool("f1", true));
   EXPECT_FALSE(config.get_bool("f2", true));
   EXPECT_FALSE(config.get_bool("f3", true));
+}
+
+TEST(Parse, UintAcceptsCanonicalForms) {
+  EXPECT_EQ(parse_uint("0"), 0u);
+  EXPECT_EQ(parse_uint("123"), 123u);
+  EXPECT_EQ(parse_uint("0x10"), 16u);  // base-0: hex accepted
+  EXPECT_EQ(parse_uint("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(Parse, UintRejectsJunkAndOverflow) {
+  EXPECT_FALSE(parse_uint("").has_value());
+  EXPECT_FALSE(parse_uint("abc").has_value());
+  EXPECT_FALSE(parse_uint("12x").has_value());
+  EXPECT_FALSE(parse_uint(" 12").has_value());
+  EXPECT_FALSE(parse_uint("12 ").has_value());
+  EXPECT_FALSE(parse_uint("+12").has_value());
+  EXPECT_FALSE(parse_uint("-1").has_value());  // no silent wraparound
+  EXPECT_FALSE(parse_uint("18446744073709551616").has_value());  // 2^64
+  EXPECT_FALSE(parse_uint("99999999999999999999999999").has_value());
+}
+
+TEST(Parse, IntAcceptsSignedValues) {
+  EXPECT_EQ(parse_int("-5"), -5);
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_int("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(parse_int("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(Parse, IntRejectsJunkAndOverflow) {
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("five").has_value());
+  EXPECT_FALSE(parse_int("5.0").has_value());
+  EXPECT_FALSE(parse_int(" 5").has_value());
+  EXPECT_FALSE(parse_int("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_int("-9223372036854775809").has_value());
+}
+
+TEST(Parse, BoolAcceptsDocumentedSpellings) {
+  for (const char* text : {"1", "true", "yes", "on", "TRUE", "Yes"}) {
+    EXPECT_EQ(parse_bool(text), true) << text;
+  }
+  for (const char* text : {"0", "false", "no", "off", "FALSE", "Off"}) {
+    EXPECT_EQ(parse_bool(text), false) << text;
+  }
+}
+
+TEST(Parse, BoolRejectsEverythingElse) {
+  EXPECT_FALSE(parse_bool("").has_value());
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+  EXPECT_FALSE(parse_bool("2").has_value());
+  EXPECT_FALSE(parse_bool(" true").has_value());
 }
 
 TEST(Config, EntriesAreSorted) {

@@ -12,6 +12,13 @@
 ///   ringclu_sim --sweep <spec.json> [key=value ...]
 ///   ringclu_sim --list
 ///
+/// Checkpointing (any run mode; see DESIGN.md §10):
+///   --checkpoint-dir=DIR   reuse warmup checkpoints in DIR instead of
+///                          re-simulating warmup (writes them on first need)
+///   --resume               continue interrupted runs from their mid-run
+///                          snapshots (written every snapshot_interval=N
+///                          committed instructions)
+///
 /// A configuration is named either by a Table 3-style preset
 /// (Ring_8clus_1bus_2IW, suffixes +SSA / @2cyc) or by a JSON file written
 /// by --dump-config / ArchConfig::to_json.  Malformed files and invalid
@@ -19,6 +26,8 @@
 ///
 /// Overrides (key=value):
 ///   instrs, warmup, seed          run control
+///   snapshot_interval=N           mid-run snapshot cadence in committed
+///                                 instrs (needs --checkpoint-dir)
 ///   clusters, width, buses, hop   machine geometry
 ///   regs, iq, comm_iq, rob, lsq   structure sizes
 ///   dcount_threshold              Conv imbalance threshold
@@ -95,6 +104,42 @@ int list_everything() {
               "accept these or 'preset'):\n  %s\n",
               join(ArchConfig::field_names(), ", ").c_str());
   return 0;
+}
+
+/// Checkpoint flags lifted out of argv before mode dispatch; they apply
+/// to every run mode and compose with the RINGCLU_CHECKPOINT_DIR /
+/// RINGCLU_RESUME environment defaults (flags win).
+struct CheckpointFlags {
+  std::string dir;
+  bool resume = false;
+};
+
+/// Strict key=value count: missing -> fallback; malformed/negative/
+/// overflowing -> diagnostic + exit 2 (never an abort).
+std::uint64_t cli_uint(const Config& options, const char* key,
+                       std::uint64_t fallback) {
+  const std::optional<std::string> raw = options.get(key);
+  if (!raw) return fallback;
+  const std::optional<std::uint64_t> parsed = parse_uint(*raw);
+  if (!parsed) {
+    std::fprintf(stderr, "bad %s=%s (want a non-negative integer)\n", key,
+                 raw->c_str());
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+/// Strict key=value boolean (same contract as cli_uint).
+bool cli_bool(const Config& options, const char* key, bool fallback) {
+  const std::optional<std::string> raw = options.get(key);
+  if (!raw) return fallback;
+  const std::optional<bool> parsed = parse_bool(*raw);
+  if (!parsed) {
+    std::fprintf(stderr, "bad %s=%s (want a boolean: 1/0, true/false)\n", key,
+                 raw->c_str());
+    std::exit(2);
+  }
+  return *parsed;
 }
 
 bool ends_with(const std::string& name, std::string_view suffix) {
@@ -203,20 +248,27 @@ std::vector<std::string> default_matrix_configs() {
 /// RunnerOptions with the batch-mode key=value overrides applied
 /// (threads/backend/cache/force and run control); nullopt (diagnostic
 /// printed) on a bad backend name.
-std::optional<RunnerOptions> resolve_batch_options(const Config& options) {
+std::optional<RunnerOptions> resolve_batch_options(
+    const Config& options, const CheckpointFlags& checkpoint_flags) {
   RunnerOptions runner_options = RunnerOptions::from_env();
-  runner_options.instrs = static_cast<std::uint64_t>(
-      options.get_int("instrs", static_cast<std::int64_t>(
-                                    runner_options.instrs)));
-  runner_options.warmup = static_cast<std::uint64_t>(
-      options.get_int("warmup", static_cast<std::int64_t>(
-                                    runner_options.warmup)));
-  runner_options.seed = static_cast<std::uint64_t>(
-      options.get_int("seed", static_cast<std::int64_t>(runner_options.seed)));
-  runner_options.threads = static_cast<int>(
-      options.get_int("threads", runner_options.threads));
-  runner_options.force = options.get_bool("force", runner_options.force);
+  runner_options.instrs = cli_uint(options, "instrs", runner_options.instrs);
+  runner_options.warmup = cli_uint(options, "warmup", runner_options.warmup);
+  runner_options.seed = cli_uint(options, "seed", runner_options.seed);
+  runner_options.threads = static_cast<int>(cli_uint(
+      options, "threads",
+      static_cast<std::uint64_t>(runner_options.threads)));
+  runner_options.force = cli_bool(options, "force", runner_options.force);
   runner_options.verbose = false;  // Progress line instead.
+  runner_options.checkpoint_dir = options.get_string(
+      "checkpoint_dir", runner_options.checkpoint_dir);
+  runner_options.snapshot_interval = cli_uint(
+      options, "snapshot_interval", runner_options.snapshot_interval);
+  runner_options.resume =
+      cli_bool(options, "resume", runner_options.resume);
+  if (!checkpoint_flags.dir.empty()) {
+    runner_options.checkpoint_dir = checkpoint_flags.dir;
+  }
+  if (checkpoint_flags.resume) runner_options.resume = true;
   const StoreBackend env_backend = runner_options.cache_backend;
   const std::string backend_name = options.get_string(
       "backend", std::string(store_backend_name(env_backend)));
@@ -253,8 +305,7 @@ struct StreamingSetup {
 bool resolve_streaming(const Config& options,
                        const RunnerOptions& runner_options,
                        StreamingSetup& setup) {
-  setup.interval = static_cast<std::uint64_t>(options.get_int(
-      "interval", static_cast<std::int64_t>(runner_options.interval)));
+  setup.interval = cli_uint(options, "interval", runner_options.interval);
   std::string json_path = options.get_string("json", "");
   std::string csv_path = options.get_string("csv", "");
   if (setup.interval > 0 && json_path.empty() && csv_path.empty() &&
@@ -346,8 +397,10 @@ void print_ipc_table(const std::vector<std::string>& rows,
 
 /// --matrix: run a (configs x benchmarks) sweep through SimService with
 /// live progress on stderr, then print the per-config IPC figure.
-int run_matrix_mode(const Config& options) {
-  std::optional<RunnerOptions> runner_options = resolve_batch_options(options);
+int run_matrix_mode(const Config& options,
+                    const CheckpointFlags& checkpoint_flags) {
+  std::optional<RunnerOptions> runner_options =
+      resolve_batch_options(options, checkpoint_flags);
   if (!runner_options) return 2;
 
   std::vector<std::string> configs;
@@ -427,7 +480,8 @@ int run_matrix_mode(const Config& options) {
 
 /// --sweep: load a declarative ExperimentSpec, expand its axes, run every
 /// (point, benchmark) pair and print the per-point IPC figure.
-int run_sweep_mode(const std::string& spec_path, const Config& options) {
+int run_sweep_mode(const std::string& spec_path, const Config& options,
+                   const CheckpointFlags& checkpoint_flags) {
   const std::optional<std::string> text = read_file(spec_path);
   if (!text) return 2;
   std::vector<std::string> errors;
@@ -438,7 +492,8 @@ int run_sweep_mode(const std::string& spec_path, const Config& options) {
     return 2;
   }
 
-  std::optional<RunnerOptions> runner_options = resolve_batch_options(options);
+  std::optional<RunnerOptions> runner_options =
+      resolve_batch_options(options, checkpoint_flags);
   if (!runner_options) return 2;
 
   // Run control: environment defaults, then the spec's run block, then
@@ -448,6 +503,7 @@ int run_sweep_mode(const std::string& spec_path, const Config& options) {
   if (options.contains("instrs")) params.instrs = runner_options->instrs;
   if (options.contains("warmup")) params.warmup = runner_options->warmup;
   if (options.contains("seed")) params.seed = runner_options->seed;
+  params.snapshot_interval = runner_options->snapshot_interval;
 
   std::vector<std::string> benchmarks;
   for (const std::string& name :
@@ -549,13 +605,47 @@ int usage() {
       "       ringclu_sim --dump-config <preset|config.json> [key=value ...]\n"
       "       ringclu_sim --matrix [key=value ...]\n"
       "       ringclu_sim --sweep <spec.json> [key=value ...]\n"
-      "       ringclu_sim --list\n");
+      "       ringclu_sim --list\n"
+      "flags (any mode): --checkpoint-dir=DIR  reuse warmup checkpoints\n"
+      "                  --resume              resume from snapshots\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Checkpoint flags may appear anywhere; lift them out before dispatch.
+  CheckpointFlags checkpoint_flags;
+  std::vector<char*> kept_args;
+  kept_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      checkpoint_flags.resume = true;
+    } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      checkpoint_flags.dir = argv[i] + 17;
+      if (checkpoint_flags.dir.empty()) {
+        std::fprintf(stderr, "--checkpoint-dir needs a directory\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--checkpoint-dir needs a directory\n");
+        return 2;
+      }
+      checkpoint_flags.dir = argv[++i];
+    } else {
+      kept_args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(kept_args.size());
+  argv = kept_args.data();
+  if (checkpoint_flags.resume && checkpoint_flags.dir.empty()) {
+    std::fprintf(stderr,
+                 "--resume needs --checkpoint-dir (or "
+                 "RINGCLU_CHECKPOINT_DIR)\n");
+    // Not fatal: the environment may provide the directory for batch modes.
+  }
+
   if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
     return list_everything();
   }
@@ -568,7 +658,7 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    return run_matrix_mode(options);
+    return run_matrix_mode(options, checkpoint_flags);
   }
 
   if (argc >= 2 && std::strcmp(argv[1], "--sweep") == 0) {
@@ -580,7 +670,7 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    return run_sweep_mode(argv[2], options);
+    return run_sweep_mode(argv[2], options, checkpoint_flags);
   }
 
   if (argc >= 2 && std::strcmp(argv[1], "--dump-config") == 0) {
@@ -633,12 +723,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::uint64_t instrs =
-      static_cast<std::uint64_t>(options.get_int("instrs", 200000));
-  const std::uint64_t warmup = static_cast<std::uint64_t>(
-      options.get_int("warmup", static_cast<std::int64_t>(instrs / 10)));
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(options.get_int("seed", 42));
+  const std::uint64_t instrs = cli_uint(options, "instrs", 200000);
+  const std::uint64_t warmup = cli_uint(options, "warmup", instrs / 10);
+  const std::uint64_t seed = cli_uint(options, "seed", 42);
+  const std::uint64_t snapshot_interval =
+      cli_uint(options, "snapshot_interval", 0);
+  if (snapshot_interval > 0 && checkpoint_flags.dir.empty()) {
+    std::fprintf(stderr,
+                 "snapshot_interval needs --checkpoint-dir; no snapshots "
+                 "will be written\n");
+  }
 
   const std::string workload = argv[2];
   std::unique_ptr<TraceSource> trace;
@@ -653,8 +747,30 @@ int main(int argc, char** argv) {
     trace = make_benchmark_trace(workload, seed);
   }
 
-  Processor processor(config, seed);
-  const SimResult result = processor.run(*trace, warmup, instrs);
+  SimResult result;
+  if (!checkpoint_flags.dir.empty()) {
+    SimJob job;
+    job.config = config;
+    job.benchmark = workload;
+    job.params.instrs = instrs;
+    job.params.warmup = warmup;
+    job.params.seed = seed;
+    job.params.snapshot_interval = snapshot_interval;
+    CheckpointOptions checkpoint;
+    checkpoint.dir = checkpoint_flags.dir;
+    checkpoint.resume = checkpoint_flags.resume;
+    result = run_sim_job_on_trace(job, checkpoint, *trace);
+    if (result.warmup_restored) {
+      std::fprintf(stderr,
+                   "[ringclu] restored checkpoint from %s (amortized "
+                   "%.2fs of simulation)\n",
+                   checkpoint_flags.dir.c_str(),
+                   result.warmup_amortized_seconds);
+    }
+  } else {
+    Processor processor(config, seed);
+    result = processor.run(*trace, warmup, instrs);
+  }
 
   const std::string report =
       options.get_string("report", json_report ? "json" : "detailed");
