@@ -55,6 +55,8 @@ int main() {
 
   SimServiceOptions service_options;
   service_options.threads = options.threads;
+  service_options.shards = options.shards;
+  service_options.pin_workers = options.pin_workers;
   service_options.force = true;  // Measure simulations, not cache hits.
   service_options.checkpoint = options.checkpoint_options();
   SimService service(
@@ -81,13 +83,18 @@ int main() {
   std::vector<SimResult> results;
   results.reserve(handles.size());
   for (const JobHandle& handle : handles) {
-    RINGCLU_EXPECTS(handle.wait() == JobStatus::Done);
+    const JobStatus status = handle.wait();
+    RINGCLU_EXPECTS(status == JobStatus::Done);
     results.push_back(handle.result());
   }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   RINGCLU_ENSURES(service.simulations_run() == results.size());
+  // Workers are spawned lazily: what actually ran, not what was asked for
+  // (a small matrix on a big machine starts fewer threads than
+  // RINGCLU_THREADS).
+  const std::size_t workers = service.workers_started();
 
   std::vector<ConfigStats> per_config;
   for (std::size_t i = 0; i < presets.size(); ++i) {
@@ -119,8 +126,8 @@ int main() {
   }
 
   std::printf("%s\n", throughput_summary(results).c_str());
-  std::printf("end-to-end elapsed: %.2fs (%d worker thread(s))\n", elapsed,
-              service.options().threads);
+  std::printf("end-to-end elapsed: %.2fs (%zu of %d worker thread(s) used)\n",
+              elapsed, workers, service.options().threads);
   if (!options.checkpoint_dir.empty()) {
     std::printf(
         "warmup checkpoints: %zu/%zu runs restored, %.2fs amortized\n",
@@ -141,8 +148,32 @@ int main() {
                static_cast<unsigned long long>(options.warmup));
   std::fprintf(json, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(options.seed));
-  std::fprintf(json, "  \"threads\": %d,\n", service.options().threads);
+  // Workers actually started, not the configured ceiling (the historical
+  // "threads" field always echoed the request, even when lazy spawning
+  // used fewer).
+  std::fprintf(json, "  \"threads\": %zu,\n", workers);
+  std::fprintf(json, "  \"threads_requested\": %d,\n",
+               service.options().threads);
+  std::fprintf(json, "  \"shards\": %d,\n", service.options().shards);
   std::fprintf(json, "  \"benchmarks\": %zu,\n", benchmarks.size());
+  std::fprintf(json, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SimResult& result = results[i];
+    std::fprintf(json,
+                 "    {\"config\": \"%s\", \"benchmark\": \"%s\", "
+                 "\"sim_instrs\": %llu, \"wall_seconds\": %.6f, "
+                 "\"sim_instrs_per_second\": %.1f}%s\n",
+                 presets[i / benchmarks.size()].c_str(),
+                 benchmarks[i % benchmarks.size()].c_str(),
+                 static_cast<unsigned long long>(result.total_committed),
+                 result.wall_seconds,
+                 result.wall_seconds <= 0.0
+                     ? 0.0
+                     : static_cast<double>(result.total_committed) /
+                           result.wall_seconds,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
   std::fprintf(json, "  \"configs\": [\n");
   for (std::size_t i = 0; i < per_config.size(); ++i) {
     const ConfigStats& stats = per_config[i];

@@ -12,6 +12,9 @@ ValueMap::ValueMap(int num_clusters)
                    0) {
   RINGCLU_EXPECTS(num_clusters >= 1 && num_clusters <= kMaxClusters);
   values_.reserve(512);
+  waiter_head_.reserve(512);
+  waiter_tail_.reserve(512);
+  waiter_pool_.reserve(512);
 }
 
 void ValueMap::adjust_idle(const ValueInfo& value, int cluster, int delta) {
@@ -33,7 +36,8 @@ ValueId ValueMap::create(RegClass cls, int home_cluster) {
   } else {
     id = static_cast<ValueId>(values_.size());
     values_.emplace_back();
-    waiters_.emplace_back();
+    waiter_head_.push_back(-1);
+    waiter_tail_.push_back(-1);
   }
   ValueInfo& value = values_[id];
   value.cls = cls;
@@ -58,7 +62,7 @@ void ValueMap::release(ValueId id) {
   }
   // No pending readers implies no subscribed waiters (every waiter holds a
   // pending reader in its cluster until it fires).
-  RINGCLU_EXPECTS(waiters_[id].empty());
+  RINGCLU_EXPECTS(waiter_head_[id] < 0);
   value.live = false;
   free_slots_.push_back(id);
   --live_count_;
@@ -77,19 +81,42 @@ void ValueMap::set_readable(ValueId id, int cluster, std::int64_t cycle) {
   value.readable_cycle[static_cast<std::size_t>(cluster)] = cycle;
   adjust_idle(value, cluster, +1);  // now counted if this made it idle
 
-  std::vector<ValueWaiter>& waiters = waiters_[id];
-  if (waiters.empty()) return;
   // Move matching-cluster waiters to the fired list (subscription order);
-  // waiters on other clusters stay subscribed.
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < waiters.size(); ++i) {
-    if (static_cast<int>(waiters[i].cluster) == cluster) {
-      fired_.push_back(waiters[i].token);
+  // waiters on other clusters stay subscribed.  Fired nodes are unlinked
+  // in place and recycled to the pool's free list.
+  std::int32_t node = waiter_head_[id];
+  std::int32_t prev = -1;
+  while (node >= 0) {
+    WaiterNode& entry = waiter_pool_[static_cast<std::size_t>(node)];
+    const std::int32_t next = entry.next;
+    if (static_cast<int>(entry.waiter.cluster) == cluster) {
+      fired_.push_back(entry.waiter.token);
+      if (prev >= 0) {
+        waiter_pool_[static_cast<std::size_t>(prev)].next = next;
+      } else {
+        waiter_head_[id] = next;
+      }
+      if (next < 0) waiter_tail_[id] = prev;
+      entry.next = waiter_free_;
+      waiter_free_ = node;
     } else {
-      waiters[kept++] = waiters[i];
+      prev = node;
     }
+    node = next;
   }
-  waiters.resize(kept);
+}
+
+std::int32_t ValueMap::alloc_waiter_node(ValueWaiter waiter) {
+  std::int32_t node;
+  if (waiter_free_ >= 0) {
+    node = waiter_free_;
+    waiter_free_ = waiter_pool_[static_cast<std::size_t>(node)].next;
+  } else {
+    node = static_cast<std::int32_t>(waiter_pool_.size());
+    waiter_pool_.emplace_back();
+  }
+  waiter_pool_[static_cast<std::size_t>(node)] = WaiterNode{waiter, -1};
+  return node;
 }
 
 void ValueMap::add_waiter(ValueId id, int cluster, std::uint64_t token) {
@@ -97,8 +124,14 @@ void ValueMap::add_waiter(ValueId id, int cluster, std::uint64_t token) {
   RINGCLU_EXPECTS(value.mapped_in(cluster));
   RINGCLU_EXPECTS(value.readable_cycle[static_cast<std::size_t>(cluster)] ==
                   kNeverReadable);
-  waiters_[id].push_back(
-      ValueWaiter{static_cast<std::uint8_t>(cluster), token});
+  const std::int32_t node =
+      alloc_waiter_node(ValueWaiter{static_cast<std::uint8_t>(cluster), token});
+  if (waiter_tail_[id] >= 0) {
+    waiter_pool_[static_cast<std::size_t>(waiter_tail_[id])].next = node;
+  } else {
+    waiter_head_[id] = node;
+  }
+  waiter_tail_[id] = node;
 }
 
 void ValueMap::add_reader(ValueId id, int cluster) {
@@ -158,10 +191,21 @@ void ValueMap::save_state(CheckpointWriter& out) const {
     for (std::uint16_t readers : value.pending_readers) out.u16(readers);
   }
   out.vec_int(idle_copies_);
-  out.u64(waiters_.size());
-  for (const auto& slot : waiters_) {
-    out.u64(slot.size());
-    for (const ValueWaiter& waiter : slot) {
+  // Waiter lists serialize as per-slot (count, entries in subscription
+  // order) — the same byte stream as the historical vector-of-vectors
+  // layout, so pooled and pre-pool checkpoints are interchangeable.
+  out.u64(waiter_head_.size());
+  for (std::size_t slot = 0; slot < waiter_head_.size(); ++slot) {
+    std::uint64_t count = 0;
+    for (std::int32_t node = waiter_head_[slot]; node >= 0;
+         node = waiter_pool_[static_cast<std::size_t>(node)].next) {
+      ++count;
+    }
+    out.u64(count);
+    for (std::int32_t node = waiter_head_[slot]; node >= 0;
+         node = waiter_pool_[static_cast<std::size_t>(node)].next) {
+      const ValueWaiter& waiter =
+          waiter_pool_[static_cast<std::size_t>(node)].waiter;
       out.u8(waiter.cluster);
       out.u64(waiter.token);
     }
@@ -202,19 +246,27 @@ void ValueMap::restore_state(CheckpointReader& in) {
     in.fail("value map waiter table mismatch");
     return;
   }
-  waiters_.assign(num_waiter_slots, {});
-  for (auto& slot : waiters_) {
+  waiter_pool_.clear();
+  waiter_free_ = -1;
+  waiter_head_.assign(num_waiter_slots, -1);
+  waiter_tail_.assign(num_waiter_slots, -1);
+  for (std::size_t slot = 0; slot < num_waiter_slots; ++slot) {
     const std::uint64_t count = in.u64();
     if (!in.ok() || count > (1u << 20)) {
       in.fail("waiter list out of range");
       return;
     }
-    slot.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
       ValueWaiter waiter;
       waiter.cluster = in.u8();
       waiter.token = in.u64();
-      slot.push_back(waiter);
+      const std::int32_t node = alloc_waiter_node(waiter);
+      if (waiter_tail_[slot] >= 0) {
+        waiter_pool_[static_cast<std::size_t>(waiter_tail_[slot])].next = node;
+      } else {
+        waiter_head_[slot] = node;
+      }
+      waiter_tail_[slot] = node;
     }
   }
   in.vec_u64(fired_);

@@ -167,13 +167,28 @@ class ValueMap {
   /// value is currently an idle copy there.
   void adjust_idle(const ValueInfo& value, int cluster, int delta);
 
+  /// One arena-pooled waiter-list node; nodes are recycled through an
+  /// intrusive free list, so steady-state subscription churn allocates
+  /// nothing.
+  struct WaiterNode {
+    ValueWaiter waiter;
+    std::int32_t next = -1;
+  };
+
+  /// Allocates a pool node holding \p waiter (next = -1).
+  [[nodiscard]] std::int32_t alloc_waiter_node(ValueWaiter waiter);
+
   int num_clusters_;
   std::vector<ValueInfo> values_;
   /// Idle copies per (cluster, class); see idle_copy_count().
   std::vector<int> idle_copies_;
-  /// Waiters per value slot, parallel to values_ (kept out of ValueInfo so
-  /// slot reuse preserves vector capacity).
-  std::vector<std::vector<ValueWaiter>> waiters_;
+  /// Waiter arena: per-value singly linked lists (head/tail parallel to
+  /// values_, appended at the tail so subscription order is preserved)
+  /// threaded through one shared node pool.
+  std::vector<WaiterNode> waiter_pool_;
+  std::vector<std::int32_t> waiter_head_;
+  std::vector<std::int32_t> waiter_tail_;
+  std::int32_t waiter_free_ = -1;  ///< head of the recycled-node list
   std::vector<std::uint64_t> fired_;
   std::vector<ValueId> free_slots_;
   std::size_t live_count_ = 0;

@@ -4,6 +4,14 @@
 /// In-flight dynamic instruction state (one ROB entry) and the reorder
 /// buffer.  The simulator is trace-driven and correct-path-only, so entries
 /// are only ever retired from the head — never squashed.
+///
+/// The reorder buffer keeps a structure-of-arrays split: the fields the
+/// event-driven scheduler touches on every wakeup/ready/commit probe (seq,
+/// state, cluster, wait_srcs, ready_at) live in dense parallel columns,
+/// while the rest of the entry (micro-op, value ids, stage cycles) stays in
+/// the per-slot DynInst record.  A wake that decrements a wait counter or a
+/// commit probe that checks head state then touches a few hot cache lines
+/// instead of striding across full DynInst records.
 
 #include <cstdint>
 #include <vector>
@@ -22,12 +30,11 @@ enum class InstState : std::uint8_t {
   Done,        ///< completed; eligible to commit
 };
 
-/// One in-flight instruction.
+/// Cold per-instruction state (everything the issue/wakeup inner loops do
+/// not touch).  The hot columns — seq, state, cluster, wait_srcs, ready_at
+/// — are owned by the ReorderBuffer.
 struct DynInst {
   MicroOp op;
-  std::uint64_t seq = 0;
-  InstState state = InstState::Dispatched;
-  int cluster = -1;  ///< -1 for instructions that bypass steering (nops)
 
   ValueId dst_value = kInvalidValue;
   /// Previous mapping of the destination register, released at commit.
@@ -45,57 +52,6 @@ struct DynInst {
   /// Loads: earliest cycle the memory access may start (address at the
   /// cache cluster).
   std::int64_t mem_ready_cycle = -1;
-
-  // Event-driven wakeup bookkeeping (while waiting in an issue queue).
-  /// Source operands not yet scheduled readable in this cluster; the entry
-  /// enters its cluster's ready list when this reaches zero.
-  std::uint32_t wait_srcs = 0;
-  /// Max known operand-readable cycle so far; the operand-ready cycle once
-  /// wait_srcs == 0.
-  std::int64_t ready_at = -1;
-
-  [[nodiscard]] bool done() const { return state == InstState::Done; }
-
-  void save_state(CheckpointWriter& out) const {
-    save_micro_op(out, op);
-    out.u64(seq);
-    out.u8(static_cast<std::uint8_t>(state));
-    out.i64(cluster);
-    out.u32(dst_value);
-    out.u32(released_value);
-    out.u8(static_cast<std::uint8_t>(srcs.size()));
-    for (ValueId src : srcs) out.u32(src);
-    out.u32(store_data);
-    out.i64(dispatch_cycle);
-    out.i64(issue_cycle);
-    out.i64(complete_cycle);
-    out.i64(mem_ready_cycle);
-    out.u32(wait_srcs);
-    out.i64(ready_at);
-  }
-
-  void restore_state(CheckpointReader& in) {
-    restore_micro_op(in, op);
-    seq = in.u64();
-    state = static_cast<InstState>(in.u8());
-    cluster = static_cast<int>(in.i64());
-    dst_value = in.u32();
-    released_value = in.u32();
-    const std::uint8_t num_srcs = in.u8();
-    srcs.clear();
-    if (num_srcs > kMaxSrcOperands) {
-      in.fail("dyn inst source count out of range");
-      return;
-    }
-    for (std::uint8_t i = 0; i < num_srcs; ++i) srcs.push_back(in.u32());
-    store_data = in.u32();
-    dispatch_cycle = in.i64();
-    issue_cycle = in.i64();
-    complete_cycle = in.i64();
-    mem_ready_cycle = in.i64();
-    wait_srcs = in.u32();
-    ready_at = in.i64();
-  }
 };
 
 /// Fixed-capacity circular reorder buffer.  Slot indices are stable for an
@@ -103,7 +59,13 @@ struct DynInst {
 class ReorderBuffer {
  public:
   explicit ReorderBuffer(std::size_t capacity)
-      : slots_(capacity), capacity_(capacity) {
+      : slots_(capacity),
+        seq_(capacity, 0),
+        state_(capacity, InstState::Dispatched),
+        cluster_(capacity, -1),
+        wait_srcs_(capacity, 0),
+        ready_at_(capacity, -1),
+        capacity_(capacity) {
     RINGCLU_EXPECTS(capacity >= 4);
   }
 
@@ -112,19 +74,21 @@ class ReorderBuffer {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
-  /// Allocates the tail slot.  Returns the slot index.
-  std::uint32_t push(DynInst inst) {
+  /// Allocates the tail slot with the given hot-column values (wakeup
+  /// bookkeeping starts cleared).  Returns the slot index.
+  std::uint32_t push(DynInst inst, std::uint64_t seq, InstState state,
+                     int cluster) {
     RINGCLU_EXPECTS(!full());
     const std::uint32_t index = tail_;
     slots_[index] = std::move(inst);
+    seq_[index] = seq;
+    state_[index] = state;
+    cluster_[index] = cluster;
+    wait_srcs_[index] = 0;
+    ready_at_[index] = -1;
     tail_ = static_cast<std::uint32_t>((tail_ + 1) % capacity_);
     ++size_;
     return index;
-  }
-
-  [[nodiscard]] DynInst& head() {
-    RINGCLU_EXPECTS(!empty());
-    return slots_[head_];
   }
 
   [[nodiscard]] std::uint32_t head_index() const {
@@ -147,15 +111,58 @@ class ReorderBuffer {
     return slots_[index];
   }
 
+  // Hot columns (structure-of-arrays).  Unchecked: slot indices originate
+  // from push() and are pinned by the event/queue bookkeeping; the checked
+  // at() accessor covers the cold record.
+  [[nodiscard]] std::uint64_t seq(std::uint32_t index) const {
+    return seq_[index];
+  }
+  [[nodiscard]] InstState state(std::uint32_t index) const {
+    return state_[index];
+  }
+  void set_state(std::uint32_t index, InstState state) {
+    state_[index] = state;
+  }
+  [[nodiscard]] bool done(std::uint32_t index) const {
+    return state_[index] == InstState::Done;
+  }
+  [[nodiscard]] int cluster(std::uint32_t index) const {
+    return cluster_[index];
+  }
+  [[nodiscard]] std::uint32_t& wait_srcs(std::uint32_t index) {
+    return wait_srcs_[index];
+  }
+  [[nodiscard]] std::int64_t& ready_at(std::uint32_t index) {
+    return ready_at_[index];
+  }
+
   void save_state(CheckpointWriter& out) const {
     // Live slots are serialized at their physical indices (issue queues
     // reference ROB slots by index), so head/tail/size plus the occupied
-    // window reproduce the exact layout.
+    // window reproduce the exact layout.  Hot columns are interleaved at
+    // their historical field positions, so the byte stream is identical to
+    // the pre-split array-of-structs layout.
     out.u32(head_);
     out.u32(tail_);
     out.u64(size_);
     for (std::size_t i = 0; i < size_; ++i) {
-      slots_[(head_ + i) % capacity_].save_state(out);
+      const std::size_t p = (head_ + i) % capacity_;
+      const DynInst& inst = slots_[p];
+      save_micro_op(out, inst.op);
+      out.u64(seq_[p]);
+      out.u8(static_cast<std::uint8_t>(state_[p]));
+      out.i64(cluster_[p]);
+      out.u32(inst.dst_value);
+      out.u32(inst.released_value);
+      out.u8(static_cast<std::uint8_t>(inst.srcs.size()));
+      for (ValueId src : inst.srcs) out.u32(src);
+      out.u32(inst.store_data);
+      out.i64(inst.dispatch_cycle);
+      out.i64(inst.issue_cycle);
+      out.i64(inst.complete_cycle);
+      out.i64(inst.mem_ready_cycle);
+      out.u32(wait_srcs_[p]);
+      out.i64(ready_at_[p]);
     }
   }
 
@@ -169,13 +176,47 @@ class ReorderBuffer {
       return;
     }
     for (DynInst& slot : slots_) slot = DynInst{};
+    seq_.assign(capacity_, 0);
+    state_.assign(capacity_, InstState::Dispatched);
+    cluster_.assign(capacity_, -1);
+    wait_srcs_.assign(capacity_, 0);
+    ready_at_.assign(capacity_, -1);
     for (std::size_t i = 0; i < size_; ++i) {
-      slots_[(head_ + i) % capacity_].restore_state(in);
+      const std::size_t p = (head_ + i) % capacity_;
+      DynInst& inst = slots_[p];
+      restore_micro_op(in, inst.op);
+      seq_[p] = in.u64();
+      state_[p] = static_cast<InstState>(in.u8());
+      cluster_[p] = static_cast<int>(in.i64());
+      inst.dst_value = in.u32();
+      inst.released_value = in.u32();
+      const std::uint8_t num_srcs = in.u8();
+      inst.srcs.clear();
+      if (num_srcs > kMaxSrcOperands) {
+        in.fail("dyn inst source count out of range");
+        return;
+      }
+      for (std::uint8_t s = 0; s < num_srcs; ++s) {
+        inst.srcs.push_back(in.u32());
+      }
+      inst.store_data = in.u32();
+      inst.dispatch_cycle = in.i64();
+      inst.issue_cycle = in.i64();
+      inst.complete_cycle = in.i64();
+      inst.mem_ready_cycle = in.i64();
+      wait_srcs_[p] = in.u32();
+      ready_at_[p] = in.i64();
     }
   }
 
  private:
   std::vector<DynInst> slots_;
+  // Hot parallel columns; see file comment.
+  std::vector<std::uint64_t> seq_;
+  std::vector<InstState> state_;
+  std::vector<std::int32_t> cluster_;
+  std::vector<std::uint32_t> wait_srcs_;
+  std::vector<std::int64_t> ready_at_;
   std::size_t capacity_;
   std::uint32_t head_ = 0;
   std::uint32_t tail_ = 0;

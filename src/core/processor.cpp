@@ -149,7 +149,7 @@ void Processor::schedule(std::int64_t cycle, EventKind kind,
   // until the ring wraps.  Same-cycle completions go through
   // complete_instruction()/try_complete_store() directly instead.
   RINGCLU_ASSERT(cycle > cycle_);
-  const Event event{cycle, kind, rob_index, rob_.at(rob_index).seq};
+  const Event event{cycle, kind, rob_index, rob_.seq(rob_index)};
   if (cycle - cycle_ < static_cast<std::int64_t>(kEventRingSize)) {
     event_ring_[static_cast<std::size_t>(cycle) & (kEventRingSize - 1)]
         .push_back(event);
@@ -189,10 +189,11 @@ void Processor::handle_wake(std::uint64_t token, std::int64_t readable_cycle) {
   switch (kind) {
     case WakeKind::IqEntry: {
       const std::uint32_t rob_index = static_cast<std::uint32_t>(index);
-      DynInst& inst = rob_.at(rob_index);
-      RINGCLU_ASSERT(inst.wait_srcs > 0);
-      inst.ready_at = std::max(inst.ready_at, readable_cycle);
-      if (--inst.wait_srcs == 0) schedule_iq_ready(rob_index, inst.ready_at);
+      std::uint32_t& wait_srcs = rob_.wait_srcs(rob_index);
+      std::int64_t& ready_at = rob_.ready_at(rob_index);
+      RINGCLU_ASSERT(wait_srcs > 0);
+      ready_at = std::max(ready_at, readable_cycle);
+      if (--wait_srcs == 0) schedule_iq_ready(rob_index, ready_at);
       break;
     }
     case WakeKind::StoreData: {
@@ -201,7 +202,7 @@ void Processor::handle_wake(std::uint64_t token, std::int64_t readable_cycle) {
       // the historical pending-store sweep (never earlier in the cycle, or
       // the store would commit a cycle early).
       store_due_.push(TimedRef{std::max(readable_cycle, cycle_),
-                               rob_.at(rob_index).seq, rob_index});
+                               rob_.seq(rob_index), rob_index});
       break;
     }
     case WakeKind::Comm: {
@@ -226,16 +227,17 @@ void Processor::schedule_iq_ready(std::uint32_t rob_index,
 }
 
 void Processor::push_ready(std::uint32_t rob_index) {
-  DynInst& inst = rob_.at(rob_index);
-  RINGCLU_ASSERT(inst.state == InstState::Dispatched);
-  Cluster& cluster = clusters_[static_cast<std::size_t>(inst.cluster)];
-  std::vector<ReadyRef>& list = op_unit(inst.op.cls) == UnitKind::Int
-                                    ? cluster.int_ready
-                                    : cluster.fp_ready;
+  RINGCLU_ASSERT(rob_.state(rob_index) == InstState::Dispatched);
+  const std::uint64_t seq = rob_.seq(rob_index);
+  Cluster& cluster =
+      clusters_[static_cast<std::size_t>(rob_.cluster(rob_index))];
+  std::vector<ReadyRef>& list =
+      op_unit(rob_.at(rob_index).op.cls) == UnitKind::Int ? cluster.int_ready
+                                                          : cluster.fp_ready;
   const auto it = std::lower_bound(
-      list.begin(), list.end(), inst.seq,
-      [](const ReadyRef& ref, std::uint64_t seq) { return ref.seq < seq; });
-  list.insert(it, ReadyRef{rob_index, inst.seq});
+      list.begin(), list.end(), seq,
+      [](const ReadyRef& ref, std::uint64_t s) { return ref.seq < s; });
+  list.insert(it, ReadyRef{rob_index, seq});
   ++ready_total_;
 }
 
@@ -263,11 +265,11 @@ void Processor::drain_comm_wakeups() {
 
 void Processor::complete_instruction(std::uint32_t rob_index) {
   DynInst& inst = rob_.at(rob_index);
-  RINGCLU_ASSERT(inst.state != InstState::Done);
-  inst.state = InstState::Done;
+  RINGCLU_ASSERT(rob_.state(rob_index) != InstState::Done);
+  rob_.set_state(rob_index, InstState::Done);
   inst.complete_cycle = cycle_;
   if (inst.op.has_dst()) values_.info(inst.dst_value).produced = true;
-  if (fetch_blocked_ && inst.seq == fetch_blocked_seq_) {
+  if (fetch_blocked_ && rob_.seq(rob_index) == fetch_blocked_seq_) {
     fetch_blocked_ = false;  // redirect: fetch resumes this cycle
   }
 }
@@ -290,14 +292,15 @@ void Processor::do_events() {
   for (std::size_t i = 0; i < bucket.size(); ++i) {
     const Event event = bucket[i];
     RINGCLU_ASSERT(event.cycle == cycle_);
-    DynInst& inst = rob_.at(event.rob_index);
-    RINGCLU_ASSERT(inst.seq == event.seq);
+    RINGCLU_ASSERT(rob_.seq(event.rob_index) == event.seq);
     switch (event.kind) {
       case EventKind::Complete:
         complete_instruction(event.rob_index);
         break;
-      case EventKind::AddrReady:
-        lsq_.set_address(inst.seq, inst.op.mem_addr, inst.op.mem_size);
+      case EventKind::AddrReady: {
+        DynInst& inst = rob_.at(event.rob_index);
+        const int cluster = rob_.cluster(event.rob_index);
+        lsq_.set_address(event.seq, inst.op.mem_addr, inst.op.mem_size);
         if (inst.op.is_store()) {
           // The store retires from the cluster once its data has also been
           // read; the cache write happens at commit.  If the data is not
@@ -307,15 +310,15 @@ void Processor::do_events() {
           if (inst.store_data != kInvalidValue) {
             const std::int64_t readable =
                 values_.info(inst.store_data)
-                    .readable_cycle[static_cast<std::size_t>(inst.cluster)];
+                    .readable_cycle[static_cast<std::size_t>(cluster)];
             if (readable > cycle_) {
               if (readable == kNeverReadable) {
                 values_.add_waiter(
-                    inst.store_data, inst.cluster,
+                    inst.store_data, cluster,
                     wake_token(WakeKind::StoreData, 0, event.rob_index));
               } else {
                 store_due_.push(
-                    TimedRef{readable, inst.seq, event.rob_index});
+                    TimedRef{readable, event.seq, event.rob_index});
               }
               break;
             }
@@ -325,9 +328,10 @@ void Processor::do_events() {
         } else {
           inst.mem_ready_cycle = cycle_ + config_.dcache_transfer;
           load_due_.push(
-              TimedRef{inst.mem_ready_cycle, inst.seq, event.rob_index});
+              TimedRef{inst.mem_ready_cycle, event.seq, event.rob_index});
         }
         break;
+      }
       case EventKind::IqReady:
         push_ready(event.rob_index);
         break;
@@ -342,17 +346,19 @@ void Processor::do_events() {
 void Processor::do_commit() {
   int committed = 0;
   while (committed < config_.commit_width && !rob_.empty()) {
-    DynInst& head = rob_.head();
-    if (!head.done()) break;
+    const std::uint32_t head_index = rob_.head_index();
+    if (!rob_.done(head_index)) break;
+    DynInst& head = rob_.at(head_index);
+    const std::uint64_t head_seq = rob_.seq(head_index);
     if (head.op.is_store()) {
       if (dcache_ports_used_ >= config_.mem.l1d_ports) break;
       ++dcache_ports_used_;
       (void)mem_.data_access(head.op.mem_addr);  // write-allocate update
       ++counters_.stores;
-      lsq_.release(head.seq);
+      lsq_.release(head_seq);
     } else if (head.op.is_load()) {
       ++counters_.loads;
-      lsq_.release(head.seq);
+      lsq_.release(head_seq);
     }
     if (head.released_value != kInvalidValue) {
       release_value(head.released_value);
@@ -384,11 +390,12 @@ bool Processor::try_complete_store(std::uint32_t rob_index) {
   DynInst& inst = rob_.at(rob_index);
   RINGCLU_ASSERT(inst.op.is_store());
   if (inst.store_data != kInvalidValue) {
-    if (!values_.info(inst.store_data).readable_in(inst.cluster, cycle_)) {
+    const int cluster = rob_.cluster(rob_index);
+    if (!values_.info(inst.store_data).readable_in(cluster, cycle_)) {
       return false;
     }
-    values_.remove_reader(inst.store_data, inst.cluster);
-    maybe_eager_release(inst.store_data, inst.cluster);
+    values_.remove_reader(inst.store_data, cluster);
+    maybe_eager_release(inst.store_data, cluster);
     inst.store_data = kInvalidValue;
   }
   complete_instruction(rob_index);
@@ -403,7 +410,7 @@ void Processor::do_memory() {
   while (!store_due_.empty() && store_due_.top().cycle <= cycle_) {
     const TimedRef due = store_due_.top();
     store_due_.pop();
-    RINGCLU_ASSERT(rob_.at(due.rob_index).seq == due.seq);
+    RINGCLU_ASSERT(rob_.seq(due.rob_index) == due.seq);
     const bool completed = try_complete_store(due.rob_index);
     RINGCLU_ASSERT(completed);
   }
@@ -415,14 +422,14 @@ void Processor::do_memory() {
   while (!load_due_.empty() && load_due_.top().cycle <= cycle_) {
     const TimedRef due = load_due_.top();
     load_due_.pop();
-    RINGCLU_ASSERT(rob_.at(due.rob_index).seq == due.seq);
+    RINGCLU_ASSERT(rob_.seq(due.rob_index) == due.seq);
     active_loads_.push_back(due.rob_index);
   }
 
   for (std::size_t i = 0; i < active_loads_.size();) {
     const std::uint32_t rob_index = active_loads_[i];
     DynInst& inst = rob_.at(rob_index);
-    const LoadGate gate = lsq_.query_load(inst.seq);
+    const LoadGate gate = lsq_.query_load(rob_.seq(rob_index));
     if (gate == LoadGate::MustWait) {
       lsq_.count_load_wait();
       ++i;
@@ -442,7 +449,8 @@ void Processor::do_memory() {
     }
     const std::int64_t data_ready =
         cycle_ + latency + config_.dcache_transfer;
-    set_readable_waking(inst.dst_value, dest_home(inst.cluster), data_ready);
+    set_readable_waking(inst.dst_value, dest_home(rob_.cluster(rob_index)),
+                        data_ready);
     schedule(data_ready, EventKind::Complete, rob_index);
     active_loads_.erase(active_loads_.begin() +
                         static_cast<std::ptrdiff_t>(i));
@@ -453,8 +461,8 @@ void Processor::do_memory() {
 
 void Processor::issue_instruction(int cluster, std::uint32_t rob_index) {
   DynInst& inst = rob_.at(rob_index);
-  RINGCLU_ASSERT(inst.state == InstState::Dispatched);
-  inst.state = InstState::Issued;
+  RINGCLU_ASSERT(rob_.state(rob_index) == InstState::Dispatched);
+  rob_.set_state(rob_index, InstState::Issued);
   inst.issue_cycle = cycle_;
   clusters_[static_cast<std::size_t>(cluster)].fus.acquire(inst.op.cls,
                                                            cycle_);
@@ -491,12 +499,11 @@ void Processor::issue_ready_list(int cluster, IssueQueue& queue,
   std::size_t i = 0;
   while (i < ready.size()) {
     const ReadyRef ref = ready[i];
-    DynInst& inst = rob_.at(ref.rob_index);
-    RINGCLU_ASSERT(inst.seq == ref.seq &&
-                   inst.state == InstState::Dispatched);
+    RINGCLU_ASSERT(rob_.seq(ref.rob_index) == ref.seq &&
+                   rob_.state(ref.rob_index) == InstState::Dispatched);
     if (issued >= width ||
         !clusters_[static_cast<std::size_t>(cluster)].fus.available(
-            inst.op.cls, cycle_)) {
+            rob_.at(ref.rob_index).op.cls, cycle_)) {
       ++unissued_ready;
       ++i;
       continue;
@@ -658,8 +665,6 @@ void Processor::apply_dispatch(const MicroOp& op, std::uint64_t seq,
 
   DynInst inst;
   inst.op = op;
-  inst.seq = seq;
-  inst.cluster = cluster;
   inst.dispatch_cycle = cycle_;
   inst.srcs = request.srcs;
 
@@ -690,7 +695,8 @@ void Processor::apply_dispatch(const MicroOp& op, std::uint64_t seq,
 
   if (op.is_mem()) lsq_.allocate(seq, op.is_store());
 
-  const std::uint32_t rob_index = rob_.push(std::move(inst));
+  const std::uint32_t rob_index =
+      rob_.push(std::move(inst), seq, InstState::Dispatched, cluster);
   Cluster& cl = clusters_[static_cast<std::size_t>(cluster)];
   IssueQueue& queue =
       op_unit(op.cls) == UnitKind::Int ? cl.int_iq : cl.fp_iq;
@@ -699,7 +705,7 @@ void Processor::apply_dispatch(const MicroOp& op, std::uint64_t seq,
   // Wakeup bookkeeping: count sources whose readable cycle is still
   // unknown and subscribe to them; once none remain, the entry enters its
   // cluster's ready list at the max known operand-ready cycle.
-  DynInst& stored = rob_.at(rob_index);
+  const DynInst& stored = rob_.at(rob_index);
   std::uint32_t wait = 0;
   std::int64_t ready_at = cycle_;  // floor: cannot issue before dispatch
   for (const ValueId src : stored.srcs) {
@@ -713,8 +719,8 @@ void Processor::apply_dispatch(const MicroOp& op, std::uint64_t seq,
       ready_at = std::max(ready_at, readable);
     }
   }
-  stored.wait_srcs = wait;
-  stored.ready_at = ready_at;
+  rob_.wait_srcs(rob_index) = wait;
+  rob_.ready_at(rob_index) = ready_at;
   if (wait == 0) schedule_iq_ready(rob_index, ready_at);
 
   policy_->on_dispatch(cluster);
@@ -742,11 +748,9 @@ void Processor::do_dispatch() {
     if (front.op.cls == OpClass::Nop) {
       DynInst inst;
       inst.op = front.op;
-      inst.seq = front.seq;
-      inst.state = InstState::Done;
       inst.dispatch_cycle = cycle_;
       inst.complete_cycle = cycle_;
-      rob_.push(std::move(inst));
+      rob_.push(std::move(inst), front.seq, InstState::Done, /*cluster=*/-1);
       decodeq_.pop_front();
       ++dispatched;
       continue;
@@ -871,13 +875,15 @@ void Processor::dump_state(std::FILE* out) const {
                rob_.size(), rob_.capacity(), fetchq_.size(), decodeq_.size(),
                active_loads_.size() + load_due_.size());
   if (!rob_.empty()) {
-    const DynInst& head = rob_.at(rob_.head_index());
+    const std::uint32_t head_index = rob_.head_index();
+    const DynInst& head = rob_.at(head_index);
+    const int head_cluster = rob_.cluster(head_index);
     std::fprintf(out,
                  "rob head: seq=%llu cls=%s state=%d cluster=%d "
                  "dispatch=%lld issue=%lld\n",
-                 static_cast<unsigned long long>(head.seq),
+                 static_cast<unsigned long long>(rob_.seq(head_index)),
                  std::string(op_name(head.op.cls)).c_str(),
-                 static_cast<int>(head.state), head.cluster,
+                 static_cast<int>(rob_.state(head_index)), head_cluster,
                  static_cast<long long>(head.dispatch_cycle),
                  static_cast<long long>(head.issue_cycle));
     for (const ValueId src : head.srcs) {
@@ -886,9 +892,9 @@ void Processor::dump_state(std::FILE* out) const {
                    "  src v%u: home=%d mapped=%03x produced=%d "
                    "readable@%d=%s\n",
                    src, info.home, info.mapped_mask, info.produced,
-                   head.cluster,
-                   head.cluster >= 0 &&
-                           info.readable_in(head.cluster, cycle_)
+                   head_cluster,
+                   head_cluster >= 0 &&
+                           info.readable_in(head_cluster, cycle_)
                        ? "yes"
                        : "no");
     }

@@ -74,6 +74,9 @@ RunnerOptions RunnerOptions::from_env() {
       env_uint(env, "threads", static_cast<std::uint64_t>(
                                    default_thread_count()),
                1u << 20));
+  options.shards =
+      static_cast<int>(env_uint(env, "shards", 0, 1u << 12));
+  options.pin_workers = env_bool(env, "pin_workers", false);
   options.force = env_bool(env, "force", false);
   options.verbose = env_bool(env, "verbose", true);
   const std::string backend = env.get_string(

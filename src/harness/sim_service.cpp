@@ -1,10 +1,16 @@
 #include "harness/sim_service.h"
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <optional>
+#include <thread>
 
 #include "core/checkpoint.h"
 #include "core/processor.h"
@@ -13,6 +19,7 @@
 #include "trace/synth/suite.h"
 #include "util/assert.h"
 #include "util/format.h"
+#include "util/rng.h"
 
 namespace ringclu {
 
@@ -236,6 +243,10 @@ struct JobHandle::JobState {
   /// Attached handles that have not cancelled.
   std::size_t waiters = 0;
   std::vector<std::function<void(const SimResult&)>> callbacks;
+  /// Shard queue this job was enqueued on (always 0 when unsharded).
+  std::size_t shard = 0;
+  /// Submission index, for the ordered store flush (sharded mode).
+  std::uint64_t order = 0;
 };
 
 // ---- JobHandle --------------------------------------------------------
@@ -288,26 +299,65 @@ std::unique_ptr<ResultStore> store_from_runner_options(
 SimServiceOptions service_options_from_runner(const RunnerOptions& options) {
   SimServiceOptions service_options;
   service_options.threads = options.threads;
+  service_options.shards = options.shards;
+  service_options.pin_workers = options.pin_workers;
   service_options.force = options.force;
   service_options.verbose = options.verbose;
   service_options.checkpoint = options.checkpoint_options();
   return service_options;
 }
 
+/// Best-effort affinity: pin the calling thread to one CPU.  Linux only;
+/// failures (and unknown hardware concurrency) are silently ignored —
+/// pinning is a locality hint, never a correctness requirement.
+void pin_current_thread(std::size_t cpu) {
+#ifdef __linux__
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % hw, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
 }  // namespace
+
+std::size_t SimService::shard_for_key(std::string_view key, int shards) {
+  RINGCLU_EXPECTS(shards > 0);
+  return fnv1a(key) % static_cast<std::size_t>(shards);
+}
 
 SimService::SimService(std::unique_ptr<ResultStore> store,
                        SimServiceOptions options)
     : options_(options), store_(std::move(store)) {
   RINGCLU_EXPECTS(store_ != nullptr);
+  RINGCLU_EXPECTS(options_.shards >= 0);
   if (options_.threads <= 0) options_.threads = default_thread_count();
   paused_ = options_.start_paused;
-  workers_.reserve(static_cast<std::size_t>(options_.threads));
+  const std::size_t shard_count =
+      options_.shards > 0 ? static_cast<std::size_t>(options_.shards) : 1;
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->workers.reserve(worker_quota(s));
+  }
 }
 
-void SimService::spawn_worker_locked() {
-  if (workers_.size() < static_cast<std::size_t>(options_.threads)) {
-    workers_.emplace_back([this] { worker_loop(); });
+std::size_t SimService::worker_quota(std::size_t shard) const {
+  const std::size_t threads = static_cast<std::size_t>(options_.threads);
+  const std::size_t count =
+      options_.shards > 0 ? static_cast<std::size_t>(options_.shards) : 1;
+  const std::size_t quota = threads / count + (shard < threads % count);
+  return quota > 0 ? quota : 1;
+}
+
+void SimService::spawn_worker_locked(std::size_t shard) {
+  Shard& s = *shards_[shard];
+  if (s.workers.size() < worker_quota(shard)) {
+    s.workers.emplace_back([this, shard] { worker_loop(shard); });
   }
 }
 
@@ -319,15 +369,24 @@ SimService::~SimService() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
-    for (const std::shared_ptr<JobState>& state : queue_) {
-      state->status = JobStatus::Cancelled;
-      unindex_locked(state);
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      for (const std::shared_ptr<JobState>& state : shard->queue) {
+        state->status = JobStatus::Cancelled;
+        unindex_locked(state);
+        // Park a null flush entry so any still-running job behind this
+        // index can flush its result before its worker exits.
+        if (ordered_puts()) pending_flush_.emplace(state->order, nullptr);
+      }
+      shard->queue.clear();
     }
-    queue_.clear();
   }
-  work_cv_.notify_all();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->work_cv.notify_all();
+  }
   done_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (std::thread& worker : shard->workers) worker.join();
+  }
 }
 
 JobHandle SimService::submit(SimJob job) { return submit_one(std::move(job)); }
@@ -361,9 +420,12 @@ std::vector<JobHandle> SimService::submit_batch(std::vector<SimJob> jobs) {
     if (newly_queued != 0) {
       std::fprintf(stderr,
                    "[ringclu] simulating %zu run(s) (%llu instrs each, "
-                   "%d thread(s))...\n",
+                   "%d thread(s)%s)...\n",
                    newly_queued, static_cast<unsigned long long>(instrs),
-                   options_.threads);
+                   options_.threads,
+                   ordered_puts()
+                       ? str_format(", %zu shard(s)", shards_.size()).c_str()
+                       : "");
     }
   }
   return handles;
@@ -418,6 +480,8 @@ JobHandle SimService::submit_one(SimJob&& job) {
     }
   }
 
+  const std::size_t shard =
+      ordered_puts() ? shard_for_key(state->key, options_.shards) : 0;
   JobHandle handle;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -430,15 +494,17 @@ JobHandle SimService::submit_one(SimJob&& job) {
       }
     }
     state->status = JobStatus::Queued;
+    state->shard = shard;
+    state->order = next_order_++;
     // Attach the handle before publishing the state to the queue: from
     // that point on, waiters is shared with coalescing submitters.
     handle = make_handle(state);
-    queue_.push_back(state);
+    shards_[shard]->queue.push_back(state);
     if (!streaming) in_flight_.emplace(state->key, state);
     ++total_accepted_;
-    spawn_worker_locked();
+    spawn_worker_locked(shard);
   }
-  work_cv_.notify_one();
+  shards_[shard]->work_cv.notify_one();
   return handle;
 }
 
@@ -451,15 +517,17 @@ void SimService::unindex_locked(const std::shared_ptr<JobState>& state) {
   if (it != in_flight_.end() && it->second == state) in_flight_.erase(it);
 }
 
-void SimService::worker_loop() {
+void SimService::worker_loop(std::size_t shard) {
+  if (options_.pin_workers) pin_current_thread(shard);
+  Shard& home = *shards_[shard];
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [this] {
-      return stopping_ || (!paused_ && !queue_.empty());
+    home.work_cv.wait(lock, [this, &home] {
+      return stopping_ || (!paused_ && !home.queue.empty());
     });
     if (stopping_) return;
-    std::shared_ptr<JobState> state = queue_.front();
-    queue_.pop_front();
+    std::shared_ptr<JobState> state = home.queue.front();
+    home.queue.pop_front();
     if (state->status != JobStatus::Queued) continue;  // Cancelled in place.
     state->status = JobStatus::Running;
     ++running_;
@@ -470,14 +538,20 @@ void SimService::worker_loop() {
     // exist; re-putting would append a duplicate line to persistent
     // backends on every repeated streaming run (first-write-wins makes
     // it dead weight, not a wrong answer — but unbounded growth).
-    if (!state->job.streaming() || !store_->get(state->key)) {
+    // Sharded mode defers this to the submission-ordered flush instead.
+    if (!ordered_puts() &&
+        (!state->job.streaming() || !store_->get(state->key))) {
       store_->put(state->key, result);
     }
 
     lock.lock();
     state->status = JobStatus::Done;
     state->result = std::move(result);
-    unindex_locked(state);
+    // Ordered mode keeps the job in the coalescing index until its flush
+    // lands: a duplicate submitted while the result is Done-but-unflushed
+    // would otherwise miss both the index and the store and re-simulate,
+    // appending a second line serial execution never writes.
+    if (!ordered_puts()) unindex_locked(state);
     std::vector<std::function<void(const SimResult&)>> callbacks =
         std::move(state->callbacks);
     state->callbacks.clear();
@@ -488,6 +562,10 @@ void SimService::worker_loop() {
                    total_accepted_, state->result.summary().c_str());
     }
     done_cv_.notify_all();
+    if (ordered_puts()) {
+      pending_flush_.emplace(state->order, state);
+      flush_store(lock);
+    }
     lock.unlock();
 
     // state->result is immutable from here on; callbacks run unlocked on
@@ -496,6 +574,31 @@ void SimService::worker_loop() {
 
     lock.lock();
   }
+}
+
+void SimService::flush_store(std::unique_lock<std::mutex>& lock) {
+  if (flushing_) return;  // The active flusher will drain new deposits.
+  flushing_ = true;
+  for (;;) {
+    const auto it = pending_flush_.find(next_flush_);
+    if (it == pending_flush_.end()) break;
+    const std::shared_ptr<JobState> state = it->second;
+    pending_flush_.erase(it);
+    ++next_flush_;
+    if (state == nullptr) continue;  // Cancelled index: nothing to write.
+    lock.unlock();
+    // state->result is immutable once Done (observed under the mutex);
+    // the store call runs unlocked so it never stalls other workers.
+    if (!state->job.streaming() || !store_->get(state->key)) {
+      store_->put(state->key, state->result);
+    }
+    lock.lock();
+    // The entry is in the store now: duplicates can leave the coalescing
+    // index and resolve as store hits.
+    unindex_locked(state);
+  }
+  flushing_ = false;
+  done_cv_.notify_all();  // wait_idle() also waits for the flush to drain.
 }
 
 JobStatus JobHandle::wait() const {
@@ -515,7 +618,7 @@ bool JobHandle::cancel() {
   SimService& service = *state.service;
   bool notify = false;
   {
-    const std::lock_guard<std::mutex> lock(service.mutex_);
+    std::unique_lock<std::mutex> lock(service.mutex_);
     if (core_->cancelled) return false;
     if (state.status != JobStatus::Queued) return false;
     core_->cancelled = true;
@@ -524,10 +627,17 @@ bool JobHandle::cancel() {
       // Last interested handle: drop the job before it is dispatched.
       state.status = JobStatus::Cancelled;
       service.unindex_locked(core_->state);
-      auto& queue = service.queue_;
+      auto& queue = service.shards_[state.shard]->queue;
       queue.erase(std::remove(queue.begin(), queue.end(), core_->state),
                   queue.end());
       --service.total_accepted_;
+      if (service.ordered_puts()) {
+        // Park a null entry at this submission index and flush: results
+        // already parked behind it must not wait for a job that will
+        // never run.
+        service.pending_flush_.emplace(state.order, nullptr);
+        service.flush_store(lock);
+      }
     }
     notify = true;
   }
@@ -564,12 +674,21 @@ void SimService::resume() {
     const std::lock_guard<std::mutex> lock(mutex_);
     paused_ = false;
   }
-  work_cv_.notify_all();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->work_cv.notify_all();
+  }
 }
 
 void SimService::wait_idle() const {
   std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  done_cv_.wait(lock, [this] {
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (!shard->queue.empty()) return false;
+    }
+    // In sharded mode "idle" includes the ordered flush: every completed
+    // result has reached the store (pending empty, no put in flight).
+    return running_ == 0 && pending_flush_.empty() && !flushing_;
+  });
 }
 
 std::size_t SimService::simulations_run() const {
@@ -585,6 +704,15 @@ std::size_t SimService::store_hits() const {
 std::size_t SimService::coalesced_submissions() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return coalesced_;
+}
+
+std::size_t SimService::workers_started() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->workers.size();
+  }
+  return total;
 }
 
 }  // namespace ringclu

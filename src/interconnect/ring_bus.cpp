@@ -10,7 +10,8 @@ PipelinedRingBus::PipelinedRingBus(int num_clusters, int hop_latency,
       hop_latency_(hop_latency),
       direction_(direction),
       slots_(static_cast<std::size_t>(num_clusters) *
-             static_cast<std::size_t>(hop_latency)) {
+             static_cast<std::size_t>(hop_latency)),
+      arrivals_(slots_.size(), 0) {
   RINGCLU_EXPECTS(num_clusters >= 2);
   RINGCLU_EXPECTS(hop_latency >= 1);
 }
@@ -36,6 +37,11 @@ void PipelinedRingBus::inject(int src, int dst, std::uint64_t payload) {
   slot.full = true;
   slot.dst = dst;
   slot.payload = payload;
+  // distance*hop < size, so the delivery shift never collides with the
+  // current one and fits within a single wrap of the calendar.
+  const std::size_t travel = static_cast<std::size_t>(distance(src, dst)) *
+                             static_cast<std::size_t>(hop_latency_);
+  ++arrivals_[(shift_ + travel) % slots_.size()];
   ++in_flight_;
   ++injections_;
 }
@@ -50,17 +56,22 @@ void PipelinedRingBus::tick(std::vector<BusDelivery>& out) {
   // entry point.
   shift_ = (shift_ + 1) % slots_.size();
   if (in_flight_ == 0) return;
+  std::uint16_t& due = arrivals_[shift_];
+  if (due == 0) return;  // traffic in flight, but nothing lands this cycle
 
   // A datum that has just reached its destination's entry slot is delivered
-  // and leaves the ring.
-  for (int c = 0; c < num_clusters_; ++c) {
+  // and leaves the ring.  The scan stops once every due arrival is out;
+  // delivery order (ascending cluster) is unchanged.
+  for (int c = 0; c < num_clusters_ && due > 0; ++c) {
     Slot& slot = slots_[entry_slot(c)];
     if (slot.full && slot.dst == c) {
       out.push_back(BusDelivery{c, slot.payload});
       slot = Slot{};
       --in_flight_;
+      --due;
     }
   }
+  RINGCLU_ASSERT(due == 0);
 }
 
 void PipelinedRingBus::save_state(CheckpointWriter& out) const {
@@ -93,6 +104,24 @@ void PipelinedRingBus::restore_state(CheckpointReader& in) {
   busy_slot_cycles_ = in.u64();
   ticks_ = in.u64();
   injections_ = in.u64();
+  if (!in.ok()) return;
+
+  // Rebuild the (derived, unserialized) arrival calendar: physical slot p
+  // delivers to dst when entry_slot(dst) == p, i.e. at the shift value
+  // congruent to dst*hop -/+ p depending on direction.
+  arrivals_.assign(slots_.size(), 0);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(slots_.size());
+  for (std::ptrdiff_t p = 0; p < n; ++p) {
+    const Slot& slot = slots_[static_cast<std::size_t>(p)];
+    if (!slot.full) continue;
+    const std::ptrdiff_t logical =
+        static_cast<std::ptrdiff_t>(slot.dst) *
+        static_cast<std::ptrdiff_t>(hop_latency_);
+    const std::ptrdiff_t s = direction_ == RingDirection::Forward
+                                 ? ((logical - p) % n + n) % n
+                                 : ((p - logical) % n + n) % n;
+    ++arrivals_[static_cast<std::size_t>(s)];
+  }
 }
 
 }  // namespace ringclu

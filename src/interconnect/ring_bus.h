@@ -99,6 +99,12 @@ class PipelinedRingBus {
   RingDirection direction_;
   std::vector<Slot> slots_;
   std::size_t shift_ = 0;  ///< ticks modulo slot count (rotating frame)
+  /// Deliveries due per future shift_ value: a datum injected at shift s
+  /// with travel distance d arrives when shift_ == (s + d*hop) mod size.
+  /// Lets tick() skip the delivery scan on the (common) cycles where
+  /// traffic is in flight but nothing lands.  Derived state: rebuilt from
+  /// slots_ on restore, never serialized.
+  std::vector<std::uint16_t> arrivals_;
   int in_flight_ = 0;
   std::uint64_t busy_slot_cycles_ = 0;
   std::uint64_t ticks_ = 0;

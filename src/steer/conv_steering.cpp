@@ -7,15 +7,18 @@ SteerDecision ConvSteering::select_least_loaded(const SteerRequest& request,
                                                 std::uint32_t candidate_mask) {
   SteerDecision best = SteerDecision::stalled();
   std::int64_t best_load = 0;
+  SteerDecision plan;
   for (int c = 0; c < num_clusters_; ++c) {
     if (((candidate_mask >> c) & 1u) == 0) continue;
-    SteerDecision plan;
-    if (!plan_candidate(request, c, context, plan)) continue;
     const std::int64_t load = dcount_.count(c);
-    if (best.stall || load < best_load) {
-      best = plan;
-      best_load = load;
-    }
+    // A candidate that cannot beat the current best is skipped before the
+    // (comparatively expensive) viability check; only would-be winners are
+    // planned.  Identical outcome to planning every candidate: losers
+    // never replaced best either way.
+    if (!best.stall && load >= best_load) continue;
+    if (!plan_candidate(request, c, context, plans_, plan)) continue;
+    best = plan;
+    best_load = load;
   }
   return best;
 }
@@ -24,6 +27,10 @@ SteerDecision ConvSteering::steer(const SteerRequest& request,
                                   const SteerContext& context) {
   const std::uint32_t all_mask =
       num_clusters_ >= 32 ? 0xffffffffu : ((1u << num_clusters_) - 1u);
+
+  // One value-map pass per request: every plan_operand answer any of the
+  // stages below needs comes from this table.
+  plans_.build(request, context);
 
   // Imbalance override: balance first, communications be damned.
   if (dcount_.imbalance() > static_cast<double>(threshold_)) {
@@ -47,7 +54,7 @@ SteerDecision ConvSteering::steer(const SteerRequest& request,
     int best_distance = INT32_MAX;
     std::uint32_t best_mask = 0;
     for (int c = 0; c < num_clusters_; ++c) {
-      const int distance = longest_comm_distance(request, c, context);
+      const int distance = plans_.longest_distance(request, c);
       if (distance < best_distance) {
         best_distance = distance;
         best_mask = 1u << c;

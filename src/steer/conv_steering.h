@@ -58,6 +58,9 @@ class ConvSteering final : public SteeringPolicy {
   int num_clusters_;
   int threshold_;
   DcountTracker dcount_;
+  /// Per-request plan table (steer_common.h); rebuilt by every steer()
+  /// call, so it carries no cross-instruction state and is not serialized.
+  SteerPlanCache plans_;
 };
 
 }  // namespace ringclu

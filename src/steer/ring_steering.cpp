@@ -13,14 +13,12 @@ SteerDecision RingSteering::select(const SteerRequest& request,
   int best_free = -1;
   int best_rotation = INT32_MAX;
 
+  SteerDecision plan;
   for (int c = 0; c < num_clusters_; ++c) {
     if (((candidate_mask >> c) & 1u) == 0) continue;
 
-    SteerDecision plan;
-    if (!plan_candidate(request, c, context, plan)) continue;
-
     const int distance =
-        use_distance ? total_comm_distance(request, c, context) : 0;
+        use_distance ? plans_.total_distance(request, c) : 0;
     const int free = free_reg_score(request, c, context);
     const int rotation = (c - rotate_ + num_clusters_) % num_clusters_;
 
@@ -29,12 +27,15 @@ SteerDecision RingSteering::select(const SteerRequest& request,
         (distance == best_distance &&
          (free > best_free ||
           (free == best_free && rotation < best_rotation)));
-    if (better) {
-      best = plan;
-      best_distance = distance;
-      best_free = free;
-      best_rotation = rotation;
-    }
+    // Viability is checked only for candidates that would win: losers
+    // never replaced best in the plan-first ordering either, so the chosen
+    // cluster (and its planned comms) is identical.
+    if (!better) continue;
+    if (!plan_candidate(request, c, context, plans_, plan)) continue;
+    best = plan;
+    best_distance = distance;
+    best_free = free;
+    best_rotation = rotation;
   }
   return best;
 }
@@ -43,6 +44,7 @@ SteerDecision RingSteering::steer(const SteerRequest& request,
                                   const SteerContext& context) {
   RINGCLU_EXPECTS(context.num_clusters == num_clusters_);
   const ValueMap& values = *context.values;
+  plans_.build(request, context);
 
   const std::uint32_t all_mask =
       num_clusters_ >= 32 ? 0xffffffffu : ((1u << num_clusters_) - 1u);

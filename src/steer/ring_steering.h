@@ -59,6 +59,9 @@ class RingSteering final : public SteeringPolicy {
 
   int num_clusters_;
   int rotate_ = 0;  ///< round-robin tie-break state
+  /// Per-request plan table (steer_common.h); rebuilt by every steer()
+  /// call, so it carries no cross-instruction state and is not serialized.
+  SteerPlanCache plans_;
 };
 
 }  // namespace ringclu

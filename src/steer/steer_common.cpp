@@ -1,5 +1,7 @@
 #include "steer/steer_common.h"
 
+#include <bit>
+
 #include "util/assert.h"
 
 namespace ringclu {
@@ -19,8 +21,41 @@ CommPlanStep plan_operand(ValueId value, int cluster,
   return best;
 }
 
-bool plan_candidate(const SteerRequest& request, int cluster,
-                    const SteerContext& context, SteerDecision& decision) {
+void SteerPlanCache::build(const SteerRequest& request,
+                           const SteerContext& context) {
+  const ValueMap& values = *context.values;
+  const BusSet& buses = *context.buses;
+  for (std::size_t i = 0; i < request.srcs.size(); ++i) {
+    const ValueInfo& info = values.info(request.srcs[i]);
+    std::array<CommPlanStep, kMaxClusters>& row = steps_[i];
+    for (int c = 0; c < context.num_clusters; ++c) {
+      if (info.mapped_in(c)) {
+        row[static_cast<std::size_t>(c)] = CommPlanStep{0, -1};
+        continue;
+      }
+      CommPlanStep best{INT32_MAX, -1};
+      // Ascending source order with strict improvement: the same
+      // lowest-index-among-equals tie-break as plan_operand.
+      for (std::uint32_t mask = info.mapped_mask; mask != 0;
+           mask &= mask - 1) {
+        const int s = std::countr_zero(mask);
+        const int distance = buses.min_distance(s, c);
+        if (distance < best.distance) best = CommPlanStep{distance, s};
+      }
+      RINGCLU_ASSERT(best.from_cluster >= 0);  // every live value is mapped
+      row[static_cast<std::size_t>(c)] = best;
+    }
+  }
+}
+
+namespace {
+
+/// Shared plan_candidate body; \p step(i) yields the CommPlanStep for
+/// operand i at \p cluster (cached or computed on the fly).
+template <typename StepFn>
+bool plan_candidate_impl(const SteerRequest& request, int cluster,
+                         const SteerContext& context, StepFn step,
+                         SteerDecision& decision) {
   const SteerOracle& oracle = *context.oracle;
 
   if (!oracle.iq_can_accept(cluster, op_unit(request.cls))) return false;
@@ -53,7 +88,7 @@ bool plan_candidate(const SteerRequest& request, int cluster,
   // Comm-queue needs per source cluster.
   StaticVector<int, kMaxSrcOperands> comm_sources;
   for (std::size_t i = 0; i < request.srcs.size(); ++i) {
-    const CommPlanStep plan = plan_operand(request.srcs[i], cluster, context);
+    const CommPlanStep plan = step(i);
     if (plan.from_cluster < 0) continue;  // operand already mapped here
     decision.comms.push_back(
         SteerComm{static_cast<std::uint8_t>(i),
@@ -79,6 +114,26 @@ bool plan_candidate(const SteerRequest& request, int cluster,
   decision.stall = false;
   decision.cluster = cluster;
   return true;
+}
+
+}  // namespace
+
+bool plan_candidate(const SteerRequest& request, int cluster,
+                    const SteerContext& context, SteerDecision& decision) {
+  return plan_candidate_impl(
+      request, cluster, context,
+      [&](std::size_t i) {
+        return plan_operand(request.srcs[i], cluster, context);
+      },
+      decision);
+}
+
+bool plan_candidate(const SteerRequest& request, int cluster,
+                    const SteerContext& context, const SteerPlanCache& plans,
+                    SteerDecision& decision) {
+  return plan_candidate_impl(
+      request, cluster, context,
+      [&](std::size_t i) { return plans.step(i, cluster); }, decision);
 }
 
 int total_comm_distance(const SteerRequest& request, int cluster,

@@ -4,6 +4,8 @@
 /// Helpers shared by the steering policies: candidate viability (capacity
 /// checks plus communication planning) and distance computations.
 
+#include <array>
+
 #include "steer/steering.h"
 
 namespace ringclu {
@@ -19,12 +21,63 @@ struct CommPlanStep {
 [[nodiscard]] CommPlanStep plan_operand(ValueId value, int cluster,
                                         const SteerContext& context);
 
+/// The full (operand x cluster) CommPlanStep table for one steering
+/// request, computed in a single pass over the value map.  Multi-pass
+/// policies (Conv's imbalance / pending / distance stages, Ring's
+/// distance-then-select) build it once per request and read every
+/// subsequent plan_operand answer from here instead of redoing the cluster
+/// scan per candidate per stage.  Entries are identical to what
+/// plan_operand returns (same ascending-cluster tie-break), so cached and
+/// uncached policies produce byte-equal decision streams.
+class SteerPlanCache {
+ public:
+  /// Recomputes the table for \p request against the current value map.
+  void build(const SteerRequest& request, const SteerContext& context);
+
+  /// The cached plan_operand(request.srcs[operand], cluster) answer.
+  [[nodiscard]] const CommPlanStep& step(std::size_t operand,
+                                         int cluster) const {
+    return steps_[operand][static_cast<std::size_t>(cluster)];
+  }
+
+  /// Sum of communication distances \p request would incur at \p cluster.
+  [[nodiscard]] int total_distance(const SteerRequest& request,
+                                   int cluster) const {
+    int total = 0;
+    for (std::size_t i = 0; i < request.srcs.size(); ++i) {
+      total += step(i, cluster).distance;
+    }
+    return total;
+  }
+
+  /// Longest single-operand communication distance at \p cluster.
+  [[nodiscard]] int longest_distance(const SteerRequest& request,
+                                     int cluster) const {
+    int longest = 0;
+    for (std::size_t i = 0; i < request.srcs.size(); ++i) {
+      const int distance = step(i, cluster).distance;
+      if (distance > longest) longest = distance;
+    }
+    return longest;
+  }
+
+ private:
+  std::array<std::array<CommPlanStep, kMaxClusters>, kMaxSrcOperands> steps_;
+};
+
 /// Checks whether \p cluster can accept \p request: issue-queue entry,
 /// destination register at the dest-home cluster, and a copy register plus
 /// a comm-queue entry for every operand not mapped at \p cluster.  On
 /// success fills \p decision with the cluster and planned comms.
 [[nodiscard]] bool plan_candidate(const SteerRequest& request, int cluster,
                                   const SteerContext& context,
+                                  SteerDecision& decision);
+
+/// As above, reading operand plans from \p plans (built for this request)
+/// instead of rescanning the value map per operand.
+[[nodiscard]] bool plan_candidate(const SteerRequest& request, int cluster,
+                                  const SteerContext& context,
+                                  const SteerPlanCache& plans,
                                   SteerDecision& decision);
 
 /// Sum of communication distances \p request would incur at \p cluster.

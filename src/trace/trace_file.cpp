@@ -100,12 +100,19 @@ TraceFileReader::TraceFileReader(const std::string& path) : path_(path) {
   std::uint32_t magic = 0;
   std::uint16_t version = 0;
   std::uint16_t pad = 0;
-  RINGCLU_EXPECTS(std::fread(&magic, sizeof magic, 1, file_) == 1);
+  // Reads hoisted out of the checks: contract conditions must stay free of
+  // side effects (they are unevaluated with RINGCLU_CONTRACTS=OFF).
+  const std::size_t magic_read = std::fread(&magic, sizeof magic, 1, file_);
+  RINGCLU_EXPECTS(magic_read == 1);
   RINGCLU_EXPECTS(magic == kTraceMagic);
-  RINGCLU_EXPECTS(std::fread(&version, sizeof version, 1, file_) == 1);
+  const std::size_t version_read =
+      std::fread(&version, sizeof version, 1, file_);
+  RINGCLU_EXPECTS(version_read == 1);
   RINGCLU_EXPECTS(version == kTraceVersion);
-  RINGCLU_EXPECTS(std::fread(&pad, sizeof pad, 1, file_) == 1);
-  RINGCLU_EXPECTS(std::fread(&total_, sizeof total_, 1, file_) == 1);
+  const std::size_t pad_read = std::fread(&pad, sizeof pad, 1, file_);
+  RINGCLU_EXPECTS(pad_read == 1);
+  const std::size_t total_read = std::fread(&total_, sizeof total_, 1, file_);
+  RINGCLU_EXPECTS(total_read == 1);
 }
 
 TraceFileReader::~TraceFileReader() {

@@ -13,6 +13,18 @@ namespace ringclu {
 
 }  // namespace ringclu
 
+#ifdef RINGCLU_NO_CONTRACT_CHECKS
+
+// Contract checking compiled out (cmake -DRINGCLU_CONTRACTS=OFF), for
+// throughput-measurement builds.  Conditions become unevaluated operands:
+// no code runs, but variables referenced only in checks stay "used".
+#define RINGCLU_EXPECTS(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+#define RINGCLU_ENSURES(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+#define RINGCLU_ASSERT(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+#define RINGCLU_UNREACHABLE(msg) __builtin_unreachable()
+
+#else
+
 /// Precondition check: argument/state expected by the callee.
 #define RINGCLU_EXPECTS(cond)                                              \
   ((cond) ? static_cast<void>(0)                                           \
@@ -34,3 +46,5 @@ namespace ringclu {
 /// Marks unreachable control flow.
 #define RINGCLU_UNREACHABLE(msg)                                           \
   ::ringclu::contract_failure("Unreachable", msg, __FILE__, __LINE__)
+
+#endif  // RINGCLU_NO_CONTRACT_CHECKS

@@ -1,0 +1,246 @@
+// Randomized stress test for deterministic sharded sweeps (DESIGN.md §11):
+// one submission sequence — shuffled jobs with injected duplicates — run
+// serially (shards=0, threads=1) and then under every (shards x threads)
+// combination, must leave byte-for-byte identical store content on every
+// ResultStore backend, and bit-identical results on every handle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/arch_config.h"
+#include "harness/result_store.h"
+#include "harness/sim_service.h"
+
+namespace ringclu {
+namespace {
+
+/// The job mix: a small preset x benchmark grid, shuffled, with a few
+/// duplicate submissions spliced in (exercising coalescing and store-hit
+/// paths).  Deterministic: the same seed builds the same sequence, so the
+/// serial and sharded runs submit identical streams.
+std::vector<SimJob> make_jobs(std::uint32_t seed) {
+  const std::vector<std::string> presets = {"Ring_4clus_1bus_2IW",
+                                            "Conv_4clus_1bus_2IW"};
+  const std::vector<std::string> benchmarks = {"gzip", "swim", "mcf", "art"};
+  RunParams params;
+  params.instrs = 2000;
+  params.warmup = 200;
+
+  std::vector<SimJob> jobs;
+  for (const std::string& preset : presets) {
+    for (const std::string& benchmark : benchmarks) {
+      jobs.push_back(SimJob{ArchConfig::preset(preset), benchmark, params});
+    }
+  }
+  std::mt19937 rng(seed);
+  std::shuffle(jobs.begin(), jobs.end(), rng);
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(jobs[rng() % jobs.size()]);  // duplicates
+  }
+  return jobs;
+}
+
+/// Runs \p jobs through a fresh service over \p store and returns the
+/// per-handle serialized results, in submission order.  Waits for the
+/// ordered flush to drain (wait_idle) before the service is destroyed.
+std::vector<std::string> run_jobs(std::unique_ptr<ResultStore> store,
+                                  int shards, int threads, bool pin,
+                                  std::vector<SimJob> jobs) {
+  SimServiceOptions options;
+  options.threads = threads;
+  options.shards = shards;
+  options.pin_workers = pin;
+  SimService service(std::move(store), options);
+  const std::vector<JobHandle> handles = service.submit_batch(std::move(jobs));
+  std::vector<std::string> results;
+  results.reserve(handles.size());
+  for (const JobHandle& handle : handles) {
+    EXPECT_EQ(handle.wait(), JobStatus::Done);
+    results.push_back(serialize_result(handle.result()));
+  }
+  service.wait_idle();
+  return results;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Every regular file under \p dir, keyed by filename — the sharded
+/// backend's whole on-disk state, byte for byte.
+std::map<std::string, std::string> slurp_dir(
+    const std::filesystem::path& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      files[entry.path().filename().string()] = slurp(entry.path());
+    }
+  }
+  return files;
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// (shards, threads) grid every sharded run is checked under; threads
+/// sweeps 1..4 crossed with shard counts that under- and over-partition
+/// the worker budget.
+struct GridPoint {
+  int shards;
+  int threads;
+};
+const GridPoint kGrid[] = {{1, 1}, {1, 3}, {2, 2}, {2, 4}, {5, 1}, {5, 4}};
+
+TEST(ShardingStress, TsvStoreBytesMatchSerial) {
+  const std::filesystem::path root = fresh_dir("ringclu_shard_stress_tsv");
+  const std::vector<SimJob> jobs = make_jobs(20260807);
+
+  const std::filesystem::path serial_path = root / "serial.tsv";
+  const std::vector<std::string> serial_results =
+      run_jobs(make_result_store(StoreBackend::Tsv, serial_path.string(),
+                                 /*verbose=*/false),
+               /*shards=*/0, /*threads=*/1, /*pin=*/false, jobs);
+  const std::string serial_bytes = slurp(serial_path);
+  ASSERT_FALSE(serial_bytes.empty());
+
+  for (const GridPoint& point : kGrid) {
+    const std::filesystem::path path =
+        root / ("sharded_" + std::to_string(point.shards) + "_" +
+                std::to_string(point.threads) + ".tsv");
+    const std::vector<std::string> results = run_jobs(
+        make_result_store(StoreBackend::Tsv, path.string(),
+                          /*verbose=*/false),
+        point.shards, point.threads, /*pin=*/point.shards % 2 == 1, jobs);
+    EXPECT_EQ(results, serial_results)
+        << "shards=" << point.shards << " threads=" << point.threads;
+    EXPECT_EQ(slurp(path), serial_bytes)
+        << "shards=" << point.shards << " threads=" << point.threads;
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(ShardingStress, ShardedStoreBytesMatchSerial) {
+  const std::filesystem::path root =
+      fresh_dir("ringclu_shard_stress_sharded");
+  const std::vector<SimJob> jobs = make_jobs(7);
+
+  const std::filesystem::path serial_dir = root / "serial";
+  const std::vector<std::string> serial_results =
+      run_jobs(make_result_store(StoreBackend::Sharded, serial_dir.string(),
+                                 /*verbose=*/false),
+               /*shards=*/0, /*threads=*/1, /*pin=*/false, jobs);
+  const std::map<std::string, std::string> serial_files =
+      slurp_dir(serial_dir);
+  ASSERT_FALSE(serial_files.empty());
+
+  for (const GridPoint& point : kGrid) {
+    const std::filesystem::path dir =
+        root / ("sharded_" + std::to_string(point.shards) + "_" +
+                std::to_string(point.threads));
+    const std::vector<std::string> results = run_jobs(
+        make_result_store(StoreBackend::Sharded, dir.string(),
+                          /*verbose=*/false),
+        point.shards, point.threads, /*pin=*/false, jobs);
+    EXPECT_EQ(results, serial_results)
+        << "shards=" << point.shards << " threads=" << point.threads;
+    EXPECT_EQ(slurp_dir(dir), serial_files)
+        << "shards=" << point.shards << " threads=" << point.threads;
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(ShardingStress, MemoryStoreResultsMatchSerial) {
+  const std::vector<SimJob> jobs = make_jobs(99);
+  const std::vector<std::string> serial_results =
+      run_jobs(make_result_store(StoreBackend::Memory, "",
+                                 /*verbose=*/false),
+               /*shards=*/0, /*threads=*/1, /*pin=*/false, jobs);
+  ASSERT_FALSE(serial_results.empty());
+  for (const GridPoint& point : kGrid) {
+    const std::vector<std::string> results =
+        run_jobs(make_result_store(StoreBackend::Memory, "",
+                                   /*verbose=*/false),
+                 point.shards, point.threads, /*pin=*/false, jobs);
+    EXPECT_EQ(results, serial_results)
+        << "shards=" << point.shards << " threads=" << point.threads;
+  }
+}
+
+/// Shard assignment is a pure function of the cache key: stable across
+/// runs, spread across shards for distinct keys.
+TEST(ShardingStress, ShardAssignmentIsStableAndSpread) {
+  const std::vector<SimJob> jobs = make_jobs(3);
+  std::vector<std::size_t> seen;
+  for (const SimJob& job : jobs) {
+    const std::string key = sim_cache_key(job);
+    const std::size_t shard = SimService::shard_for_key(key, 4);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, SimService::shard_for_key(key, 4));
+    seen.push_back(shard);
+  }
+  // 12 distinct design points over 4 shards: at least two shards used
+  // (FNV-1a would have to be pathologically degenerate otherwise).
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  EXPECT_GT(seen.size(), 1u);
+}
+
+/// Cancellation in sharded mode must not wedge the ordered flush: a
+/// cancelled submission parks a skip marker so later results still land.
+TEST(ShardingStress, CancelledJobDoesNotStallFlush) {
+  const std::filesystem::path root =
+      fresh_dir("ringclu_shard_stress_cancel");
+  const std::filesystem::path path = root / "store.tsv";
+  SimServiceOptions options;
+  options.threads = 2;
+  options.shards = 2;
+  options.start_paused = true;
+  SimService service(make_result_store(StoreBackend::Tsv, path.string(),
+                                       /*verbose=*/false),
+                     options);
+  std::vector<SimJob> jobs = make_jobs(11);
+  jobs.resize(6);
+  std::vector<JobHandle> handles = service.submit_batch(std::move(jobs));
+  // Cancel a mid-sequence job while everything is still queued, then let
+  // the rest run: every surviving job must flush to the store.
+  EXPECT_TRUE(handles[2].cancel());
+  service.resume();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(handles[i].wait(), JobStatus::Done) << i;
+  }
+  service.wait_idle();
+  const std::string bytes = slurp(path);
+  EXPECT_FALSE(bytes.empty());
+  // 6 submissions, one cancelled, duplicates coalesce: the line count is
+  // the number of distinct completed keys.
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (i == 2) continue;
+    keys.push_back(handles[i].key());
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  const std::size_t lines = static_cast<std::size_t>(
+      std::count(bytes.begin(), bytes.end(), '\n'));
+  EXPECT_EQ(lines, keys.size());
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace ringclu

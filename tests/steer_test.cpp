@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <vector>
+
 #include "cluster/regfile.h"
 #include "cluster/value_map.h"
 #include "interconnect/bus_set.h"
@@ -448,6 +452,157 @@ TEST(PlanOperand, PicksNearestMappedCluster) {
   const CommPlanStep step = plan_operand(v, 6, m.context);
   EXPECT_EQ(step.from_cluster, 5);  // 5 -> 6 is one hop; 1 -> 6 is five
   EXPECT_EQ(step.distance, 1);
+}
+
+// --- Plan-cache regression: memoized Conv == uncached reference ----------
+
+/// The Conv algorithm re-implemented WITHOUT the per-request
+/// SteerPlanCache: every operand plan goes through the uncached
+/// plan_operand / plan_candidate path.  This is the pre-memoization
+/// policy, kept here as the decision-stream oracle — ConvSteering must
+/// match it bit for bit on any request sequence.
+class UncachedConvReference {
+ public:
+  UncachedConvReference(int num_clusters, int dcount_threshold)
+      : num_clusters_(num_clusters),
+        threshold_(dcount_threshold),
+        dcount_(num_clusters) {}
+
+  SteerDecision steer(const SteerRequest& request,
+                      const SteerContext& context) {
+    const std::uint32_t all_mask =
+        num_clusters_ >= 32 ? 0xffffffffu : ((1u << num_clusters_) - 1u);
+    if (dcount_.imbalance() > static_cast<double>(threshold_)) {
+      return select_least_loaded(request, context, all_mask);
+    }
+    const ValueMap& values = *context.values;
+    std::uint32_t pending_mask = 0;
+    for (std::size_t i = 0; i < request.srcs.size(); ++i) {
+      const ValueInfo& info = values.info(request.srcs[i]);
+      if (!info.produced) pending_mask |= 1u << info.home;
+    }
+    if (pending_mask != 0) {
+      return select_least_loaded(request, context, pending_mask);
+    }
+    if (!request.srcs.empty()) {
+      int best_distance = INT32_MAX;
+      std::uint32_t best_mask = 0;
+      for (int c = 0; c < num_clusters_; ++c) {
+        const int distance = longest_comm_distance(request, c, context);
+        if (distance < best_distance) {
+          best_distance = distance;
+          best_mask = 1u << c;
+        } else if (distance == best_distance) {
+          best_mask |= 1u << c;
+        }
+      }
+      return select_least_loaded(request, context, best_mask);
+    }
+    return select_least_loaded(request, context, all_mask);
+  }
+
+  void on_dispatch(int cluster) { dcount_.on_dispatch(cluster); }
+
+ private:
+  SteerDecision select_least_loaded(const SteerRequest& request,
+                                    const SteerContext& context,
+                                    std::uint32_t candidate_mask) {
+    SteerDecision best = SteerDecision::stalled();
+    std::int64_t best_load = 0;
+    SteerDecision plan;
+    for (int c = 0; c < num_clusters_; ++c) {
+      if (((candidate_mask >> c) & 1u) == 0) continue;
+      const std::int64_t load = dcount_.count(c);
+      if (!best.stall && load >= best_load) continue;
+      if (!plan_candidate(request, c, context, plan)) continue;
+      best = plan;
+      best_load = load;
+    }
+    return best;
+  }
+
+  int num_clusters_;
+  int threshold_;
+  DcountTracker dcount_;
+};
+
+/// Drives ConvSteering and the uncached reference through the same
+/// randomized request stream over one shared machine and requires
+/// byte-equal decisions at every step.  The stream exercises all four
+/// algorithm stages: imbalance overrides (threshold 2), pending operands
+/// (values un-produced for a while), distance minimization (remote
+/// operands) and the no-source case, plus viability rejections from
+/// full issue queues, drained comm queues and register pressure.
+TEST(ConvSteering, PlanCacheMatchesUncachedReferenceStream) {
+  constexpr int kClusters = 8;
+  constexpr int kThreshold = 2;
+  Machine m(ArchKind::Conv, kClusters, BusOrientation::OppositeDirections, 2);
+  ConvSteering cached(kClusters, kThreshold);
+  UncachedConvReference reference(kClusters, kThreshold);
+
+  std::mt19937 rng(20260807);
+  std::vector<ValueId> ready;
+  std::vector<ValueId> pending;  // created but not yet produced
+  int steered = 0;
+  int stalled = 0;
+  for (int step = 0; step < 160; ++step) {
+    // Mutate capacity state so viability filtering differs across steps.
+    const int flaky = static_cast<int>(rng() % kClusters);
+    m.oracle.iq_ok_[static_cast<std::size_t>(flaky)] = (rng() % 4) != 0;
+    m.oracle.comm_free_[static_cast<std::size_t>(flaky)] =
+        static_cast<int>(rng() % 3);
+    // Produce one formerly pending value so the pending set churns.
+    if (!pending.empty() && (rng() % 2) == 0) {
+      m.values.info(pending.back()).produced = true;
+      ready.push_back(pending.back());
+      pending.pop_back();
+    }
+
+    SteerRequest request = req0((rng() % 3) == 0 ? RegClass::Fp
+                                                 : RegClass::Int);
+    const std::size_t sources = rng() % 3;
+    std::vector<ValueId> pool = ready;
+    pool.insert(pool.end(), pending.begin(), pending.end());
+    for (std::size_t i = 0; i < sources && !pool.empty(); ++i) {
+      const ValueId pick = pool[rng() % pool.size()];
+      if (std::find(request.srcs.begin(), request.srcs.end(), pick) !=
+          request.srcs.end()) {
+        continue;  // srcs hold distinct values, like the dispatch path
+      }
+      request.srcs.push_back(pick);
+      request.src_cls.push_back(RegClass::Int);
+    }
+
+    const SteerDecision got = cached.steer(request, m.context);
+    const SteerDecision want = reference.steer(request, m.context);
+    ASSERT_EQ(got.stall, want.stall) << "step " << step;
+    ASSERT_EQ(got.cluster, want.cluster) << "step " << step;
+    ASSERT_EQ(got.comms.size(), want.comms.size()) << "step " << step;
+    for (std::size_t i = 0; i < got.comms.size(); ++i) {
+      ASSERT_EQ(got.comms[i].operand, want.comms[i].operand)
+          << "step " << step;
+      ASSERT_EQ(got.comms[i].from_cluster, want.comms[i].from_cluster)
+          << "step " << step;
+    }
+    if (got.stall) {
+      ++stalled;
+      continue;
+    }
+    const ValueId dst = m.apply(request, got);
+    cached.on_dispatch(got.cluster);
+    reference.on_dispatch(got.cluster);
+    ++steered;
+    if (dst != kInvalidValue && (rng() % 3) == 0) {
+      // Withhold production for a while: future consumers see it pending.
+      m.values.info(dst).produced = false;
+      pending.push_back(dst);
+    } else if (dst != kInvalidValue) {
+      ready.push_back(dst);
+    }
+  }
+  // The stream must have exercised both outcomes to mean anything.
+  EXPECT_GT(steered, 20);
+  EXPECT_GT(stalled, 0);
 }
 
 }  // namespace

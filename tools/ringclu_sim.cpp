@@ -40,6 +40,13 @@
 ///   benchmarks=<name,name,...>    (default: spec / suite / RINGCLU_BENCHMARKS)
 ///   instrs, warmup, seed, threads run control (--sweep: spec's run block
 ///                                 loses to the command line)
+///   shards=N                      deterministic parallel sharding
+///                                 (RINGCLU_SHARDS): N shard queues keyed
+///                                 by cache-key hash, store writes in
+///                                 submission order — byte-identical store
+///                                 content to a serial run
+///   pin=1                         pin each shard's workers to one CPU
+///                                 (RINGCLU_PIN_WORKERS, Linux)
 ///   backend=tsv|sharded|memory    result store (RINGCLU_CACHE_BACKEND)
 ///   cache=<path>                  store path   (RINGCLU_CACHE)
 ///   force=1                       re-simulate despite the store
@@ -257,6 +264,10 @@ std::optional<RunnerOptions> resolve_batch_options(
   runner_options.threads = static_cast<int>(cli_uint(
       options, "threads",
       static_cast<std::uint64_t>(runner_options.threads)));
+  runner_options.shards = static_cast<int>(cli_uint(
+      options, "shards", static_cast<std::uint64_t>(runner_options.shards)));
+  runner_options.pin_workers =
+      cli_bool(options, "pin", runner_options.pin_workers);
   runner_options.force = cli_bool(options, "force", runner_options.force);
   runner_options.verbose = false;  // Progress line instead.
   runner_options.checkpoint_dir = options.get_string(
