@@ -76,7 +76,7 @@ class HybridPredictor {
   CounterTable bimodal_;
   CounterTable selector_;
   std::uint64_t history_ = 0;
-  std::uint64_t history_mask_;
+  std::uint64_t history_mask_;  // ckpt: derived (config geometry)
 };
 
 /// Set-associative branch target buffer with LRU replacement.
@@ -106,8 +106,8 @@ class Btb {
 
   [[nodiscard]] std::size_t set_index(std::uint64_t pc) const;
 
-  std::size_t ways_;
-  std::size_t sets_;
+  std::size_t ways_;  // ckpt: derived (config geometry)
+  std::size_t sets_;  // ckpt: derived (config geometry)
   std::vector<Entry> entries_;
   std::uint64_t tick_ = 0;
   mutable std::uint64_t lookups_ = 0;

@@ -92,7 +92,7 @@ class IssueQueue {
   }
 
  private:
-  std::size_t capacity_;
+  std::size_t capacity_;  // ckpt: derived (config; checked on restore)
   std::vector<IqEntry> entries_;
 };
 
@@ -184,7 +184,7 @@ class CommQueue {
   }
 
  private:
-  std::size_t capacity_;
+  std::size_t capacity_;  // ckpt: derived (config; checked on restore)
   std::vector<CommOp> entries_;
 };
 

@@ -72,8 +72,8 @@ class RegFileSet {
            static_cast<std::size_t>(cls);
   }
 
-  int num_clusters_;
-  int regs_per_class_;
+  int num_clusters_;  // ckpt: derived (config)
+  int regs_per_class_;  // ckpt: derived (config)
   std::vector<int> free_;
   int in_use_ = 0;
 };

@@ -178,7 +178,7 @@ class ValueMap {
   /// Allocates a pool node holding \p waiter (next = -1).
   [[nodiscard]] std::int32_t alloc_waiter_node(ValueWaiter waiter);
 
-  int num_clusters_;
+  int num_clusters_;  // ckpt: derived (config)
   std::vector<ValueInfo> values_;
   /// Idle copies per (cluster, class); see idle_copy_count().
   std::vector<int> idle_copies_;
@@ -187,7 +187,9 @@ class ValueMap {
   /// threaded through one shared node pool.
   std::vector<WaiterNode> waiter_pool_;
   std::vector<std::int32_t> waiter_head_;
+  // ckpt: derived (tail cache; rebuilt from the serialized lists)
   std::vector<std::int32_t> waiter_tail_;
+  // ckpt: derived (free-list head; rebuilt from the serialized lists)
   std::int32_t waiter_free_ = -1;  ///< head of the recycled-node list
   std::vector<std::uint64_t> fired_;
   std::vector<ValueId> free_slots_;

@@ -15,6 +15,17 @@ namespace {
 /// Generously above any legitimate stall (an L2 miss chain is ~hundreds).
 constexpr std::int64_t kWatchdogCycles = 100000;
 
+/// Wall-clock timing for SimResult::wall_seconds (host-throughput
+/// reporting only).  Simulated state never observes these values, so the
+/// determinism lint's wallclock exemption is confined to this helper.
+// ringclu-lint: allow(wallclock)
+using WallClock = std::chrono::steady_clock;
+
+double seconds_since(WallClock::time_point start) {
+  // ringclu-lint: allow(wallclock)
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
 }  // namespace
 
 Processor::Processor(const ArchConfig& config, std::uint64_t seed)
@@ -927,7 +938,7 @@ void Processor::sync_external() {
 
 void Processor::warmup(TraceSource& trace, std::uint64_t warmup_instrs) {
   RINGCLU_EXPECTS(!measuring_);
-  const auto wall_start = std::chrono::steady_clock::now();
+  const auto wall_start = WallClock::now();
   run_start_committed_ = committed_total_;
   // The bound is absolute (total committed), matching the historical
   // monolithic run(): a second run() on the same processor skips warmup.
@@ -938,15 +949,12 @@ void Processor::warmup(TraceSource& trace, std::uint64_t warmup_instrs) {
   // Synced here so a warmup checkpoint captures consistent counters.
   sync_external();
   warmup_pending_ = true;
-  pre_run_wall_seconds_ +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  pre_run_wall_seconds_ += seconds_since(wall_start);
 }
 
 SimResult Processor::measure(TraceSource& trace, std::uint64_t measure_instrs,
                              const RunHooks& hooks) {
-  const auto wall_start = std::chrono::steady_clock::now();
+  const auto wall_start = WallClock::now();
   if (!measuring_) {
     if (!warmup_pending_) run_start_committed_ = committed_total_;
     warmup_pending_ = false;
@@ -1039,11 +1047,7 @@ SimResult Processor::measure(TraceSource& trace, std::uint64_t measure_instrs,
   result.config_name = config_.name;
   result.benchmark = std::string(trace.name());
   result.counters = counters_.minus(measure_baseline_);
-  result.wall_seconds =
-      pre_run_wall_seconds_ +
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  result.wall_seconds = pre_run_wall_seconds_ + seconds_since(wall_start);
   pre_run_wall_seconds_ = 0.0;
   result.total_committed = committed_total_ - run_start_committed_;
   return result;

@@ -254,9 +254,9 @@ class Processor final : public SteerOracle {
     return dest_home_cluster(config_.arch, cluster, config_.num_clusters);
   }
 
-  ArchConfig config_;
+  ArchConfig config_;  // ckpt: derived (config)
   std::unique_ptr<SteeringPolicy> policy_;
-  SteerContext steer_context_;
+  SteerContext steer_context_;  // ckpt: derived (non-owning pointers)
 
   ValueMap values_;
   RegFileSet regs_;
@@ -293,6 +293,7 @@ class Processor final : public SteerOracle {
   std::vector<std::uint32_t> active_loads_;  ///< due, retrying gates/ports
   std::priority_queue<CommDue, std::vector<CommDue>, std::greater<>>
       comm_due_;
+  // ckpt: derived (per-cycle scratch)
   std::vector<BusDelivery> deliveries_;       ///< scratch, reused per cycle
 
   // Rename state: logical register -> current value.
@@ -321,6 +322,7 @@ class Processor final : public SteerOracle {
 
   /// Sources of the instruction currently being steered/dispatched; these
   /// must never be chosen as copy-eviction victims on its behalf.
+  // ckpt: derived (per-dispatch scratch)
   StaticVector<ValueId, kMaxSrcOperands> steering_srcs_;
 
   SimCounters counters_;
@@ -338,6 +340,7 @@ class Processor final : public SteerOracle {
   /// restore, via add_pre_run_wall_seconds) and folded into the next
   /// measure()'s wall_seconds.  Host-side instrumentation: never
   /// serialized, excluded from the determinism contract.
+  // ckpt: derived (host wall-clock metric, outside the sim contract)
   double pre_run_wall_seconds_ = 0.0;
 };
 

@@ -195,10 +195,16 @@ void append_line_atomic(const std::string& path, std::string_view line) {
 
 namespace {
 
+/// Key -> cached result map shared by every backend.  Lookup, insert,
+/// and size only — no backend ever iterates it (persistence appends
+/// each result to the TSV at put() time, in call order), so the
+/// unordered layout cannot leak address- or hash-dependent ordering.
+// ringclu-lint: allow(det-unordered-decl: lookup/insert/size; not iterated)
+using ResultMap = std::unordered_map<std::string, SimResult>;
+
 /// Loads "key \t serialized-result" lines into \p entries (first key wins),
 /// counting corrupt lines.  Missing file is an empty store, not an error.
-void load_tsv_file(const std::string& path,
-                   std::unordered_map<std::string, SimResult>& entries,
+void load_tsv_file(const std::string& path, ResultMap& entries,
                    std::size_t& corrupt) {
   std::ifstream in(path);
   if (!in) return;
@@ -261,7 +267,7 @@ class TsvFileStore final : public ResultStore {
  private:
   std::string path_;
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, SimResult> entries_;
+  ResultMap entries_;
 };
 
 /// 64-bit FNV-1a; stable across platforms so shard placement is portable.
@@ -334,7 +340,7 @@ class ShardedTsvStore final : public ResultStore {
     mutable std::mutex mutex;
     // Lazily loaded under \c mutex, including from const readers (size()).
     mutable bool loaded = false;
-    mutable std::unordered_map<std::string, SimResult> entries;
+    mutable ResultMap entries;
   };
 
   Shard& shard_for(const std::string& key) {
@@ -380,7 +386,7 @@ class MemoryStore final : public ResultStore {
 
  private:
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, SimResult> entries_;
+  ResultMap entries_;
 };
 
 }  // namespace

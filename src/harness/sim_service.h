@@ -277,6 +277,8 @@ class SimService {
   /// their job reaches a terminal status (in ordered_puts() mode, Done
   /// entries linger until their store flush lands, so duplicates keep
   /// coalescing instead of re-simulating an unflushed result).
+  /// Keyed find/insert/erase only — never iterated.
+  // ringclu-lint: allow(det-unordered-decl: find/insert/erase; not iterated)
   std::unordered_map<std::string, std::shared_ptr<JobState>> in_flight_;
   bool paused_ = false;
   bool stopping_ = false;
@@ -293,6 +295,8 @@ class SimService {
   /// unlike total_accepted_ it never decrements on cancellation.
   std::uint64_t next_order_ = 0;
   std::uint64_t next_flush_ = 0;
+  // Fetched by exact flush index (find/erase) — never iterated.
+  // ringclu-lint: allow(det-unordered-decl: keyed fetch by flush index)
   std::unordered_map<std::uint64_t, std::shared_ptr<JobState>>
       pending_flush_;
   bool flushing_ = false;

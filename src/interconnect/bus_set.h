@@ -72,8 +72,9 @@ class BusSet {
   void restore_state(CheckpointReader& in);
 
  private:
-  int num_clusters_;
+  int num_clusters_;  // ckpt: derived (config)
   std::vector<PipelinedRingBus> buses_;
+  // ckpt: derived (built at construction from the ring geometry)
   std::vector<int> min_distance_;  ///< n x n lookup, built at construction
 };
 

@@ -94,9 +94,9 @@ class PipelinedRingBus {
                : (logical + shift_) % n;
   }
 
-  int num_clusters_;
-  int hop_latency_;
-  RingDirection direction_;
+  int num_clusters_;  // ckpt: derived (config)
+  int hop_latency_;  // ckpt: derived (config)
+  RingDirection direction_;  // ckpt: derived (config)
   std::vector<Slot> slots_;
   std::size_t shift_ = 0;  ///< ticks modulo slot count (rotating frame)
   /// Deliveries due per future shift_ value: a datum injected at shift s
@@ -104,6 +104,7 @@ class PipelinedRingBus {
   /// Lets tick() skip the delivery scan on the (common) cycles where
   /// traffic is in flight but nothing lands.  Derived state: rebuilt from
   /// slots_ on restore, never serialized.
+  // ckpt: derived (rebuilt from slots_ on restore)
   std::vector<std::uint16_t> arrivals_;
   int in_flight_ = 0;
   std::uint64_t busy_slot_cycles_ = 0;

@@ -60,9 +60,9 @@ class SetAssocCache {
   [[nodiscard]] std::size_t set_of(std::uint64_t addr) const;
   [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const;
 
-  CacheConfig config_;
-  std::size_t sets_;
-  std::uint32_t line_shift_;
+  CacheConfig config_;  // ckpt: derived (config)
+  std::size_t sets_;  // ckpt: derived (config geometry)
+  std::uint32_t line_shift_;  // ckpt: derived (config geometry)
   std::vector<Line> lines_;
   std::uint64_t tick_ = 0;
   std::uint64_t accesses_ = 0;

@@ -50,7 +50,7 @@ class MemoryHierarchy {
   void restore_state(CheckpointReader& in);
 
  private:
-  MemHierarchyConfig config_;
+  MemHierarchyConfig config_;  // ckpt: derived (config)
   SetAssocCache l1i_;
   SetAssocCache l1d_;
   SetAssocCache l2_;

@@ -82,7 +82,7 @@ class LoadStoreQueue {
   /// because allocation is in program order), or entries_.size().
   [[nodiscard]] std::size_t find_index(std::uint64_t seq) const;
 
-  std::size_t capacity_;
+  std::size_t capacity_;  // ckpt: derived (config; checked on restore)
   std::deque<Entry> entries_;  // program order: front is oldest
   std::uint64_t forwards_ = 0;
   std::uint64_t load_waits_ = 0;

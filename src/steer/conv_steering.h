@@ -55,12 +55,12 @@ class ConvSteering final : public SteeringPolicy {
       const SteerRequest& request, const SteerContext& context,
       std::uint32_t candidate_mask);
 
-  int num_clusters_;
-  int threshold_;
+  int num_clusters_;  // ckpt: derived (config)
+  int threshold_;  // ckpt: derived (config)
   DcountTracker dcount_;
   /// Per-request plan table (steer_common.h); rebuilt by every steer()
   /// call, so it carries no cross-instruction state and is not serialized.
-  SteerPlanCache plans_;
+  SteerPlanCache plans_;  // ckpt: derived (per-request scratch)
 };
 
 }  // namespace ringclu

@@ -55,7 +55,7 @@ class DcountTracker {
 
  private:
   std::vector<std::int64_t> counters_;
-  std::int64_t limit_;
+  std::int64_t limit_;  // ckpt: derived (config)
 };
 
 }  // namespace ringclu

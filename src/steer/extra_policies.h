@@ -32,7 +32,7 @@ class RoundRobinSteering final : public SteeringPolicy {
   }
 
  private:
-  int num_clusters_;
+  int num_clusters_;  // ckpt: derived (config)
   int next_ = 0;
 };
 
@@ -58,7 +58,7 @@ class RandomSteering final : public SteeringPolicy {
   }
 
  private:
-  int num_clusters_;
+  int num_clusters_;  // ckpt: derived (config)
   Rng rng_;
 };
 

@@ -57,11 +57,11 @@ class RingSteering final : public SteeringPolicy {
                                      std::uint32_t candidate_mask,
                                      bool use_distance);
 
-  int num_clusters_;
+  int num_clusters_;  // ckpt: derived (config)
   int rotate_ = 0;  ///< round-robin tie-break state
   /// Per-request plan table (steer_common.h); rebuilt by every steer()
   /// call, so it carries no cross-instruction state and is not serialized.
-  SteerPlanCache plans_;
+  SteerPlanCache plans_;  // ckpt: derived (per-request scratch)
 };
 
 }  // namespace ringclu

@@ -38,7 +38,7 @@ class SimpleSteering final : public SteeringPolicy {
   }
 
  private:
-  int num_clusters_;
+  int num_clusters_;  // ckpt: derived (config)
   int round_robin_ = 0;
 };
 

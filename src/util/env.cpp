@@ -1,0 +1,48 @@
+#include "util/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/config.h"
+
+namespace ringclu {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+void env_value_error(const char* name, std::string_view value,
+                     std::string_view expected) {
+  std::fprintf(stderr, "ringclu: %s: expected %.*s, got '%.*s'\n", name,
+               static_cast<int>(expected.size()), expected.data(),
+               static_cast<int>(value.size()), value.data());
+  std::exit(2);
+}
+
+std::uint64_t env_uint_or(const char* name, std::uint64_t fallback) {
+  const std::optional<std::string> raw = env_string(name);
+  if (!raw) return fallback;
+  const std::optional<std::uint64_t> parsed = parse_uint(*raw);
+  if (!parsed) env_value_error(name, *raw, "an unsigned integer");
+  return *parsed;
+}
+
+std::int64_t env_int_or(const char* name, std::int64_t fallback) {
+  const std::optional<std::string> raw = env_string(name);
+  if (!raw) return fallback;
+  const std::optional<std::int64_t> parsed = parse_int(*raw);
+  if (!parsed) env_value_error(name, *raw, "an integer");
+  return *parsed;
+}
+
+bool env_bool_or(const char* name, bool fallback) {
+  const std::optional<std::string> raw = env_string(name);
+  if (!raw) return fallback;
+  const std::optional<bool> parsed = parse_bool(*raw);
+  if (!parsed) env_value_error(name, *raw, "a boolean (1/0/true/false)");
+  return *parsed;
+}
+
+}  // namespace ringclu

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file env.h
+/// Strict RINGCLU_* environment-variable access.  Every knob read outside
+/// Config::import_env must flow through these helpers (enforced by the
+/// env-getenv rule in tools/lint/ringclu_lint.py): an unset variable falls
+/// back silently, but a set-and-malformed value is a hard configuration
+/// error — the helper names the variable on stderr and exits with status
+/// 2, the CLI's config-error convention — so a typo can never be silently
+/// reinterpreted as a default.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ringclu {
+
+/// Raw environment lookup; nullopt when unset.  The sanctioned getenv()
+/// wrapper for RINGCLU_* knobs with non-numeric value grammars.
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+
+/// Unsigned knob via strict parse_uint; diagnoses + exits 2 on bad values.
+[[nodiscard]] std::uint64_t env_uint_or(const char* name,
+                                        std::uint64_t fallback);
+
+/// Signed knob via strict parse_int; diagnoses + exits 2 on bad values.
+[[nodiscard]] std::int64_t env_int_or(const char* name,
+                                      std::int64_t fallback);
+
+/// Boolean knob via strict parse_bool; diagnoses + exits 2 on bad values.
+[[nodiscard]] bool env_bool_or(const char* name, bool fallback);
+
+/// Reports a malformed environment value ("NAME: expected ..., got ...")
+/// to stderr and exits with status 2.  Exposed so strict readers with
+/// bespoke grammars (e.g. RINGCLU_LOG's level names) share one
+/// diagnostic shape.
+[[noreturn]] void env_value_error(const char* name, std::string_view value,
+                                  std::string_view expected);
+
+}  // namespace ringclu

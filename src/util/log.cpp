@@ -3,17 +3,15 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
-#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "util/env.h"
 
 namespace ringclu {
 namespace {
 
-LogLevel initial_level() {
-  const char* env = std::getenv("RINGCLU_LOG");
-  return env != nullptr ? parse_log_level(env) : LogLevel::Warn;
-}
-
-std::atomic<LogLevel> g_level{initial_level()};
+std::atomic<LogLevel> g_level{log_level_from_env()};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -33,12 +31,26 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 LogLevel parse_log_level(std::string_view name) {
+  return try_parse_log_level(name).value_or(LogLevel::Warn);
+}
+
+std::optional<LogLevel> try_parse_log_level(std::string_view name) {
   if (name == "debug") return LogLevel::Debug;
   if (name == "info") return LogLevel::Info;
   if (name == "warn") return LogLevel::Warn;
   if (name == "error") return LogLevel::Error;
   if (name == "off") return LogLevel::Off;
-  return LogLevel::Warn;
+  return std::nullopt;
+}
+
+LogLevel log_level_from_env() {
+  const std::optional<std::string> raw = env_string("RINGCLU_LOG");
+  if (!raw) return LogLevel::Warn;
+  const std::optional<LogLevel> parsed = try_parse_log_level(*raw);
+  if (!parsed) {
+    env_value_error("RINGCLU_LOG", *raw, "debug|info|warn|error|off");
+  }
+  return *parsed;
 }
 
 void log_message(LogLevel level, const char* fmt, ...) {

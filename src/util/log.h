@@ -4,6 +4,7 @@
 /// Minimal leveled logging to stderr.  Default level is Warn so simulations
 /// stay quiet; tools raise it via set_log_level or RINGCLU_LOG=debug.
 
+#include <optional>
 #include <string_view>
 
 namespace ringclu {
@@ -15,6 +16,14 @@ void set_log_level(LogLevel level);
 
 /// Parses "debug"/"info"/"warn"/"error"/"off"; unknown strings keep Warn.
 [[nodiscard]] LogLevel parse_log_level(std::string_view name);
+
+/// Strict companion of parse_log_level: nullopt on unknown level names.
+[[nodiscard]] std::optional<LogLevel> try_parse_log_level(
+    std::string_view name);
+
+/// Initial level from RINGCLU_LOG via the strict util/env.h helpers:
+/// unset keeps Warn; a malformed value names the variable and exits 2.
+[[nodiscard]] LogLevel log_level_from_env();
 
 /// printf-style logging; evaluated only when \p level >= current level.
 void log_message(LogLevel level, const char* fmt, ...)

@@ -1,0 +1,51 @@
+// Seeded container-determinism violations (det-unordered-decl,
+// det-unordered-iter, det-ptr-key) and their suppression cases.  Never
+// compiled; parsed by the fixture self-test.
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Node;
+
+class Tracker {
+ public:
+  int sum() const {
+    int total = 0;
+    for (const auto& [key, value] : table_) {  // violation: unordered iter
+      total += value;
+    }
+    return total;
+  }
+
+  bool contains(int key) const {
+    return table_.find(key) != table_.end();  // negative: find() idiom
+  }
+
+  int first() const {
+    return *seen_.begin();  // violation: unordered iteration via begin()
+  }
+
+  int sorted_sum() const {
+    int total = 0;
+    for (const auto& [key, value] : ordered_) {  // negative: ordered map
+      total += value;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<int, int> table_;  // violation: unordered decl
+  // A decl suppression proves order-insensitivity of *storage*; iterating
+  // the container above still gets its own det-unordered-iter finding.
+  // ringclu-lint: allow(det-unordered-decl: keys sorted before every emit)
+  std::unordered_set<int> seen_;
+  std::map<int, int> ordered_;
+  std::map<const Node*, int> by_addr_;  // violation: pointer-keyed map
+  std::set<Node*> nodes_;               // violation: pointer-keyed set
+};
+
+}  // namespace fixture

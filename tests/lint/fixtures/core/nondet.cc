@@ -1,0 +1,46 @@
+// Seeded det-nondet-source violations.  This file impersonates src/core
+// through its fixtures/core/ path, so every wall-clock/entropy token below
+// must be flagged unless explicitly allowed.  Never compiled; parsed by
+// tools/lint/ringclu_lint.py's fixture self-test (run_fixture_test.py).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+struct TickSource {
+  unsigned draw() {
+    return static_cast<unsigned>(std::rand());  // violation: entropy
+  }
+
+  long stamp() {
+    return time(nullptr);  // violation: wall-clock read
+  }
+
+  unsigned seed() {
+    std::random_device entropy;  // violation: hardware entropy
+    return entropy();
+  }
+
+  long now_violation() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+
+  long now_allowed() {
+    // ringclu-lint: allow(wallclock)
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+
+  struct Frame {
+    long time = 0;
+  };
+
+  long no_call() const {
+    return frame_.time;  // negative: bare 'time' identifier, no call
+  }
+
+  Frame frame_;
+};
+
+}  // namespace fixture

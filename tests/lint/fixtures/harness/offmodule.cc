@@ -1,0 +1,18 @@
+// Module scoping: fixtures/harness/ is NOT a sim-state module, so the
+// wall-clock read below is legal without a suppression; the unordered
+// declaration is still flagged because det-unordered-decl covers all
+// simulator code.  Never compiled; parsed by the fixture self-test.
+#include <chrono>
+#include <unordered_map>
+
+namespace fixture {
+
+long wall_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+struct JobIndex {
+  std::unordered_map<int, int> jobs_;  // violation: needs annotation
+};
+
+}  // namespace fixture

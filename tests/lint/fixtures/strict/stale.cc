@@ -1,0 +1,13 @@
+// Strict-mode cases: a suppression naming an unknown rule, and one that
+// suppresses nothing on its line.  Both pass the default run and are
+// rejected under --strict (the fixture self-test runs --strict).  Never
+// compiled; parsed by the fixture self-test.
+namespace fixture {
+
+// ringclu-lint: allow(not-a-rule)
+int unknown_rule_site = 0;
+
+// ringclu-lint: allow(det-ptr-key: nothing to suppress on this line)
+int stale_site = 0;
+
+}  // namespace fixture

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Checkpoint-coverage mutation test over real simulator code.
+
+The property the ckpt-coverage rule exists for: deleting a single member
+reference from a real save_state body must turn the lint red.  This test
+proves it end to end on src/steer/ring_steering.h — first asserting the
+pristine header lints clean, then removing the 'out.i64(rotate_);' write
+from save_state and asserting ringclu_lint reports exactly that member.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(ROOT, "tools", "lint", "ringclu_lint.py")
+TARGET = os.path.join(ROOT, "src", "steer", "ring_steering.h")
+MUTATION = "    out.i64(rotate_);\n"
+
+
+def run_lint(files):
+    return subprocess.run(
+        [sys.executable, LINT, "--root", ROOT, "--files", *files],
+        capture_output=True,
+        text=True,
+    )
+
+
+def main() -> int:
+    with open(TARGET, "r", encoding="utf-8") as f:
+        original = f.read()
+    if original.count(MUTATION) != 1:
+        print(f"mutation anchor {MUTATION!r} not found exactly once in "
+              f"{TARGET}; update this test", file=sys.stderr)
+        return 2
+
+    clean = run_lint([TARGET])
+    if clean.returncode != 0:
+        print("lint is not clean on the pristine header:", file=sys.stderr)
+        sys.stderr.write(clean.stdout)
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        mutated_path = os.path.join(tmp, "ring_steering.h")
+        with open(mutated_path, "w", encoding="utf-8") as f:
+            f.write(original.replace(MUTATION, ""))
+        mutated = run_lint([mutated_path])
+
+    if mutated.returncode != 1:
+        print(f"mutated header: expected exit 1, got {mutated.returncode}",
+              file=sys.stderr)
+        sys.stderr.write(mutated.stdout)
+        return 1
+    if "ckpt-coverage" not in mutated.stdout or \
+            "rotate_" not in mutated.stdout:
+        print("mutated header: missing ckpt-coverage finding for rotate_:",
+              file=sys.stderr)
+        sys.stderr.write(mutated.stdout)
+        return 1
+    print("mutation detected: dropping 'out.i64(rotate_)' from save_state "
+          "fails the lint")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

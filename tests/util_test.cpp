@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <set>
 
 #include "util/config.h"
+#include "util/env.h"
 #include "util/format.h"
 #include "util/json.h"
 #include "util/log.h"
@@ -198,6 +200,52 @@ TEST(Config, LaterSetWins) {
   config.set("k", "1");
   config.set("k", "2");
   EXPECT_EQ(config.get_int("k", 0), 2);
+}
+
+// The strict env helpers (util/env.h): unset falls back silently, a
+// well-formed value parses, and a malformed value is a hard exit-2 error
+// naming the variable -- typos must never be reinterpreted as defaults.
+TEST(Env, UnsetFallsBack) {
+  ::unsetenv("RINGCLU_UTEST_KNOB");
+  EXPECT_EQ(env_string("RINGCLU_UTEST_KNOB"), std::nullopt);
+  EXPECT_EQ(env_uint_or("RINGCLU_UTEST_KNOB", 7u), 7u);
+  EXPECT_EQ(env_int_or("RINGCLU_UTEST_KNOB", -3), -3);
+  EXPECT_TRUE(env_bool_or("RINGCLU_UTEST_KNOB", true));
+}
+
+TEST(Env, WellFormedValuesParse) {
+  ::setenv("RINGCLU_UTEST_KNOB", "41", 1);
+  EXPECT_EQ(env_string("RINGCLU_UTEST_KNOB"), std::optional<std::string>("41"));
+  EXPECT_EQ(env_uint_or("RINGCLU_UTEST_KNOB", 7u), 41u);
+  EXPECT_EQ(env_int_or("RINGCLU_UTEST_KNOB", -3), 41);
+  ::setenv("RINGCLU_UTEST_KNOB", "off", 1);
+  EXPECT_FALSE(env_bool_or("RINGCLU_UTEST_KNOB", true));
+  ::unsetenv("RINGCLU_UTEST_KNOB");
+}
+
+TEST(EnvDeathTest, MalformedValueExits2NamingTheVariable) {
+  ::setenv("RINGCLU_UTEST_KNOB", "4x1", 1);
+  EXPECT_EXIT((void)env_uint_or("RINGCLU_UTEST_KNOB", 7u),
+              ::testing::ExitedWithCode(2), "RINGCLU_UTEST_KNOB");
+  EXPECT_EXIT((void)env_bool_or("RINGCLU_UTEST_KNOB", true),
+              ::testing::ExitedWithCode(2), "RINGCLU_UTEST_KNOB");
+  ::unsetenv("RINGCLU_UTEST_KNOB");
+}
+
+// RINGCLU_LOG rides the same strict path (log_level_from_env).
+TEST(Log, TryParseLevelIsStrict) {
+  EXPECT_EQ(try_parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(try_parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(try_parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(try_parse_log_level("WARN"), std::nullopt);
+}
+
+TEST(LogDeathTest, MalformedLevelExits2) {
+  ::setenv("RINGCLU_LOG", "loud", 1);
+  EXPECT_EXIT((void)log_level_from_env(), ::testing::ExitedWithCode(2),
+              "RINGCLU_LOG");
+  ::unsetenv("RINGCLU_LOG");
+  EXPECT_EQ(log_level_from_env(), LogLevel::Warn);
 }
 
 TEST(Format, StrFormatBasics) {
