@@ -11,7 +11,7 @@ import json
 import sys
 
 TIMING_MARKERS = ("wall", "seconds", "rate", "ips", "per_second",
-                  "amortized", "restored")
+                  "amortized", "restored", "host.")
 
 
 def flatten(value, prefix=""):

@@ -715,4 +715,18 @@ std::size_t SimService::workers_started() const {
   return total;
 }
 
+SimServiceStats SimService::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SimServiceStats stats;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    stats.queued += shard->queue.size();
+    stats.workers += shard->workers.size();
+  }
+  stats.running = running_;
+  stats.simulations = simulations_;
+  stats.store_hits = store_hits_;
+  stats.coalesced = coalesced_;
+  return stats;
+}
+
 }  // namespace ringclu

@@ -133,6 +133,19 @@ class JobHandle {
   std::shared_ptr<Core> core_;
 };
 
+/// One consistent snapshot of the service's observable state, for
+/// introspection surfaces (the ringclu_simd /v1/server/metrics endpoint)
+/// that want every counter from the same lock acquisition instead of four
+/// racing accessor calls.
+struct SimServiceStats {
+  std::size_t queued = 0;        ///< jobs waiting in shard queues
+  std::size_t running = 0;       ///< jobs currently on a worker
+  std::size_t simulations = 0;   ///< simulations actually executed
+  std::size_t store_hits = 0;    ///< submissions served from the store
+  std::size_t coalesced = 0;     ///< submissions joined to an in-flight twin
+  std::size_t workers = 0;       ///< worker threads started
+};
+
 struct SimServiceOptions {
   /// Worker threads.  Clamped to >= 1.
   int threads = 0;  // 0 -> default_thread_count() (resolved by the service)
@@ -210,6 +223,10 @@ class SimService {
   /// Worker threads actually started (spawned lazily; a service whose
   /// submissions all resolve from the store reports 0).
   [[nodiscard]] std::size_t workers_started() const;
+
+  /// All of the above plus queue depth and in-flight count, captured
+  /// atomically under one lock.
+  [[nodiscard]] SimServiceStats stats() const;
 
   /// Shard queue count: max(1, options().shards).  A non-sharded service
   /// runs its single shared queue as shard 0.

@@ -1,0 +1,114 @@
+#include "server/journal.h"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "harness/result_store.h"  // append_line_atomic
+
+namespace ringclu {
+
+namespace {
+
+/// Parse limits for journal lines: our own writer never nests past the
+/// request body, and a line is bounded by the HTTP body limit anyway.
+constexpr JsonParseLimits kJournalLineLimits = {
+    /*max_depth=*/64, /*max_bytes=*/2u << 20};
+
+/// String member of \p object, or "" when absent/not a string.
+std::string member_string(const JsonValue& object, std::string_view key) {
+  const JsonValue* member = object.find(key);
+  return member != nullptr && member->is_string() ? member->string
+                                                  : std::string();
+}
+
+}  // namespace
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path)) {}
+
+void JobJournal::append(JournalRecord record) {
+  if (!enabled()) return;
+  std::string line;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    record.seq = next_seq_++;
+  }
+  JsonValue doc;
+  doc.kind = JsonValue::Kind::Object;
+  const auto set_string = [&doc](const char* key, const std::string& text) {
+    JsonValue value;
+    value.kind = JsonValue::Kind::String;
+    value.string = text;
+    doc.object.emplace(key, std::move(value));
+  };
+  const auto set_number = [&doc](const char* key, double number) {
+    JsonValue value;
+    value.kind = JsonValue::Kind::Number;
+    value.number = number;
+    doc.object.emplace(key, std::move(value));
+  };
+  set_number("journal_schema", kJournalSchemaVersion);
+  set_number("seq", static_cast<double>(record.seq));
+  set_string("event", record.event);
+  set_string("id", record.id);
+  if (record.event == "accepted") {
+    set_string("client", record.client);
+    set_string("priority", record.priority);
+    doc.object.emplace("request", std::move(record.request));
+  }
+  if (record.event == "failed") set_string("error", record.error);
+  line = json_compact(doc);
+  append_line_atomic(path_, line);
+}
+
+JobJournal::LoadResult JobJournal::load() {
+  LoadResult result;
+  if (!enabled()) return result;
+  std::ifstream file(path_);
+  if (!file.is_open()) return result;  // first boot: no journal yet
+  std::uint64_t max_seq = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    std::optional<JsonValue> doc = json_parse(line, kJournalLineLimits);
+    const JsonValue* schema =
+        doc ? doc->find("journal_schema") : nullptr;
+    if (!doc || !doc->is_object() || schema == nullptr ||
+        !schema->is_number() ||
+        static_cast<int>(schema->number) != kJournalSchemaVersion) {
+      ++result.corrupt_lines;
+      continue;
+    }
+    JournalRecord record;
+    record.event = member_string(*doc, "event");
+    record.id = member_string(*doc, "id");
+    const JsonValue* seq = doc->find("seq");
+    record.seq = seq != nullptr && seq->is_number()
+                     ? static_cast<std::uint64_t>(seq->number)
+                     : 0;
+    if (record.event.empty() || record.id.empty() || record.seq == 0) {
+      ++result.corrupt_lines;
+      continue;
+    }
+    if (record.event == "accepted") {
+      record.client = member_string(*doc, "client");
+      record.priority = member_string(*doc, "priority");
+      const JsonValue* request = doc->find("request");
+      if (request == nullptr || !request->is_object()) {
+        ++result.corrupt_lines;
+        continue;
+      }
+      record.request = *request;
+    }
+    if (record.event == "failed") record.error = member_string(*doc, "error");
+    max_seq = std::max(max_seq, record.seq);
+    result.records.push_back(std::move(record));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  next_seq_ = std::max(next_seq_, max_seq + 1);
+  return result;
+}
+
+}  // namespace ringclu

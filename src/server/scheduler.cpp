@@ -1,0 +1,84 @@
+#include "server/scheduler.h"
+
+#include "util/assert.h"
+
+namespace ringclu {
+
+std::optional<PriorityClass> parse_priority_class(std::string_view name) {
+  if (name == "high") return PriorityClass::High;
+  if (name == "normal") return PriorityClass::Normal;
+  if (name == "low") return PriorityClass::Low;
+  return std::nullopt;
+}
+
+std::string_view priority_class_name(PriorityClass cls) {
+  switch (cls) {
+    case PriorityClass::High: return "high";
+    case PriorityClass::Normal: return "normal";
+    case PriorityClass::Low: return "low";
+  }
+  RINGCLU_UNREACHABLE("bad PriorityClass");
+}
+
+std::size_t FairScheduler::ClassQueue::depth() const {
+  std::size_t total = 0;
+  for (const auto& [client, queue] : clients) total += queue.size();
+  return total;
+}
+
+std::optional<SchedEntry> FairScheduler::ClassQueue::take() {
+  if (rotation.empty()) return std::nullopt;
+  if (next >= rotation.size()) next = 0;
+  const std::string client = rotation[next];
+  std::deque<SchedEntry>& queue = clients.at(client);
+  SchedEntry entry = std::move(queue.front());
+  queue.pop_front();
+  if (queue.empty()) {
+    // The client leaves the rotation; `next` now already points at the
+    // following client (or wraps).
+    clients.erase(client);
+    rotation.erase(rotation.begin() + static_cast<std::ptrdiff_t>(next));
+  } else {
+    ++next;
+  }
+  if (next >= rotation.size()) next = 0;
+  return entry;
+}
+
+void FairScheduler::enqueue(SchedEntry entry) {
+  ClassQueue& cls = classes_[static_cast<std::size_t>(entry.priority)];
+  const auto [it, inserted] = cls.clients.try_emplace(entry.client);
+  if (inserted) cls.rotation.push_back(entry.client);
+  // Per-client FIFO: the server enqueues in seq order, so push_back keeps
+  // the deque sorted by seq.
+  RINGCLU_EXPECTS(it->second.empty() || it->second.back().seq < entry.seq);
+  it->second.push_back(std::move(entry));
+}
+
+std::optional<SchedEntry> FairScheduler::dequeue() {
+  if (depth() == 0) return std::nullopt;
+  for (;;) {
+    for (ClassQueue& cls : classes_) {
+      if (cls.credits > 0 && !cls.rotation.empty()) {
+        --cls.credits;
+        return cls.take();
+      }
+    }
+    // No class holds both credits and work: start a new WRR cycle.
+    classes_[0].credits = priority_class_weight(PriorityClass::High);
+    classes_[1].credits = priority_class_weight(PriorityClass::Normal);
+    classes_[2].credits = priority_class_weight(PriorityClass::Low);
+  }
+}
+
+std::size_t FairScheduler::depth(PriorityClass cls) const {
+  return classes_[static_cast<std::size_t>(cls)].depth();
+}
+
+std::size_t FairScheduler::depth() const {
+  std::size_t total = 0;
+  for (const ClassQueue& cls : classes_) total += cls.depth();
+  return total;
+}
+
+}  // namespace ringclu

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file scheduler.h
+/// Per-client fair-share scheduling with priority classes for
+/// ringclu_simd.
+///
+/// The daemon multiplexes many clients over one SimService worker pool.
+/// A plain FIFO would let one client's 500-point sweep starve everyone
+/// else, so dispatch order is decided here instead:
+///
+///   1. Across priority classes: weighted round-robin (high=4, normal=2,
+///      low=1).  Every non-empty class is visited each cycle, so low
+///      priority means a smaller share, never starvation.
+///   2. Within a class, across clients: round-robin in first-seen order —
+///      each client gets one task per turn regardless of how many it has
+///      queued.
+///   3. Within a client: FIFO by submission sequence number.
+///
+/// The scheduler is a pure, single-threaded data structure (the server
+/// layer serializes access under its own mutex) and is fully
+/// deterministic: the same enqueue sequence always produces the same
+/// dequeue sequence, which is what makes the fair-share tests exact
+/// rather than statistical.  See DESIGN.md §13.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ringclu {
+
+enum class PriorityClass { High, Normal, Low };
+
+inline constexpr std::size_t kPriorityClassCount = 3;
+
+/// Dequeue weight of \p cls per round-robin cycle.
+[[nodiscard]] constexpr int priority_class_weight(PriorityClass cls) {
+  switch (cls) {
+    case PriorityClass::High: return 4;
+    case PriorityClass::Normal: return 2;
+    case PriorityClass::Low: return 1;
+  }
+  return 1;
+}
+
+/// "high" | "normal" | "low" -> class; nullopt on anything else.
+[[nodiscard]] std::optional<PriorityClass> parse_priority_class(
+    std::string_view name);
+[[nodiscard]] std::string_view priority_class_name(PriorityClass cls);
+
+/// One schedulable unit: a (job, task-index) pair.  Fair share operates
+/// at task granularity so a sweep's tasks interleave with other clients'
+/// instead of monopolizing the window.
+struct SchedEntry {
+  std::string job_id;
+  std::size_t task = 0;
+  std::string client;
+  PriorityClass priority = PriorityClass::Normal;
+  /// Global submission sequence: FIFO tie-break within one client.
+  std::uint64_t seq = 0;
+};
+
+class FairScheduler {
+ public:
+  /// Adds \p entry to its client's queue (creating the client's rotation
+  /// slot on first sight).
+  void enqueue(SchedEntry entry);
+
+  /// Removes and returns the next entry per the policy above; nullopt
+  /// when empty.
+  [[nodiscard]] std::optional<SchedEntry> dequeue();
+
+  /// Queued entries in \p cls.
+  [[nodiscard]] std::size_t depth(PriorityClass cls) const;
+  /// Queued entries across all classes.
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] bool empty() const { return depth() == 0; }
+
+ private:
+  /// One priority class: per-client FIFOs plus the client rotation.
+  struct ClassQueue {
+    /// Client -> queued entries.  std::map: deterministic, and iterated
+    /// only for depth accounting.
+    std::map<std::string, std::deque<SchedEntry>> clients;
+    /// Clients with queued work, first-seen order; next_ points at the
+    /// client whose turn is next.
+    std::vector<std::string> rotation;
+    std::size_t next = 0;
+    /// Remaining dequeues this WRR cycle (refilled from the weight).
+    int credits = 0;
+
+    [[nodiscard]] std::size_t depth() const;
+    [[nodiscard]] std::optional<SchedEntry> take();
+  };
+
+  ClassQueue classes_[kPriorityClassCount];
+};
+
+}  // namespace ringclu

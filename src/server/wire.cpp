@@ -1,0 +1,246 @@
+#include "server/wire.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/arch_config.h"
+#include "harness/experiment.h"
+#include "harness/runner.h"
+#include "util/format.h"
+
+namespace ringclu {
+
+namespace {
+
+/// Reads an optional unsigned-integer member into \p out.  Returns false
+/// (with \p error set) when present but not a non-negative integral
+/// number.
+bool read_uint_member(const JsonValue& object, const char* key,
+                      std::uint64_t* out, bool* present,
+                      std::string* error) {
+  *present = false;
+  const JsonValue* member = object.find(key);
+  if (member == nullptr) return true;
+  if (!member->is_number() || member->number < 0 ||
+      member->number != std::floor(member->number) ||
+      member->number > 9e15) {
+    *error = str_format("\"%s\" must be a non-negative integer", key);
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(member->number);
+  *present = true;
+  return true;
+}
+
+/// Validates that \p object only uses keys from \p allowed.
+bool check_keys(const JsonValue& object,
+                const std::vector<std::string_view>& allowed,
+                std::string* error) {
+  for (const auto& [key, value] : object.object) {
+    bool known = false;
+    for (const std::string_view name : allowed) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      *error = "unknown key \"" + key + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses the optional "run" override block over \p defaults.  Mirrors
+/// the CLI: overriding instrs without warmup rescales warmup to
+/// instrs/10.
+bool resolve_run_params(const JsonValue& doc, const RunParams& defaults,
+                        RunParams* params, std::string* error) {
+  *params = defaults;
+  const JsonValue* run = doc.find("run");
+  if (run == nullptr) return true;
+  if (!run->is_object()) {
+    *error = "\"run\" must be an object";
+    return false;
+  }
+  if (!check_keys(*run, {"instrs", "warmup", "seed"}, error)) return false;
+  bool has_instrs = false;
+  bool has_warmup = false;
+  bool has_seed = false;
+  std::uint64_t instrs = 0;
+  std::uint64_t warmup = 0;
+  std::uint64_t seed = 0;
+  if (!read_uint_member(*run, "instrs", &instrs, &has_instrs, error) ||
+      !read_uint_member(*run, "warmup", &warmup, &has_warmup, error) ||
+      !read_uint_member(*run, "seed", &seed, &has_seed, error)) {
+    return false;
+  }
+  if (has_instrs) {
+    params->instrs = instrs;
+    if (!has_warmup) params->warmup = instrs / 10;
+  }
+  if (has_warmup) params->warmup = warmup;
+  if (has_seed) params->seed = seed;
+  return true;
+}
+
+/// Resolves the "config" member: a preset name string or an inline
+/// ArchConfig object.
+std::optional<ArchConfig> resolve_config(const JsonValue& member,
+                                         std::string* error) {
+  if (member.is_string()) {
+    std::optional<ArchConfig> preset = ArchConfig::try_preset(member.string);
+    if (!preset) *error = "unknown preset \"" + member.string + "\"";
+    return preset;
+  }
+  if (member.is_object()) {
+    std::vector<std::string> errors;
+    std::optional<ArchConfig> config =
+        ArchConfig::from_json(json_compact(member), &errors);
+    if (!config) {
+      *error = "bad config: " +
+               (errors.empty() ? std::string("invalid") : errors.front());
+    }
+    return config;
+  }
+  *error = "\"config\" must be a preset name or a config object";
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<JobRequest> parse_job_request(
+    std::string_view body, const RunParams& defaults,
+    const std::vector<std::string>& default_benchmarks,
+    std::string* error) {
+  const std::optional<JsonValue> doc = json_parse(body, kWireParseLimits);
+  if (!doc || !doc->is_object()) {
+    *error = "body must be one JSON object";
+    return std::nullopt;
+  }
+
+  JobRequest request;
+  if (const JsonValue* client = doc->find("client"); client != nullptr) {
+    if (!client->is_string() || client->string.empty()) {
+      *error = "\"client\" must be a non-empty string";
+      return std::nullopt;
+    }
+    request.client = client->string;
+  }
+  if (const JsonValue* prio = doc->find("priority"); prio != nullptr) {
+    const std::optional<PriorityClass> cls =
+        prio->is_string() ? parse_priority_class(prio->string)
+                          : std::nullopt;
+    if (!cls) {
+      *error = "\"priority\" must be \"high\", \"normal\" or \"low\"";
+      return std::nullopt;
+    }
+    request.priority = *cls;
+  }
+
+  const JsonValue* sweep = doc->find("sweep");
+  if (sweep != nullptr) {
+    if (!check_keys(*doc, {"sweep", "client", "priority"}, error)) {
+      return std::nullopt;
+    }
+    if (!sweep->is_object()) {
+      *error = "\"sweep\" must be an ExperimentSpec object";
+      return std::nullopt;
+    }
+    std::vector<std::string> errors;
+    const std::optional<ExperimentSpec> spec =
+        ExperimentSpec::from_json(json_compact(*sweep), &errors);
+    if (!spec) {
+      *error = "bad sweep: " +
+               (errors.empty() ? std::string("invalid") : errors.front());
+      return std::nullopt;
+    }
+    const std::vector<ExperimentPoint> points = spec->expand(&errors);
+    if (points.empty()) {
+      *error = "bad sweep: " +
+               (errors.empty() ? std::string("no points") : errors.front());
+      return std::nullopt;
+    }
+    const std::vector<std::string>& benchmarks =
+        spec->benchmarks.empty() ? default_benchmarks : spec->benchmarks;
+    request.sweep = true;
+    request.name = spec->name;
+    request.tasks = make_sweep_jobs(points, benchmarks,
+                                    spec->resolve_params(defaults));
+    if (request.tasks.empty()) {
+      *error = "sweep expands to zero tasks";
+      return std::nullopt;
+    }
+    return request;
+  }
+
+  // Single run.
+  if (!check_keys(*doc,
+                  {"config", "benchmark", "run", "client", "priority",
+                   "interval"},
+                  error)) {
+    return std::nullopt;
+  }
+  const JsonValue* config = doc->find("config");
+  const JsonValue* benchmark = doc->find("benchmark");
+  if (config == nullptr || benchmark == nullptr ||
+      !benchmark->is_string()) {
+    *error = "a job needs \"config\" and \"benchmark\" (or \"sweep\")";
+    return std::nullopt;
+  }
+  if (const std::optional<std::string> bad =
+          validate_benchmark_names({benchmark->string});
+      bad.has_value()) {
+    *error = *bad;
+    return std::nullopt;
+  }
+  SimJob job;
+  if (std::optional<ArchConfig> resolved = resolve_config(*config, error)) {
+    job.config = *std::move(resolved);
+  } else {
+    return std::nullopt;
+  }
+  job.benchmark = benchmark->string;
+  if (!resolve_run_params(*doc, defaults, &job.params, error)) {
+    return std::nullopt;
+  }
+  bool has_interval = false;
+  if (!read_uint_member(*doc, "interval", &request.interval, &has_interval,
+                        error)) {
+    return std::nullopt;
+  }
+  job.params.interval = request.interval;
+  request.name = job.config.name + ":" + job.benchmark;
+  request.tasks.push_back(std::move(job));
+  return request;
+}
+
+SplitTarget split_target(std::string_view target) {
+  SplitTarget out;
+  const std::size_t question = target.find('?');
+  out.path = std::string(target.substr(0, question));
+  if (question == std::string_view::npos) return out;
+  std::string_view query = target.substr(question + 1);
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        query.substr(0, amp == std::string_view::npos ? query.size() : amp);
+    query = amp == std::string_view::npos ? std::string_view()
+                                          : query.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      if (!pair.empty()) out.query[std::string(pair)] = "";
+    } else {
+      out.query[std::string(pair.substr(0, eq))] =
+          std::string(pair.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+std::string error_body(std::string_view message) {
+  return "{\"error\":\"" + json_escape(message) + "\"}";
+}
+
+}  // namespace ringclu

@@ -35,6 +35,29 @@ const MetricDesc& MetricsRegistry::at(std::string_view name) const {
   return *metric;
 }
 
+void GaugeRegistry::add(GaugeDesc gauge) {
+  RINGCLU_EXPECTS(!gauge.name.empty());
+  RINGCLU_EXPECTS(gauge.value != nullptr);
+  const bool unique = index_.emplace(gauge.name, gauges_.size()).second;
+  RINGCLU_EXPECTS(unique && "duplicate gauge name");
+  gauges_.push_back(std::move(gauge));
+}
+
+const GaugeDesc* GaugeRegistry::try_find(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &gauges_[it->second];
+}
+
+std::string GaugeRegistry::sample_to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  for (const GaugeDesc& gauge : gauges_) {
+    json.key(gauge.name).value(gauge.value());
+  }
+  json.end_object();
+  return json.str();
+}
+
 namespace {
 
 double ratio(std::uint64_t num, std::uint64_t den) {

@@ -90,6 +90,44 @@ class MetricsRegistry {
   std::map<std::string, std::size_t, std::less<>> index_;
 };
 
+/// A live server-side gauge: a named, documented value sampled at read
+/// time (queue depth, in-flight jobs, aggregate throughput).  The
+/// operational sibling of MetricDesc — a MetricDesc is a view over one
+/// finished SimResult, a GaugeDesc is a view over a running process.
+/// ringclu_simd registers its service/scheduler/journal gauges here and
+/// serves the sampled registry as GET /v1/server/metrics.
+struct GaugeDesc {
+  std::string name;         ///< registry key, e.g. "queue_depth_high"
+  std::string unit;         ///< e.g. "jobs", "count", "instr/s"
+  std::string description;  ///< one-line human description
+  std::function<double()> value;
+};
+
+/// An ordered collection of uniquely named gauges.
+class GaugeRegistry {
+ public:
+  /// Registers \p gauge.  \pre the name is non-empty and not yet taken,
+  /// and the value function is set.
+  void add(GaugeDesc gauge);
+
+  /// Lookup by name; nullptr when unknown.
+  [[nodiscard]] const GaugeDesc* try_find(std::string_view name) const;
+
+  /// All gauges in registration order.
+  [[nodiscard]] std::span<const GaugeDesc> gauges() const { return gauges_; }
+
+  [[nodiscard]] std::size_t size() const { return gauges_.size(); }
+
+  /// Samples every gauge now and renders one JSON object,
+  /// {"<name>": <value>, ...} in registration order.  Values pass through
+  /// json_number (NaN/Inf map to 0).
+  [[nodiscard]] std::string sample_to_json() const;
+
+ private:
+  std::vector<GaugeDesc> gauges_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
 /// Identifies the run a metric record belongs to (threaded to sinks).
 struct MetricRunContext {
   std::string config_name;

@@ -148,10 +148,11 @@ namespace {
 /// Recursive-descent parser over a string_view cursor.
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  explicit Parser(std::string_view text, const JsonParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   std::optional<JsonValue> parse_document() {
-    std::optional<JsonValue> value = parse_value();
+    std::optional<JsonValue> value = parse_value(0);
     if (!value) return std::nullopt;
     skip_ws();
     if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
@@ -211,10 +212,15 @@ class Parser {
           for (int i = 0; i < 4; ++i) {
             const char hex = text_[pos_++];
             code <<= 4;
-            if (hex >= '0' && hex <= '9') code |= static_cast<unsigned>(hex - '0');
-            else if (hex >= 'a' && hex <= 'f') code |= static_cast<unsigned>(hex - 'a' + 10);
-            else if (hex >= 'A' && hex <= 'F') code |= static_cast<unsigned>(hex - 'A' + 10);
-            else return std::nullopt;
+            if (hex >= '0' && hex <= '9') {
+              code |= static_cast<unsigned>(hex - '0');
+            } else if (hex >= 'a' && hex <= 'f') {
+              code |= static_cast<unsigned>(hex - 'a' + 10);
+            } else if (hex >= 'A' && hex <= 'F') {
+              code |= static_cast<unsigned>(hex - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
           }
           // Only the escapes our writer emits (< 0x20) need to survive;
           // encode the code point as UTF-8 for completeness.
@@ -236,12 +242,16 @@ class Parser {
     return std::nullopt;  // unterminated
   }
 
-  std::optional<JsonValue> parse_value() {
+  std::optional<JsonValue> parse_value(std::size_t depth) {
     skip_ws();
     if (pos_ >= text_.size()) return std::nullopt;
     JsonValue value;
     const char ch = text_[pos_];
     if (ch == '{') {
+      // Depth gates recursion BEFORE the frame for the nested value is
+      // created: a hostile "{"a":{"a":{... document fails cleanly at
+      // max_depth instead of exhausting the stack.
+      if (depth >= limits_.max_depth) return std::nullopt;
       ++pos_;
       value.kind = JsonValue::Kind::Object;
       skip_ws();
@@ -251,7 +261,7 @@ class Parser {
         std::optional<std::string> key = parse_string_body();
         if (!key) return std::nullopt;
         if (!eat(':')) return std::nullopt;
-        std::optional<JsonValue> member = parse_value();
+        std::optional<JsonValue> member = parse_value(depth + 1);
         if (!member) return std::nullopt;
         value.object.emplace(*std::move(key), *std::move(member));
         if (eat(',')) continue;
@@ -260,12 +270,13 @@ class Parser {
       }
     }
     if (ch == '[') {
+      if (depth >= limits_.max_depth) return std::nullopt;
       ++pos_;
       value.kind = JsonValue::Kind::Array;
       skip_ws();
       if (eat(']')) return value;
       for (;;) {
-        std::optional<JsonValue> element = parse_value();
+        std::optional<JsonValue> element = parse_value(depth + 1);
         if (!element) return std::nullopt;
         value.array.push_back(*std::move(element));
         if (eat(',')) continue;
@@ -313,13 +324,16 @@ class Parser {
   }
 
   std::string_view text_;
+  JsonParseLimits limits_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
-std::optional<JsonValue> json_parse(std::string_view text) {
-  return Parser(text).parse_document();
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    const JsonParseLimits& limits) {
+  if (text.size() > limits.max_bytes) return std::nullopt;
+  return Parser(text, limits).parse_document();
 }
 
 namespace {
@@ -379,6 +393,52 @@ void pretty_append(const JsonValue& value, int indent, int depth,
 std::string json_pretty(const JsonValue& value, int indent) {
   std::string out;
   pretty_append(value, indent, 0, out);
+  return out;
+}
+
+namespace {
+
+void compact_append(const JsonValue& value, std::string& out) {
+  switch (value.kind) {
+    case JsonValue::Kind::Null: out += "null"; return;
+    case JsonValue::Kind::Bool: out += value.boolean ? "true" : "false"; return;
+    case JsonValue::Kind::Number: out += json_number(value.number); return;
+    case JsonValue::Kind::String:
+      out += '"';
+      out += json_escape(value.string);
+      out += '"';
+      return;
+    case JsonValue::Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        if (i > 0) out += ',';
+        compact_append(value.array[i], out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.object) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(key);
+        out += "\":";
+        compact_append(member, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_compact(const JsonValue& value) {
+  std::string out;
+  compact_append(value, out);
   return out;
 }
 

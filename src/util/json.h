@@ -7,6 +7,7 @@
 /// Deliberately tiny — objects, arrays, strings, doubles, bools, null —
 /// no external dependency.
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -86,14 +87,37 @@ struct JsonValue {
   [[nodiscard]] const JsonValue* find(std::string_view key) const;
 };
 
+/// Resource bounds for json_parse.  The defaults are what every trusted
+/// caller (config files, golden round-trips) gets implicitly: documents of
+/// any size, nesting capped well below stack exhaustion.  Parsers fed
+/// untrusted network bytes (the ringclu_simd request path) pass explicit,
+/// much tighter limits so adversarial input fails with a clean nullopt —
+/// never a stack overflow or an unbounded allocation.
+struct JsonParseLimits {
+  /// Maximum container nesting depth (objects + arrays).  The parser is
+  /// recursive-descent: each level costs one stack frame, so this bound is
+  /// what stands between a hostile "[[[[..." document and stack overflow.
+  std::size_t max_depth = 256;
+  /// Maximum document size in bytes; larger inputs are rejected before a
+  /// single byte is parsed (no proportional allocation for oversized
+  /// input).
+  std::size_t max_bytes = SIZE_MAX;
+};
+
 /// Parses one JSON document (object, array or scalar).  Returns nullopt on
-/// any syntax error or trailing garbage.
-[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
+/// any syntax error, trailing garbage, or a violated resource limit.
+[[nodiscard]] std::optional<JsonValue> json_parse(
+    std::string_view text, const JsonParseLimits& limits = {});
 
 /// Serializes \p value back to JSON text, indented \p indent spaces per
 /// level (human-facing outputs: --dump-config, expanded sweep artifacts).
 /// Object keys emit in JsonValue's map order (sorted); numbers print via
 /// json_number, so parse -> pretty -> parse round-trips.
 [[nodiscard]] std::string json_pretty(const JsonValue& value, int indent = 2);
+
+/// Serializes \p value as one compact line (no whitespace) — the JSON
+/// Lines form.  Same key order and number formatting as json_pretty, so
+/// compact and pretty renderings of one value parse back equal.
+[[nodiscard]] std::string json_compact(const JsonValue& value);
 
 }  // namespace ringclu

@@ -1,0 +1,43 @@
+// Seeded det-nondet-source coverage for the server module.  The job
+// engine's results must be byte-identical to offline runs, so src/server
+// is held to the sim-state wall-clock bar; only bounded drain waits may
+// read the clock, behind an explicit allow(wallclock).  This file
+// impersonates src/server through its fixtures/server/ path.  Never
+// compiled; parsed by tools/lint/ringclu_lint.py's fixture self-test.
+#include <chrono>
+#include <condition_variable>
+#include <ctime>
+#include <mutex>
+
+namespace fixture {
+
+struct JobEngine {
+  long stamp_violation() {
+    return time(nullptr);  // violation: wall-clock in a result path
+  }
+
+  long deadline_violation() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+
+  bool drain_allowed(int timeout_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    // ringclu-lint: allow(wallclock: bounded drain wait)
+    return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                        [] { return true; });
+  }
+
+  struct Stats {
+    long time = 0;
+  };
+
+  long no_call() const {
+    return stats_.time;  // negative: bare 'time' identifier, no call
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Stats stats_;
+};
+
+}  // namespace fixture

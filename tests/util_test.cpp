@@ -341,5 +341,66 @@ TEST(JsonPretty, ScalarsPrintBare) {
   EXPECT_EQ(json_pretty(*json_parse("[]")), "[]");
 }
 
+// ---- Hardening for untrusted (network) input ---------------------------
+
+TEST(JsonParseLimits, MalformedInputReturnsNullopt) {
+  // None of these may crash or throw; all must come back empty.
+  EXPECT_FALSE(json_parse("").has_value());
+  EXPECT_FALSE(json_parse("{").has_value());
+  EXPECT_FALSE(json_parse("}").has_value());
+  EXPECT_FALSE(json_parse("{\"a\":}").has_value());
+  EXPECT_FALSE(json_parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(json_parse("[1,]").has_value());
+  EXPECT_FALSE(json_parse("[1 2]").has_value());
+  EXPECT_FALSE(json_parse("\"unterminated").has_value());
+  EXPECT_FALSE(json_parse("\"bad \\q escape\"").has_value());
+  EXPECT_FALSE(json_parse("\"\\u12g4\"").has_value());
+  EXPECT_FALSE(json_parse("nul").has_value());
+  EXPECT_FALSE(json_parse("truefalse").has_value());
+  EXPECT_FALSE(json_parse("1.2.3").has_value());
+  EXPECT_FALSE(json_parse("--1").has_value());
+  EXPECT_FALSE(json_parse("{} trailing").has_value());
+  EXPECT_FALSE(json_parse("\x01").has_value());
+}
+
+TEST(JsonParseLimits, DepthLimitStopsHostileNesting) {
+  // 100k unclosed '[' would overflow the stack on an unbounded
+  // recursive-descent parser; the depth cap must reject it cleanly.
+  const std::string bomb(100000, '[');
+  EXPECT_FALSE(json_parse(bomb).has_value());
+  std::string closed(100000, '[');
+  closed.append(100000, ']');
+  EXPECT_FALSE(json_parse(closed).has_value());
+  // Same attack via objects.
+  std::string objs;
+  for (int i = 0; i < 100000; ++i) objs += "{\"k\":";
+  EXPECT_FALSE(json_parse(objs).has_value());
+}
+
+TEST(JsonParseLimits, DepthLimitBoundaryIsExact) {
+  const auto nested = [](std::size_t depth) {
+    std::string doc(depth, '[');
+    doc.append(depth, ']');
+    return doc;
+  };
+  JsonParseLimits limits;
+  limits.max_depth = 4;
+  EXPECT_TRUE(json_parse(nested(4), limits).has_value());
+  EXPECT_FALSE(json_parse(nested(5), limits).has_value());
+  // Default limit admits realistic documents.
+  EXPECT_TRUE(json_parse(nested(256)).has_value());
+  EXPECT_FALSE(json_parse(nested(257)).has_value());
+}
+
+TEST(JsonParseLimits, MaxBytesRejectsOversizedDocuments) {
+  JsonParseLimits limits;
+  limits.max_bytes = 8;
+  EXPECT_TRUE(json_parse("[1,2,3]", limits).has_value());    // 7 bytes
+  EXPECT_FALSE(json_parse("[1,2,3,4]", limits).has_value()); // 9 bytes
+  // Default is unbounded.
+  const std::string big = "\"" + std::string(1 << 20, 'x') + "\"";
+  EXPECT_TRUE(json_parse(big).has_value());
+}
+
 }  // namespace
 }  // namespace ringclu

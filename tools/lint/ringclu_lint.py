@@ -92,7 +92,10 @@ RULES = {
 SUPPRESSION_ALIASES = {"wallclock": "det-nondet-source"}
 
 # Modules whose state is (or feeds) simulated state: everything here must
-# be bit-reproducible across processes, hosts and ASLR seeds.
+# be bit-reproducible across processes, hosts and ASLR seeds.  The server
+# module is held to the same bar because its results must be
+# byte-identical to offline runs; its few bounded drain waits carry
+# explicit allow(wallclock) annotations.
 SIM_STATE_MODULES = {
     "core",
     "cluster",
@@ -102,6 +105,7 @@ SIM_STATE_MODULES = {
     "bpred",
     "trace",
     "stats",
+    "server",
 }
 
 # The only files allowed to call getenv() directly: the strict typed
