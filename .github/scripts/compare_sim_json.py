@@ -35,11 +35,20 @@ def simulated_fields(path):
 
 
 def main():
-    if len(sys.argv) != 3:
-        sys.exit(f"usage: {sys.argv[0]} <a.json> <b.json>")
-    a = simulated_fields(sys.argv[1])
-    b = simulated_fields(sys.argv[2])
-    diffs = [key for key in sorted(set(a) | set(b)) if a.get(key) != b.get(key)]
+    args = sys.argv[1:]
+    ignored = set()
+    while "--ignore" in args:
+        index = args.index("--ignore")
+        if index + 1 >= len(args):
+            sys.exit("--ignore needs a flattened key name")
+        ignored.add(args[index + 1])
+        del args[index:index + 2]
+    if len(args) != 2:
+        sys.exit(f"usage: {sys.argv[0]} [--ignore key]... <a.json> <b.json>")
+    a = simulated_fields(args[0])
+    b = simulated_fields(args[1])
+    diffs = [key for key in sorted(set(a) | set(b))
+             if key not in ignored and a.get(key) != b.get(key)]
     if diffs:
         for key in diffs[:20]:
             print(f"MISMATCH {key}: {a.get(key)!r} != {b.get(key)!r}")

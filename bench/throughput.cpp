@@ -24,6 +24,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,8 @@
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "harness/sim_service.h"
+#include "trace/pack/pack_writer.h"
+#include "trace/registry.h"
 #include "trace/synth/suite.h"
 #include "util/assert.h"
 
@@ -43,6 +46,38 @@ struct ConfigStats {
   std::uint64_t instrs = 0;
   double wall = 0.0;
 };
+
+/// Records a gzip pack sized for the run budget into a scratch directory,
+/// registers it, and returns its benchmark name ("" on failure).  The
+/// packed-trace stage measures mmap+decompress replay against the same
+/// budget the synthetic stage ran.
+std::string prepare_packed_trace(const RunParams& params,
+                                 std::uint64_t* pack_ops) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ringclu_bench_packs";
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return "";
+  const std::string path = (dir / "bench_gzip.rclp").string();
+
+  // Fetch runs ahead of commit; 4096 ops of slack covers any lookahead.
+  const std::uint64_t ops = params.instrs + params.warmup + 4096;
+  auto source = make_benchmark_trace("gzip", params.seed);
+  TracePackWriter writer(path);
+  MicroOp op;
+  for (std::uint64_t i = 0; i < ops && source->next(op); ++i) {
+    writer.append(op);
+  }
+  std::string error;
+  if (!writer.close(&error)) {
+    std::fprintf(stderr, "[throughput] pack write failed: %s\n",
+                 error.c_str());
+    return "";
+  }
+  *pack_ops = ops;
+  TraceBenchmarkRegistry::global().add_dir(dir.string());
+  return "trace:bench_gzip";
+}
 
 }  // namespace
 
@@ -134,6 +169,39 @@ int main() {
         restored_runs, results.size(), warmup_amortized);
   }
 
+  // Packed-trace replay stage: the same budget, but the workload streams
+  // from a block-compressed RCLP pack (mmap + decompress) instead of the
+  // live generator — the marginal cost of trace-driven simulation.
+  std::uint64_t pack_ops = 0;
+  const std::string packed_name =
+      prepare_packed_trace(options.run_params(), &pack_ops);
+  std::uint64_t packed_instrs = 0;
+  double packed_wall = 0.0;
+  if (!packed_name.empty()) {
+    std::vector<SimJob> packed_jobs;
+    for (const std::string& preset : presets) {
+      packed_jobs.push_back(
+          SimJob{ArchConfig::preset(preset), packed_name,
+                 options.run_params()});
+    }
+    const std::vector<JobHandle> packed_handles =
+        service.submit_batch(std::move(packed_jobs));
+    for (const JobHandle& handle : packed_handles) {
+      RINGCLU_EXPECTS(handle.wait() == JobStatus::Done);
+      const SimResult result = handle.result();
+      packed_instrs += result.total_committed;
+      packed_wall += result.wall_seconds;
+    }
+    std::printf(
+        "packed-trace replay (%s, %llu ops x %zu configs): "
+        "%.1fM instrs  %.2fs  %.2fM instrs/s\n",
+        packed_name.c_str(), static_cast<unsigned long long>(pack_ops),
+        presets.size(), static_cast<double>(packed_instrs) / 1e6, packed_wall,
+        packed_wall <= 0.0
+            ? 0.0
+            : static_cast<double>(packed_instrs) / packed_wall / 1e6);
+  }
+
   const double ips = aggregate_sim_ips(results);
   std::FILE* json = std::fopen("BENCH_throughput.json", "w");
   if (json == nullptr) {
@@ -201,6 +269,19 @@ int main() {
   std::fprintf(json, "  \"warmup_restored_runs\": %zu,\n", restored_runs);
   std::fprintf(json, "  \"warmup_amortized_seconds\": %.6f,\n",
                warmup_amortized);
+  if (!packed_name.empty()) {
+    std::fprintf(json,
+                 "  \"packed_trace\": {\"benchmark\": \"%s\", "
+                 "\"pack_ops\": %llu, \"sim_instrs\": %llu, "
+                 "\"wall_seconds\": %.6f, "
+                 "\"sim_instrs_per_second\": %.1f},\n",
+                 packed_name.c_str(),
+                 static_cast<unsigned long long>(pack_ops),
+                 static_cast<unsigned long long>(packed_instrs), packed_wall,
+                 packed_wall <= 0.0
+                     ? 0.0
+                     : static_cast<double>(packed_instrs) / packed_wall);
+  }
   std::fprintf(json, "  \"end_to_end_seconds\": %.6f\n", elapsed);
   std::fprintf(json, "}\n");
   std::fclose(json);

@@ -460,8 +460,12 @@ void Processor::do_memory() {
     }
     const std::int64_t data_ready =
         cycle_ + latency + config_.dcache_transfer;
-    set_readable_waking(inst.dst_value, dest_home(rob_.cluster(rob_index)),
-                        data_ready);
+    // Prefetch-like loads (no architectural destination) still occupy the
+    // port and the LSQ slot but produce no value to wake consumers on.
+    if (inst.op.has_dst()) {
+      set_readable_waking(inst.dst_value,
+                          dest_home(rob_.cluster(rob_index)), data_ready);
+    }
     schedule(data_ready, EventKind::Complete, rob_index);
     active_loads_.erase(active_loads_.begin() +
                         static_cast<std::ptrdiff_t>(i));

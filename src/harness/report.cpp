@@ -11,10 +11,14 @@ namespace ringclu {
 namespace {
 
 bool in_group(const SimResult& result, BenchGroup group) {
+  // Trace-pack benchmarks ("trace:<stem>") are not part of the synthetic
+  // SPEC suite, so they contribute to the overall average but to neither
+  // the INT nor the FP sub-group.
+  const bool in_suite = is_benchmark_name(result.benchmark);
   switch (group) {
     case BenchGroup::All: return true;
-    case BenchGroup::Int: return !is_fp_benchmark(result.benchmark);
-    case BenchGroup::Fp: return is_fp_benchmark(result.benchmark);
+    case BenchGroup::Int: return in_suite && !is_fp_benchmark(result.benchmark);
+    case BenchGroup::Fp: return in_suite && is_fp_benchmark(result.benchmark);
   }
   return false;
 }

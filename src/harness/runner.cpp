@@ -7,6 +7,7 @@
 
 #include "harness/sim_service.h"
 #include "stats/metric_sink.h"
+#include "trace/registry.h"
 #include "trace/synth/suite.h"
 #include "util/assert.h"
 #include "util/config.h"
@@ -129,9 +130,23 @@ RunnerOptions RunnerOptions::from_env() {
 std::optional<std::string> validate_benchmark_names(
     const std::vector<std::string>& names) {
   for (const std::string& name : names) {
+    if (is_trace_benchmark_name(name)) {
+      // The "trace:" namespace belongs to the pack registry; a name that
+      // is not registered diagnoses against what is.
+      if (TraceBenchmarkRegistry::global().find(name).has_value()) continue;
+      const std::string known =
+          TraceBenchmarkRegistry::global().names_joined();
+      return "unknown trace benchmark '" + name +
+             "'; registered trace benchmarks: " +
+             (known.empty() ? "(none: set RINGCLU_TRACE_DIR or pass "
+                              "--trace-dir)"
+                            : known);
+    }
     if (!is_benchmark_name(name)) {
       return "unknown benchmark '" + name +
-             "'; valid benchmarks: " + known_benchmark_names();
+             "'; valid benchmarks: " + known_benchmark_names() +
+             " (trace packs register as 'trace:<stem>' via "
+             "RINGCLU_TRACE_DIR or --trace-dir)";
     }
   }
   return std::nullopt;

@@ -16,6 +16,7 @@
 #include "core/processor.h"
 #include "harness/runner.h"
 #include "stats/metric_sink.h"
+#include "trace/registry.h"
 #include "trace/synth/suite.h"
 #include "util/assert.h"
 #include "util/format.h"
@@ -40,9 +41,11 @@ std::string sim_cache_key(const SimJob& job) {
   // with every pre-existing store and golden), the config fingerprint for
   // anything hand-built or sweep-expanded — so identical design points
   // coalesce regardless of display name, and same-named-but-divergent
-  // configs never collide.
-  return sim_cache_key(job.config.cache_identity(), job.benchmark,
-                       job.params);
+  // configs never collide.  Trace benchmarks key by their content digest
+  // ("trace:<stem>@<16-hex>") for the same reason: a renamed pack still
+  // coalesces, a re-recorded one never aliases stale results.
+  return sim_cache_key(job.config.cache_identity(),
+                       keyed_workload_name(job.benchmark), job.params);
 }
 
 std::string_view job_status_name(JobStatus status) {
@@ -85,7 +88,7 @@ SimResult run_sim_job(const SimJob& job) {
 }
 
 SimResult run_sim_job(const SimJob& job, const CheckpointOptions& checkpoint) {
-  auto trace = make_benchmark_trace(job.benchmark, job.params.seed);
+  auto trace = make_workload_trace(job.benchmark, job.params.seed);
   return run_sim_job_on_trace(job, checkpoint, *trace);
 }
 

@@ -1,0 +1,554 @@
+#include "trace/ingest/text_log.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/format.h"
+
+namespace ringclu {
+namespace {
+
+struct MnemonicEntry {
+  std::string_view name;
+  OpClass cls;
+  BranchKind kind;
+};
+
+/// The decoder table: canonical class names first, then common x86-64,
+/// AArch64 and RISC-V spellings.  Looked up after lowercasing and
+/// stripping a width/condition suffix at the first '.' (so "add.w",
+/// "fadd.d" and "b.eq" classify).  Linear scan: ingest is tooling, not
+/// the simulation hot path.
+constexpr MnemonicEntry kMnemonics[] = {
+    // Canonical (op_name) spellings: what `ringclu_trace cat` emits.
+    {"int_alu", OpClass::IntAlu, BranchKind::None},
+    {"int_mult", OpClass::IntMult, BranchKind::None},
+    {"int_div", OpClass::IntDiv, BranchKind::None},
+    {"fp_add", OpClass::FpAdd, BranchKind::None},
+    {"fp_mult", OpClass::FpMult, BranchKind::None},
+    {"fp_div", OpClass::FpDiv, BranchKind::None},
+    {"load", OpClass::Load, BranchKind::None},
+    {"store", OpClass::Store, BranchKind::None},
+    {"branch", OpClass::Branch, BranchKind::Conditional},
+    {"nop", OpClass::Nop, BranchKind::None},
+    // x86-64 integer ALU.
+    {"add", OpClass::IntAlu, BranchKind::None},
+    {"sub", OpClass::IntAlu, BranchKind::None},
+    {"and", OpClass::IntAlu, BranchKind::None},
+    {"or", OpClass::IntAlu, BranchKind::None},
+    {"xor", OpClass::IntAlu, BranchKind::None},
+    {"not", OpClass::IntAlu, BranchKind::None},
+    {"neg", OpClass::IntAlu, BranchKind::None},
+    {"shl", OpClass::IntAlu, BranchKind::None},
+    {"shr", OpClass::IntAlu, BranchKind::None},
+    {"sal", OpClass::IntAlu, BranchKind::None},
+    {"sar", OpClass::IntAlu, BranchKind::None},
+    {"rol", OpClass::IntAlu, BranchKind::None},
+    {"ror", OpClass::IntAlu, BranchKind::None},
+    {"cmp", OpClass::IntAlu, BranchKind::None},
+    {"test", OpClass::IntAlu, BranchKind::None},
+    {"mov", OpClass::IntAlu, BranchKind::None},
+    {"lea", OpClass::IntAlu, BranchKind::None},
+    {"inc", OpClass::IntAlu, BranchKind::None},
+    {"dec", OpClass::IntAlu, BranchKind::None},
+    {"adc", OpClass::IntAlu, BranchKind::None},
+    {"sbb", OpClass::IntAlu, BranchKind::None},
+    {"xchg", OpClass::IntAlu, BranchKind::None},
+    {"cdq", OpClass::IntAlu, BranchKind::None},
+    {"cqo", OpClass::IntAlu, BranchKind::None},
+    {"bswap", OpClass::IntAlu, BranchKind::None},
+    {"popcnt", OpClass::IntAlu, BranchKind::None},
+    {"bsf", OpClass::IntAlu, BranchKind::None},
+    {"bsr", OpClass::IntAlu, BranchKind::None},
+    {"endbr64", OpClass::Nop, BranchKind::None},
+    // x86-64 multiply / divide.
+    {"imul", OpClass::IntMult, BranchKind::None},
+    {"mul", OpClass::IntMult, BranchKind::None},
+    {"idiv", OpClass::IntDiv, BranchKind::None},
+    {"div", OpClass::IntDiv, BranchKind::None},
+    // x86-64 SSE scalar FP.
+    {"addss", OpClass::FpAdd, BranchKind::None},
+    {"addsd", OpClass::FpAdd, BranchKind::None},
+    {"subss", OpClass::FpAdd, BranchKind::None},
+    {"subsd", OpClass::FpAdd, BranchKind::None},
+    {"ucomiss", OpClass::FpAdd, BranchKind::None},
+    {"ucomisd", OpClass::FpAdd, BranchKind::None},
+    {"comiss", OpClass::FpAdd, BranchKind::None},
+    {"comisd", OpClass::FpAdd, BranchKind::None},
+    {"cvtsi2sd", OpClass::FpAdd, BranchKind::None},
+    {"cvtsi2ss", OpClass::FpAdd, BranchKind::None},
+    {"cvttsd2si", OpClass::FpAdd, BranchKind::None},
+    {"cvttss2si", OpClass::FpAdd, BranchKind::None},
+    {"cvtsd2ss", OpClass::FpAdd, BranchKind::None},
+    {"cvtss2sd", OpClass::FpAdd, BranchKind::None},
+    {"movss", OpClass::FpAdd, BranchKind::None},
+    {"movsd", OpClass::FpAdd, BranchKind::None},
+    {"movaps", OpClass::IntAlu, BranchKind::None},
+    {"movapd", OpClass::IntAlu, BranchKind::None},
+    {"movups", OpClass::IntAlu, BranchKind::None},
+    {"xorps", OpClass::IntAlu, BranchKind::None},
+    {"xorpd", OpClass::IntAlu, BranchKind::None},
+    {"pxor", OpClass::IntAlu, BranchKind::None},
+    {"mulss", OpClass::FpMult, BranchKind::None},
+    {"mulsd", OpClass::FpMult, BranchKind::None},
+    {"divss", OpClass::FpDiv, BranchKind::None},
+    {"divsd", OpClass::FpDiv, BranchKind::None},
+    {"sqrtss", OpClass::FpDiv, BranchKind::None},
+    {"sqrtsd", OpClass::FpDiv, BranchKind::None},
+    // x86-64 stack and control flow.
+    {"push", OpClass::Store, BranchKind::None},
+    {"pop", OpClass::Load, BranchKind::None},
+    {"leave", OpClass::Load, BranchKind::None},
+    {"enter", OpClass::Store, BranchKind::None},
+    {"jmp", OpClass::Branch, BranchKind::Jump},
+    {"call", OpClass::Branch, BranchKind::Call},
+    {"ret", OpClass::Branch, BranchKind::Return},
+    {"retq", OpClass::Branch, BranchKind::Return},
+    // AArch64.
+    {"ldr", OpClass::Load, BranchKind::None},
+    {"ldrb", OpClass::Load, BranchKind::None},
+    {"ldrh", OpClass::Load, BranchKind::None},
+    {"ldrsw", OpClass::Load, BranchKind::None},
+    {"ldur", OpClass::Load, BranchKind::None},
+    {"ldp", OpClass::Load, BranchKind::None},
+    {"str", OpClass::Store, BranchKind::None},
+    {"strb", OpClass::Store, BranchKind::None},
+    {"strh", OpClass::Store, BranchKind::None},
+    {"stur", OpClass::Store, BranchKind::None},
+    {"stp", OpClass::Store, BranchKind::None},
+    {"adds", OpClass::IntAlu, BranchKind::None},
+    {"subs", OpClass::IntAlu, BranchKind::None},
+    {"orr", OpClass::IntAlu, BranchKind::None},
+    {"eor", OpClass::IntAlu, BranchKind::None},
+    {"ands", OpClass::IntAlu, BranchKind::None},
+    {"bic", OpClass::IntAlu, BranchKind::None},
+    {"lsl", OpClass::IntAlu, BranchKind::None},
+    {"lsr", OpClass::IntAlu, BranchKind::None},
+    {"asr", OpClass::IntAlu, BranchKind::None},
+    {"mvn", OpClass::IntAlu, BranchKind::None},
+    {"cmn", OpClass::IntAlu, BranchKind::None},
+    {"ccmp", OpClass::IntAlu, BranchKind::None},
+    {"tst", OpClass::IntAlu, BranchKind::None},
+    {"csel", OpClass::IntAlu, BranchKind::None},
+    {"cset", OpClass::IntAlu, BranchKind::None},
+    {"cinc", OpClass::IntAlu, BranchKind::None},
+    {"adr", OpClass::IntAlu, BranchKind::None},
+    {"adrp", OpClass::IntAlu, BranchKind::None},
+    {"movk", OpClass::IntAlu, BranchKind::None},
+    {"movz", OpClass::IntAlu, BranchKind::None},
+    {"movn", OpClass::IntAlu, BranchKind::None},
+    {"sxtw", OpClass::IntAlu, BranchKind::None},
+    {"uxtw", OpClass::IntAlu, BranchKind::None},
+    {"ubfx", OpClass::IntAlu, BranchKind::None},
+    {"bfi", OpClass::IntAlu, BranchKind::None},
+    {"madd", OpClass::IntMult, BranchKind::None},
+    {"msub", OpClass::IntMult, BranchKind::None},
+    {"smull", OpClass::IntMult, BranchKind::None},
+    {"umull", OpClass::IntMult, BranchKind::None},
+    {"sdiv", OpClass::IntDiv, BranchKind::None},
+    {"udiv", OpClass::IntDiv, BranchKind::None},
+    {"fadd", OpClass::FpAdd, BranchKind::None},
+    {"fsub", OpClass::FpAdd, BranchKind::None},
+    {"fcmp", OpClass::FpAdd, BranchKind::None},
+    {"fcvt", OpClass::FpAdd, BranchKind::None},
+    {"scvtf", OpClass::FpAdd, BranchKind::None},
+    {"fcvtzs", OpClass::FpAdd, BranchKind::None},
+    {"fmov", OpClass::FpAdd, BranchKind::None},
+    {"fmul", OpClass::FpMult, BranchKind::None},
+    {"fmadd", OpClass::FpMult, BranchKind::None},
+    {"fmsub", OpClass::FpMult, BranchKind::None},
+    {"fdiv", OpClass::FpDiv, BranchKind::None},
+    {"fsqrt", OpClass::FpDiv, BranchKind::None},
+    {"b", OpClass::Branch, BranchKind::Jump},
+    {"br", OpClass::Branch, BranchKind::Jump},
+    {"bl", OpClass::Branch, BranchKind::Call},
+    {"blr", OpClass::Branch, BranchKind::Call},
+    {"cbz", OpClass::Branch, BranchKind::Conditional},
+    {"cbnz", OpClass::Branch, BranchKind::Conditional},
+    {"tbz", OpClass::Branch, BranchKind::Conditional},
+    {"tbnz", OpClass::Branch, BranchKind::Conditional},
+    // RISC-V.
+    {"lb", OpClass::Load, BranchKind::None},
+    {"lbu", OpClass::Load, BranchKind::None},
+    {"lh", OpClass::Load, BranchKind::None},
+    {"lhu", OpClass::Load, BranchKind::None},
+    {"lw", OpClass::Load, BranchKind::None},
+    {"lwu", OpClass::Load, BranchKind::None},
+    {"ld", OpClass::Load, BranchKind::None},
+    {"flw", OpClass::Load, BranchKind::None},
+    {"fld", OpClass::Load, BranchKind::None},
+    {"sb", OpClass::Store, BranchKind::None},
+    {"sh", OpClass::Store, BranchKind::None},
+    {"sw", OpClass::Store, BranchKind::None},
+    {"sd", OpClass::Store, BranchKind::None},
+    {"fsw", OpClass::Store, BranchKind::None},
+    {"fsd", OpClass::Store, BranchKind::None},
+    {"addi", OpClass::IntAlu, BranchKind::None},
+    {"addiw", OpClass::IntAlu, BranchKind::None},
+    {"addw", OpClass::IntAlu, BranchKind::None},
+    {"subw", OpClass::IntAlu, BranchKind::None},
+    {"andi", OpClass::IntAlu, BranchKind::None},
+    {"ori", OpClass::IntAlu, BranchKind::None},
+    {"xori", OpClass::IntAlu, BranchKind::None},
+    {"slli", OpClass::IntAlu, BranchKind::None},
+    {"srli", OpClass::IntAlu, BranchKind::None},
+    {"srai", OpClass::IntAlu, BranchKind::None},
+    {"slt", OpClass::IntAlu, BranchKind::None},
+    {"slti", OpClass::IntAlu, BranchKind::None},
+    {"sltu", OpClass::IntAlu, BranchKind::None},
+    {"sltiu", OpClass::IntAlu, BranchKind::None},
+    {"mv", OpClass::IntAlu, BranchKind::None},
+    {"li", OpClass::IntAlu, BranchKind::None},
+    {"lui", OpClass::IntAlu, BranchKind::None},
+    {"auipc", OpClass::IntAlu, BranchKind::None},
+    {"sext", OpClass::IntAlu, BranchKind::None},
+    {"mulh", OpClass::IntMult, BranchKind::None},
+    {"mulw", OpClass::IntMult, BranchKind::None},
+    {"divw", OpClass::IntDiv, BranchKind::None},
+    {"rem", OpClass::IntDiv, BranchKind::None},
+    {"remu", OpClass::IntDiv, BranchKind::None},
+    {"remw", OpClass::IntDiv, BranchKind::None},
+    {"beq", OpClass::Branch, BranchKind::Conditional},
+    {"bne", OpClass::Branch, BranchKind::Conditional},
+    {"blt", OpClass::Branch, BranchKind::Conditional},
+    {"bltu", OpClass::Branch, BranchKind::Conditional},
+    {"bge", OpClass::Branch, BranchKind::Conditional},
+    {"bgeu", OpClass::Branch, BranchKind::Conditional},
+    {"bgt", OpClass::Branch, BranchKind::Conditional},
+    {"ble", OpClass::Branch, BranchKind::Conditional},
+    {"bhi", OpClass::Branch, BranchKind::Conditional},
+    {"blo", OpClass::Branch, BranchKind::Conditional},
+    {"bls", OpClass::Branch, BranchKind::Conditional},
+    {"bcc", OpClass::Branch, BranchKind::Conditional},
+    {"bcs", OpClass::Branch, BranchKind::Conditional},
+    {"bmi", OpClass::Branch, BranchKind::Conditional},
+    {"bpl", OpClass::Branch, BranchKind::Conditional},
+    {"beqz", OpClass::Branch, BranchKind::Conditional},
+    {"bnez", OpClass::Branch, BranchKind::Conditional},
+    {"j", OpClass::Branch, BranchKind::Jump},
+    {"jal", OpClass::Branch, BranchKind::Call},
+    {"jalr", OpClass::Branch, BranchKind::Call},
+    {"jr", OpClass::Branch, BranchKind::Jump},
+};
+
+std::string lowercase(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::optional<MnemonicInfo> lookup(std::string_view name) {
+  for (const MnemonicEntry& entry : kMnemonics) {
+    if (entry.name == name) return MnemonicInfo{entry.cls, entry.kind};
+  }
+  return std::nullopt;
+}
+
+[[nodiscard]] bool parse_hex(std::string_view text, std::uint64_t& out) {
+  if (text.size() >= 2 && text[0] == '0' &&
+      (text[1] == 'x' || text[1] == 'X')) {
+    text.remove_prefix(2);
+  }
+  if (text.empty() || text.size() > 16) return false;
+  out = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    out = (out << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return true;
+}
+
+[[nodiscard]] bool parse_reg(std::string_view text, RegId& out) {
+  if (text.size() < 2 || (text[0] != 'i' && text[0] != 'f')) return false;
+  int index = 0;
+  for (const char c : text.substr(1)) {
+    if (c < '0' || c > '9') return false;
+    index = index * 10 + (c - '0');
+    if (index >= kArchRegsPerClass) return false;
+  }
+  out = RegId::make(text[0] == 'i' ? RegClass::Int : RegClass::Fp, index);
+  return true;
+}
+
+[[nodiscard]] std::string_view branch_kind_name(BranchKind kind) {
+  switch (kind) {
+    case BranchKind::None: return "none";
+    case BranchKind::Conditional: return "cond";
+    case BranchKind::Jump: return "jump";
+    case BranchKind::Call: return "call";
+    case BranchKind::Return: return "ret";
+  }
+  return "?";
+}
+
+[[nodiscard]] bool parse_branch_kind(std::string_view text, BranchKind& out) {
+  if (text == "none") {
+    out = BranchKind::None;
+  } else if (text == "cond") {
+    out = BranchKind::Conditional;
+  } else if (text == "jump") {
+    out = BranchKind::Jump;
+  } else if (text == "call") {
+    out = BranchKind::Call;
+  } else if (text == "ret") {
+    out = BranchKind::Return;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    const std::size_t start = pos;
+    while (pos < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    if (pos > start) tokens.push_back(line.substr(start, pos - start));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::optional<MnemonicInfo> classify_mnemonic(std::string_view mnemonic) {
+  const std::string lower = lowercase(mnemonic);
+  std::string_view name = lower;
+  if (auto info = lookup(name)) return info;
+  // AArch64 "b.<cond>" before generic suffix stripping, which would
+  // reduce it to the unconditional "b".
+  if (starts_with(name, "b.")) {
+    return MnemonicInfo{OpClass::Branch, BranchKind::Conditional};
+  }
+  // Width/rounding suffixes: "fadd.d", "add.w", "sext.w".
+  const std::size_t dot = name.find('.');
+  if (dot != std::string_view::npos) {
+    if (auto info = lookup(name.substr(0, dot))) return info;
+  }
+  // Spelled-out condition codes and predicated moves.
+  if (starts_with(name, "j")) {
+    return MnemonicInfo{OpClass::Branch, BranchKind::Conditional};
+  }
+  if (starts_with(name, "set") || starts_with(name, "cmov")) {
+    return MnemonicInfo{OpClass::IntAlu, BranchKind::None};
+  }
+  if (starts_with(name, "movz") || starts_with(name, "movs") ||
+      starts_with(name, "movabs")) {
+    return MnemonicInfo{OpClass::IntAlu, BranchKind::None};
+  }
+  // Padding/hint encodings: "nopl", "nopw", "endbr64", prefetches.
+  if (starts_with(name, "nop") || starts_with(name, "endbr") ||
+      starts_with(name, "prefetch") || starts_with(name, "hint")) {
+    return MnemonicInfo{OpClass::Nop, BranchKind::None};
+  }
+  // Sign/zero width conversions: "cltq", "cdqe", "cwtl", "cbtw", ...
+  if (name.size() == 4 &&
+      (starts_with(name, "c") &&
+       (name[2] == 't' || name == "cdqe" || name == "cqde"))) {
+    return MnemonicInfo{OpClass::IntAlu, BranchKind::None};
+  }
+  // AVX: strip the 'v' prefix and retry ("vaddsd" -> "addsd").
+  if (name.size() > 1 && name[0] == 'v') {
+    if (auto info = lookup(name.substr(1))) return info;
+  }
+  // SSE/MMX packed-integer and shuffle families execute in the SIMD
+  // (FP-cluster) pipes: "punpckldq", "paddq", "pshufb", "movdqa", ...
+  for (const std::string_view stem :
+       {"punpck", "pack", "padd", "psub", "pand", "pandn", "por", "pxor",
+        "pcmp", "pshuf", "psll", "psrl", "psra", "pmin", "pmax", "pavg",
+        "pabs", "pext", "pins", "movdq", "movapd", "movaps", "movupd",
+        "movups", "shufp", "unpckl", "unpckh", "movd", "palignr",
+        "pblend", "ptest", "pmovmsk"}) {
+    if (starts_with(name, stem)) {
+      return MnemonicInfo{OpClass::FpAdd, BranchKind::None};
+    }
+  }
+  if (starts_with(name, "pmul") || starts_with(name, "pmadd")) {
+    return MnemonicInfo{OpClass::FpMult, BranchKind::None};
+  }
+  // AT&T size suffixes: "addq" -> "add", "cmpb" -> "cmp".
+  if (name.size() > 2) {
+    const char last = name.back();
+    if (last == 'b' || last == 'w' || last == 'l' || last == 'q') {
+      if (auto info = lookup(name.substr(0, name.size() - 1))) return info;
+    }
+  }
+  return std::nullopt;
+}
+
+TextLogParser::Line TextLogParser::parse(std::string_view line,
+                                         MicroOp& out) {
+  ++line_number_;
+  const std::vector<std::string_view> tokens = tokenize(line);
+  if (tokens.empty() || tokens[0][0] == '#') return Line::Skip;
+  auto fail = [this](const std::string& what) {
+    error_ = str_format("line %zu: %s", line_number_, what.c_str());
+    return Line::Error;
+  };
+  if (tokens.size() < 2) {
+    return fail("want '<pc> <mnemonic> [fields...]'");
+  }
+  out = MicroOp{};
+  if (!parse_hex(tokens[0], out.pc)) {
+    return fail("bad pc '" + std::string(tokens[0]) + "'");
+  }
+  const auto info = classify_mnemonic(tokens[1]);
+  if (!info) {
+    return fail("unknown mnemonic '" + std::string(tokens[1]) + "'");
+  }
+  out.cls = info->cls;
+  out.branch_kind = info->branch_kind;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    if (token[0] == '#') break;  // trailing comment
+    if (token.size() < 3 || token[1] != '=') {
+      return fail("bad field '" + std::string(token) + "'");
+    }
+    const std::string_view value = token.substr(2);
+    switch (token[0]) {
+      case 'd': {
+        if (!parse_reg(value, out.dst)) {
+          return fail("bad register '" + std::string(value) + "'");
+        }
+        break;
+      }
+      case 's': {
+        const std::size_t comma = value.find(',');
+        const std::string_view first =
+            comma == std::string_view::npos ? value : value.substr(0, comma);
+        if (!parse_reg(first, out.src[0])) {
+          return fail("bad register '" + std::string(first) + "'");
+        }
+        if (comma != std::string_view::npos) {
+          const std::string_view second = value.substr(comma + 1);
+          if (!parse_reg(second, out.src[1])) {
+            return fail("bad register '" + std::string(second) + "'");
+          }
+        }
+        break;
+      }
+      case 'm': {
+        if (!out.is_mem()) {
+          return fail("memory field on non-memory op");
+        }
+        const std::size_t colon = value.find(':');
+        std::uint64_t size = 8;
+        const std::string_view addr_text =
+            colon == std::string_view::npos ? value : value.substr(0, colon);
+        if (!parse_hex(addr_text, out.mem_addr)) {
+          return fail("bad memory address '" + std::string(addr_text) + "'");
+        }
+        if (colon != std::string_view::npos) {
+          size = 0;
+          for (const char c : value.substr(colon + 1)) {
+            if (c < '0' || c > '9') {
+              return fail("bad memory size in '" + std::string(value) + "'");
+            }
+            size = size * 10 + static_cast<std::uint64_t>(c - '0');
+          }
+          if (size == 0 || size > 255) {
+            return fail("bad memory size in '" + std::string(value) + "'");
+          }
+        }
+        out.mem_size = static_cast<std::uint8_t>(size);
+        break;
+      }
+      case 'b': {
+        if (!out.is_branch()) {
+          return fail("branch field on non-branch op");
+        }
+        std::vector<std::string> parts;
+        std::size_t start = 0;
+        for (std::size_t p = 0; p <= value.size(); ++p) {
+          if (p == value.size() || value[p] == ':') {
+            parts.emplace_back(value.substr(start, p - start));
+            start = p + 1;
+          }
+        }
+        if (parts.size() < 2 || parts.size() > 3) {
+          return fail("want b=<kind>:<t|n>[:<target>]");
+        }
+        if (!parse_branch_kind(parts[0], out.branch_kind)) {
+          return fail("bad branch kind '" + parts[0] + "'");
+        }
+        if (parts[1] == "t") {
+          out.taken = true;
+        } else if (parts[1] == "n") {
+          out.taken = false;
+        } else {
+          return fail("bad branch outcome '" + parts[1] + "' (want t or n)");
+        }
+        if (parts.size() == 3 && !parse_hex(parts[2], out.target)) {
+          return fail("bad branch target '" + parts[2] + "'");
+        }
+        break;
+      }
+      default:
+        return fail("unknown field '" + std::string(token) + "'");
+    }
+  }
+  // Stores carry data in s=, never a destination: a store with a dst can
+  // never wake its consumers and would wedge the machine (the synth
+  // generator enforces the same invariant in kernel.cpp).
+  if (out.is_store() && out.dst.valid()) {
+    return fail("destination register on store op");
+  }
+  return Line::Op;
+}
+
+std::string format_text_log_line(const MicroOp& op) {
+  std::string line =
+      str_format("%llx %.*s", static_cast<unsigned long long>(op.pc),
+                 static_cast<int>(op_name(op.cls).size()),
+                 op_name(op.cls).data());
+  auto reg_text = [](RegId reg) {
+    return str_format("%c%d", reg.cls == RegClass::Fp ? 'f' : 'i',
+                      static_cast<int>(reg.index));
+  };
+  if (op.dst.valid()) {
+    line += " d=" + reg_text(op.dst);
+  }
+  if (op.src[0].valid() || op.src[1].valid()) {
+    line += " s=";
+    bool first = true;
+    for (const RegId& reg : op.src) {
+      if (!reg.valid()) continue;
+      if (!first) line += ",";
+      line += reg_text(reg);
+      first = false;
+    }
+  }
+  if (op.is_mem()) {
+    line += str_format(" m=%llx:%u",
+                       static_cast<unsigned long long>(op.mem_addr),
+                       static_cast<unsigned>(op.mem_size));
+  }
+  if (op.is_branch()) {
+    line += str_format(" b=%.*s:%c:%llx",
+                       static_cast<int>(branch_kind_name(op.branch_kind).size()),
+                       branch_kind_name(op.branch_kind).data(),
+                       op.taken ? 't' : 'n',
+                       static_cast<unsigned long long>(op.target));
+  }
+  return line;
+}
+
+}  // namespace ringclu

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file text_log.h
+/// The RITL ("ringclu instruction text log") plain-text frontend: the
+/// documented line format by which real-program instruction logs (QEMU
+/// exec logs, objdump disassembly — see tools/capture_trace.py) become
+/// MicroOp streams.  One instruction per line:
+///
+///   <pc-hex> <mnemonic> [d=<reg>] [s=<reg>[,<reg>]]
+///                       [m=<addr-hex>:<size>] [b=<kind>:<t|n>[:<target-hex>]]
+///
+///   pc/addr/target  hex, with or without a 0x prefix
+///   reg             i0..i31 (integer) or f0..f31 (floating point)
+///   kind            cond | jump | call | ret
+///   size            memory access bytes, 1..255
+///
+/// Blank lines and lines starting with '#' are skipped.  The mnemonic is
+/// classified through a decoder table covering the simulator's canonical
+/// class names (int_alu, load, ...) plus common x86/ARM/RISC-V spellings;
+/// branch mnemonics imply a kind and a not-taken default that an explicit
+/// b= field overrides.  `ringclu_trace cat` emits exactly this format
+/// using canonical mnemonics, so cat -> ingest round-trips losslessly.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "isa/micro_op.h"
+
+namespace ringclu {
+
+/// Decoder-table lookup: op class (and implied branch kind for branch
+/// mnemonics) for a mnemonic; nullopt when unknown.
+struct MnemonicInfo {
+  OpClass cls = OpClass::Nop;
+  BranchKind branch_kind = BranchKind::None;
+};
+[[nodiscard]] std::optional<MnemonicInfo> classify_mnemonic(
+    std::string_view mnemonic);
+
+/// Streaming line parser with one-based line numbers for diagnostics.
+class TextLogParser {
+ public:
+  enum class Line { Op, Skip, Error };
+
+  /// Parses one line (no trailing newline required).  Op: \p out is
+  /// filled.  Skip: blank/comment.  Error: error() explains, prefixed
+  /// with the line number; the parser stays usable for further lines.
+  Line parse(std::string_view line, MicroOp& out);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t line_number() const { return line_number_; }
+
+ private:
+  std::size_t line_number_ = 0;
+  std::string error_;
+};
+
+/// Canonical RITL rendering of one op (what `ringclu_trace cat` prints).
+[[nodiscard]] std::string format_text_log_line(const MicroOp& op);
+
+}  // namespace ringclu

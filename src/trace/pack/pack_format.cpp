@@ -1,0 +1,135 @@
+#include "trace/pack/pack_format.h"
+
+#include <cstring>
+
+#include "util/format.h"
+
+namespace ringclu {
+namespace {
+
+void put_u16(std::uint8_t* out, std::uint16_t value) {
+  out[0] = static_cast<std::uint8_t>(value);
+  out[1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(in[0] |
+                                    (static_cast<std::uint16_t>(in[1]) << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+bool header_error(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size,
+                      std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= data[i];
+    state *= 1099511628211ULL;
+  }
+  return state;
+}
+
+void TraceDigest::add(const MicroOp& op) {
+  word(op.pc);
+  byte(static_cast<std::uint8_t>(op.cls));
+  byte(op.dst.valid() ? static_cast<std::uint8_t>(op.dst.flat()) : 0xff);
+  byte(op.src[0].valid() ? static_cast<std::uint8_t>(op.src[0].flat()) : 0xff);
+  byte(op.src[1].valid() ? static_cast<std::uint8_t>(op.src[1].flat()) : 0xff);
+  if (op.is_mem()) {
+    word(op.mem_addr);
+    byte(op.mem_size);
+  }
+  if (op.is_branch()) {
+    byte(static_cast<std::uint8_t>(op.branch_kind));
+    byte(op.taken ? 1 : 0);
+    word(op.target);
+  }
+  ++ops_;
+}
+
+std::string format_digest(std::uint64_t digest) {
+  return str_format("%016llx", static_cast<unsigned long long>(digest));
+}
+
+void PackHeader::encode(std::uint8_t out[kPackHeaderSize]) const {
+  std::memset(out, 0, kPackHeaderSize);
+  put_u32(out + 0, kPackMagic);
+  put_u16(out + 4, format_version);
+  put_u16(out + 6, op_schema);
+  put_u64(out + 8, total_ops);
+  put_u64(out + 16, content_digest);
+  put_u64(out + 24, index_offset);
+  put_u32(out + 32, block_count);
+  put_u32(out + 36, block_ops);
+  put_u32(out + 40, flags);
+  put_u64(out + 48, fnv1a64(out, 48));
+}
+
+bool PackHeader::decode(const std::uint8_t* data, std::size_t size,
+                        PackHeader& out, std::string* error) {
+  if (size < kPackHeaderSize) {
+    return header_error(error, "truncated header");
+  }
+  if (get_u32(data + 0) != kPackMagic) {
+    return header_error(error, "bad magic (not an RCLP trace pack)");
+  }
+  if (get_u64(data + 48) != fnv1a64(data, 48)) {
+    return header_error(error, "header checksum mismatch");
+  }
+  out.format_version = get_u16(data + 4);
+  out.op_schema = get_u16(data + 6);
+  if (out.format_version != kPackFormatVersion) {
+    return header_error(error, "unsupported pack format version");
+  }
+  if (out.op_schema != kPackOpSchemaVersion) {
+    return header_error(error, "unsupported pack op schema");
+  }
+  out.total_ops = get_u64(data + 8);
+  out.content_digest = get_u64(data + 16);
+  out.index_offset = get_u64(data + 24);
+  out.block_count = get_u32(data + 32);
+  out.block_ops = get_u32(data + 36);
+  out.flags = get_u32(data + 40);
+  if (out.flags != 0) {
+    return header_error(error, "unsupported pack flags");
+  }
+  if (out.block_ops == 0) {
+    return header_error(error, "zero ops-per-block");
+  }
+  return true;
+}
+
+}  // namespace ringclu

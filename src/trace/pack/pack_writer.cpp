@@ -1,0 +1,155 @@
+#include "trace/pack/pack_writer.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "trace/pack/block_codec.h"
+#include "util/format.h"
+
+namespace ringclu {
+
+TracePackWriter::TracePackWriter(std::string path, std::uint32_t block_ops)
+    : path_(std::move(path)), block_ops_(block_ops == 0 ? 1 : block_ops) {
+  // Unique temp name per writer instance so concurrent recorders in the
+  // same directory never clobber each other's partial file (same idiom as
+  // CheckpointWriter::write_file).
+  const std::uintptr_t self = reinterpret_cast<std::uintptr_t>(this);
+  tmp_path_ = str_format(
+      "%s.tmp.%llx", path_.c_str(),
+      static_cast<unsigned long long>(
+          fnv1a64(reinterpret_cast<const std::uint8_t*>(path_.data()),
+                  path_.size()) ^
+          self));
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    io_fail(str_format("cannot open '%s': %s", tmp_path_.c_str(),
+                       std::strerror(errno)));
+    return;
+  }
+  // Header placeholder; patched with real counts/offsets in close().
+  const std::uint8_t zeros[kPackHeaderSize] = {};
+  if (std::fwrite(zeros, 1, kPackHeaderSize, file_) != kPackHeaderSize) {
+    io_fail(str_format("short write to '%s'", tmp_path_.c_str()));
+  }
+}
+
+TracePackWriter::~TracePackWriter() {
+  if (!closed_) (void)close(nullptr);
+}
+
+void TracePackWriter::io_fail(const std::string& message) {
+  if (!failed_) {
+    failed_ = true;
+    error_ = message;
+  }
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void TracePackWriter::append(const MicroOp& op) {
+  digest_.add(op);
+  if (failed_) return;
+  pending_.push_back(op);
+  if (pending_.size() >= block_ops_) flush_block();
+}
+
+void TracePackWriter::flush_block() {
+  if (failed_ || pending_.empty()) return;
+  std::vector<std::uint8_t> raw;
+  encode_ops_block(pending_, raw);
+  std::vector<std::uint8_t> comp;
+  pack_compress(raw, comp);
+
+  PackBlockInfo info;
+  info.offset = offset_;
+  info.first_op = digest_.ops() - pending_.size();
+  info.comp_size = static_cast<std::uint32_t>(comp.size());
+  info.raw_size = static_cast<std::uint32_t>(raw.size());
+  info.op_count = static_cast<std::uint32_t>(pending_.size());
+  info.checksum = fnv1a64(comp.data(), comp.size());
+
+  if (std::fwrite(comp.data(), 1, comp.size(), file_) != comp.size()) {
+    io_fail(str_format("short write to '%s'", tmp_path_.c_str()));
+    return;
+  }
+  offset_ += comp.size();
+  index_.push_back(info);
+  pending_.clear();
+}
+
+bool TracePackWriter::close(std::string* error) {
+  if (closed_) {
+    if (failed_ && error != nullptr) *error = error_;
+    return !failed_;
+  }
+  closed_ = true;
+  flush_block();
+  if (!failed_) {
+    // Index footer: one fixed-width entry per block + trailing checksum.
+    std::vector<std::uint8_t> footer;
+    footer.reserve(index_.size() * kPackIndexEntrySize + 8);
+    auto put_u32 = [&footer](std::uint32_t value) {
+      for (int i = 0; i < 4; ++i) {
+        footer.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+      }
+    };
+    auto put_u64 = [&footer](std::uint64_t value) {
+      for (int i = 0; i < 8; ++i) {
+        footer.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+      }
+    };
+    for (const PackBlockInfo& info : index_) {
+      put_u64(info.offset);
+      put_u64(info.first_op);
+      put_u32(info.comp_size);
+      put_u32(info.raw_size);
+      put_u32(info.op_count);
+      put_u32(0);
+      put_u64(info.checksum);
+    }
+    const std::uint64_t index_checksum = fnv1a64(footer.data(), footer.size());
+    put_u64(index_checksum);
+    if (std::fwrite(footer.data(), 1, footer.size(), file_) !=
+        footer.size()) {
+      io_fail(str_format("short write to '%s'", tmp_path_.c_str()));
+    }
+  }
+  if (!failed_) {
+    PackHeader header;
+    header.total_ops = digest_.ops();
+    header.content_digest = digest_.value();
+    header.index_offset = offset_;
+    header.block_count = static_cast<std::uint32_t>(index_.size());
+    header.block_ops = block_ops_;
+    std::uint8_t bytes[kPackHeaderSize];
+    header.encode(bytes);
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        std::fwrite(bytes, 1, kPackHeaderSize, file_) != kPackHeaderSize) {
+      io_fail(str_format("cannot patch header of '%s'", tmp_path_.c_str()));
+    }
+  }
+  if (!failed_) {
+    if (std::fclose(file_) != 0) {
+      file_ = nullptr;
+      failed_ = true;
+      error_ = str_format("short write to '%s'", tmp_path_.c_str());
+      std::remove(tmp_path_.c_str());
+    } else {
+      file_ = nullptr;
+      if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+        failed_ = true;
+        error_ = str_format("cannot rename '%s' to '%s': %s",
+                            tmp_path_.c_str(), path_.c_str(),
+                            std::strerror(errno));
+        std::remove(tmp_path_.c_str());
+      }
+    }
+  }
+  if (failed_ && error != nullptr) *error = error_;
+  return !failed_;
+}
+
+}  // namespace ringclu

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file pack_writer.h
+/// Streams micro-ops into an RCLP trace pack (pack_format.h).  Ops are
+/// buffered per block, encoded + compressed when the block fills, and
+/// written to a unique temp file that close() finalizes (index footer,
+/// header patch) and atomically renames into place — a crashed or failed
+/// write never leaves a partial pack at the destination (PR 6 checkpoint
+/// style).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "isa/micro_op.h"
+#include "trace/pack/pack_format.h"
+
+namespace ringclu {
+
+class TracePackWriter {
+ public:
+  explicit TracePackWriter(std::string path,
+                           std::uint32_t block_ops = kPackDefaultBlockOps);
+  ~TracePackWriter();
+
+  TracePackWriter(const TracePackWriter&) = delete;
+  TracePackWriter& operator=(const TracePackWriter&) = delete;
+
+  void append(const MicroOp& op);
+
+  /// Flushes the last block, writes the index footer, patches the header
+  /// and renames the temp file into place.  False with \p error set on
+  /// any I/O failure (the temp file is then removed).  The destructor
+  /// calls close(nullptr) if it was never called — but callers that care
+  /// about durability must call it and check.
+  [[nodiscard]] bool close(std::string* error);
+
+  [[nodiscard]] std::uint64_t ops_written() const { return digest_.ops(); }
+
+  /// Content digest of everything appended so far (final after close()).
+  [[nodiscard]] std::uint64_t content_digest() const {
+    return digest_.value();
+  }
+
+ private:
+  void flush_block();
+  void io_fail(const std::string& message);
+
+  std::string path_;
+  std::string tmp_path_;
+  std::uint32_t block_ops_;
+  std::FILE* file_ = nullptr;
+  bool closed_ = false;
+  bool failed_ = false;
+  std::string error_;
+  TraceDigest digest_;
+  std::vector<MicroOp> pending_;
+  std::vector<PackBlockInfo> index_;
+  std::uint64_t offset_ = kPackHeaderSize;
+};
+
+}  // namespace ringclu

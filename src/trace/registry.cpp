@@ -1,0 +1,159 @@
+#include "trace/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "trace/pack/pack_reader.h"
+#include "trace/synth/suite.h"
+#include "util/assert.h"
+#include "util/env.h"
+#include "util/format.h"
+
+namespace ringclu {
+
+bool is_trace_benchmark_name(std::string_view name) {
+  return starts_with(name, kTraceBenchmarkPrefix);
+}
+
+TraceBenchmarkRegistry& TraceBenchmarkRegistry::global() {
+  static TraceBenchmarkRegistry registry;
+  return registry;
+}
+
+void TraceBenchmarkRegistry::ensure_env_scanned() const {
+  if (env_scanned_) return;
+  env_scanned_ = true;
+  const std::optional<std::string> dirs = env_string("RINGCLU_TRACE_DIR");
+  if (!dirs.has_value()) return;
+  auto* self = const_cast<TraceBenchmarkRegistry*>(this);
+  for (const std::string& dir : split(*dirs, ':')) {
+    self->add_dir_locked(dir);
+  }
+}
+
+int TraceBenchmarkRegistry::add_dir(const std::string& dir) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ensure_env_scanned();
+  return add_dir_locked(dir);
+}
+
+int TraceBenchmarkRegistry::add_dir_locked(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "ringclu: trace dir '%s': %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 0;
+  }
+  // Sorted scan so duplicate stems across files resolve deterministically
+  // (directory iteration order is filesystem-dependent).
+  std::vector<std::string> paths;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string path = entry.path().string();
+    if (path.size() > kPackExtension.size() &&
+        path.compare(path.size() - kPackExtension.size(),
+                     kPackExtension.size(), kPackExtension) == 0) {
+      paths.push_back(path);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  int registered = 0;
+  for (const std::string& path : paths) {
+    std::string error;
+    const std::unique_ptr<TracePackReader> reader =
+        TracePackReader::open(path, &error);
+    if (reader == nullptr) {
+      std::fprintf(stderr, "ringclu: skipping trace pack: %s\n",
+                   error.c_str());
+      continue;
+    }
+    TraceBenchmarkInfo info;
+    const std::string stem = std::filesystem::path(path).stem().string();
+    info.name = std::string(kTraceBenchmarkPrefix) + stem;
+    info.path = path;
+    info.total_ops = reader->total_ops();
+    info.digest = reader->content_digest();
+    const auto [pos, inserted] = entries_.emplace(info.name, info);
+    if (inserted) {
+      ++registered;
+    } else if (pos->second.digest != info.digest) {
+      std::fprintf(stderr,
+                   "ringclu: trace pack '%s' shadowed by earlier '%s' "
+                   "with different content\n",
+                   path.c_str(), pos->second.path.c_str());
+    }
+  }
+  return registered;
+}
+
+std::optional<TraceBenchmarkInfo> TraceBenchmarkRegistry::find(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ensure_env_scanned();
+  const auto it = entries_.find(std::string(name));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TraceBenchmarkInfo> TraceBenchmarkRegistry::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ensure_env_scanned();
+  std::vector<TraceBenchmarkInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, info] : entries_) out.push_back(info);
+  return out;
+}
+
+std::string TraceBenchmarkRegistry::names_joined() const {
+  std::vector<std::string> names;
+  for (const TraceBenchmarkInfo& info : list()) names.push_back(info.name);
+  return join(names, ", ");
+}
+
+bool TraceBenchmarkRegistry::empty() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ensure_env_scanned();
+  return entries_.empty();
+}
+
+void TraceBenchmarkRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  env_scanned_ = false;
+}
+
+std::unique_ptr<TraceSource> make_workload_trace(std::string_view benchmark,
+                                                 std::uint64_t seed) {
+  if (is_trace_benchmark_name(benchmark)) {
+    const std::optional<TraceBenchmarkInfo> info =
+        TraceBenchmarkRegistry::global().find(benchmark);
+    RINGCLU_EXPECTS(info.has_value());
+    std::string error;
+    std::unique_ptr<TracePackReader> reader =
+        TracePackReader::open(info->path, &error);
+    if (reader == nullptr) {
+      // Registered at scan time but unreadable now (deleted/truncated
+      // underfoot): a precondition violation, not a recoverable state.
+      std::fprintf(stderr, "ringclu: %s\n", error.c_str());
+      RINGCLU_EXPECTS(reader != nullptr);
+    }
+    return reader;
+  }
+  return make_benchmark_trace(benchmark, seed);
+}
+
+std::string keyed_workload_name(std::string_view benchmark) {
+  if (is_trace_benchmark_name(benchmark)) {
+    const std::optional<TraceBenchmarkInfo> info =
+        TraceBenchmarkRegistry::global().find(benchmark);
+    if (info.has_value()) {
+      return info->name + "@" + format_digest(info->digest);
+    }
+  }
+  return std::string(benchmark);
+}
+
+}  // namespace ringclu

@@ -1,6 +1,12 @@
 #include "trace/trace_file.h"
 
+#include <cerrno>
+#include <cstring>
+
+#include "core/checkpoint.h"
+#include "isa/reg.h"
 #include "util/assert.h"
+#include "util/format.h"
 
 namespace ringclu {
 namespace {
@@ -26,10 +32,12 @@ std::uint8_t encode_reg(RegId reg) {
   return static_cast<std::uint8_t>(reg.flat());
 }
 
-RegId decode_reg(std::uint8_t flat) {
+[[nodiscard]] bool decode_reg(std::uint8_t flat, RegId& out) {
+  if (flat >= kNumFlatArchRegs) return false;
   const RegClass cls =
       flat >= kArchRegsPerClass ? RegClass::Fp : RegClass::Int;
-  return RegId::make(cls, flat % kArchRegsPerClass);
+  out = RegId::make(cls, flat % kArchRegsPerClass);
+  return true;
 }
 
 }  // namespace
@@ -96,83 +104,171 @@ TraceFileReader::TraceFileReader(const std::string& path) : path_(path) {
   const std::size_t slash = path.find_last_of('/');
   name_ = slash == std::string::npos ? path : path.substr(slash + 1);
   file_ = std::fopen(path.c_str(), "rb");
-  RINGCLU_EXPECTS(file_ != nullptr);
+  if (file_ == nullptr) {
+    fail(str_format("cannot open '%s': %s", path.c_str(),
+                    std::strerror(errno)));
+    return;
+  }
   std::uint32_t magic = 0;
   std::uint16_t version = 0;
   std::uint16_t pad = 0;
-  // Reads hoisted out of the checks: contract conditions must stay free of
-  // side effects (they are unevaluated with RINGCLU_CONTRACTS=OFF).
-  const std::size_t magic_read = std::fread(&magic, sizeof magic, 1, file_);
-  RINGCLU_EXPECTS(magic_read == 1);
-  RINGCLU_EXPECTS(magic == kTraceMagic);
-  const std::size_t version_read =
-      std::fread(&version, sizeof version, 1, file_);
-  RINGCLU_EXPECTS(version_read == 1);
-  RINGCLU_EXPECTS(version == kTraceVersion);
-  const std::size_t pad_read = std::fread(&pad, sizeof pad, 1, file_);
-  RINGCLU_EXPECTS(pad_read == 1);
-  const std::size_t total_read = std::fread(&total_, sizeof total_, 1, file_);
-  RINGCLU_EXPECTS(total_read == 1);
+  if (std::fread(&magic, sizeof magic, 1, file_) != 1 ||
+      std::fread(&version, sizeof version, 1, file_) != 1 ||
+      std::fread(&pad, sizeof pad, 1, file_) != 1 ||
+      std::fread(&total_, sizeof total_, 1, file_) != 1) {
+    fail(str_format("'%s': truncated header", path.c_str()));
+    return;
+  }
+  if (magic != kTraceMagic) {
+    fail(str_format("'%s': bad magic (not an RCLT trace)", path.c_str()));
+    return;
+  }
+  if (version != kTraceVersion) {
+    fail(str_format("'%s': unsupported trace version %u", path.c_str(),
+                    static_cast<unsigned>(version)));
+  }
 }
 
 TraceFileReader::~TraceFileReader() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-std::uint64_t TraceFileReader::get_varint() {
-  std::uint64_t value = 0;
+void TraceFileReader::fail(const std::string& message) {
+  if (ok_) {
+    ok_ = false;
+    error_ = message;
+    total_ = 0;  // produce() never touches the stream again
+  }
+}
+
+bool TraceFileReader::get_byte(std::uint8_t& value) {
+  const int byte = std::fgetc(file_);
+  if (byte == EOF) {
+    fail(str_format("'%s': truncated record", path_.c_str()));
+    return false;
+  }
+  value = static_cast<std::uint8_t>(byte);
+  return true;
+}
+
+bool TraceFileReader::get_varint(std::uint64_t& value) {
+  value = 0;
   int shift = 0;
   for (;;) {
-    const int byte = std::fgetc(file_);
-    RINGCLU_EXPECTS(byte != EOF);
+    std::uint8_t byte = 0;
+    if (!get_byte(byte)) return false;
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      fail(str_format("'%s': oversized varint", path_.c_str()));
+      return false;
+    }
     value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) break;
+    if ((byte & 0x80) == 0) return true;
     shift += 7;
-    RINGCLU_EXPECTS(shift < 64);
+    if (shift >= 64) {
+      fail(str_format("'%s': oversized varint", path_.c_str()));
+      return false;
+    }
   }
-  return value;
 }
 
 bool TraceFileReader::produce(MicroOp& out) {
-  if (consumed_ >= total_) return false;
+  if (!ok_ || consumed_ >= total_) return false;
   out = MicroOp{};
-  const int flags = std::fgetc(file_);
-  RINGCLU_EXPECTS(flags != EOF);
-  const int cls = std::fgetc(file_);
-  const int branch_kind = std::fgetc(file_);
-  RINGCLU_EXPECTS(cls != EOF && branch_kind != EOF);
+  std::uint8_t flags = 0;
+  std::uint8_t cls = 0;
+  std::uint8_t branch_kind = 0;
+  if (!get_byte(flags) || !get_byte(cls) || !get_byte(branch_kind)) {
+    return false;
+  }
+  if (cls >= kNumOpClasses) {
+    fail(str_format("'%s': bad op class", path_.c_str()));
+    return false;
+  }
+  if (branch_kind > static_cast<std::uint8_t>(BranchKind::Return)) {
+    fail(str_format("'%s': bad branch kind", path_.c_str()));
+    return false;
+  }
   out.cls = static_cast<OpClass>(cls);
   out.branch_kind = static_cast<BranchKind>(branch_kind);
   out.taken = (flags & kTaken) != 0;
-  last_pc_ += static_cast<std::uint64_t>(
-      unzigzag(get_varint()));
+  std::uint64_t pc_delta = 0;
+  if (!get_varint(pc_delta)) return false;
+  last_pc_ += static_cast<std::uint64_t>(unzigzag(pc_delta));
   out.pc = last_pc_;
+  std::uint8_t reg = 0;
   if (flags & kHasDst) {
-    out.dst = decode_reg(static_cast<std::uint8_t>(std::fgetc(file_)));
+    if (!get_byte(reg)) return false;
+    if (!decode_reg(reg, out.dst)) {
+      fail(str_format("'%s': bad register byte", path_.c_str()));
+      return false;
+    }
   }
   if (flags & kHasSrc0) {
-    out.src[0] = decode_reg(static_cast<std::uint8_t>(std::fgetc(file_)));
+    if (!get_byte(reg)) return false;
+    if (!decode_reg(reg, out.src[0])) {
+      fail(str_format("'%s': bad register byte", path_.c_str()));
+      return false;
+    }
   }
   if (flags & kHasSrc1) {
-    out.src[1] = decode_reg(static_cast<std::uint8_t>(std::fgetc(file_)));
+    if (!get_byte(reg)) return false;
+    if (!decode_reg(reg, out.src[1])) {
+      fail(str_format("'%s': bad register byte", path_.c_str()));
+      return false;
+    }
   }
   if (out.is_mem()) {
-    last_addr_ += static_cast<std::uint64_t>(unzigzag(get_varint()));
+    std::uint64_t addr_delta = 0;
+    if (!get_varint(addr_delta)) return false;
+    last_addr_ += static_cast<std::uint64_t>(unzigzag(addr_delta));
     out.mem_addr = last_addr_;
-    out.mem_size = static_cast<std::uint8_t>(std::fgetc(file_));
+    if (!get_byte(out.mem_size)) return false;
   }
   if (out.is_branch()) {
-    out.target = get_varint();
+    if (!get_varint(out.target)) return false;
   }
   ++consumed_;
   return true;
 }
 
 void TraceFileReader::do_reset() {
+  if (file_ == nullptr) return;
   std::fseek(file_, 16, SEEK_SET);
   consumed_ = 0;
   last_pc_ = 0;
   last_addr_ = 0;
+}
+
+void TraceFileReader::save_pos(CheckpointWriter& out) const {
+  out.u64(position());
+  const long offset = file_ == nullptr ? 0 : std::ftell(file_);
+  out.u64(offset < 0 ? 0 : static_cast<std::uint64_t>(offset));
+  out.u64(last_pc_);
+  out.u64(last_addr_);
+}
+
+void TraceFileReader::restore_pos(CheckpointReader& in) {
+  const std::uint64_t target = in.u64();
+  const std::uint64_t offset = in.u64();
+  const std::uint64_t pc = in.u64();
+  const std::uint64_t addr = in.u64();
+  if (!in.ok()) return;
+  if (!ok_ || file_ == nullptr) {
+    in.fail("trace file is in an error state");
+    return;
+  }
+  if (target > total_ || offset < 16) {
+    in.fail("checkpointed trace position out of range");
+    return;
+  }
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    in.fail("cannot seek trace file to checkpointed offset");
+    return;
+  }
+  consumed_ = target;
+  last_pc_ = pc;
+  last_addr_ = addr;
+  set_position(target);
 }
 
 }  // namespace ringclu

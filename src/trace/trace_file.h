@@ -6,6 +6,10 @@
 /// version, op count) followed by one variable-length record per micro-op
 /// (flags byte, op class, registers, then only the fields the op uses,
 /// varint-encoded deltas for PCs and addresses).
+///
+/// For block-compressed, seekable, digest-carrying traces see the RCLP
+/// pack format (trace/pack/); `ringclu_trace convert` translates between
+/// the two losslessly.
 
 #include <cstdint>
 #include <cstdio>
@@ -15,6 +19,9 @@
 #include "trace/trace_source.h"
 
 namespace ringclu {
+
+class CheckpointReader;
+class CheckpointWriter;
 
 inline constexpr std::uint32_t kTraceMagic = 0x52434C54;  // "RCLT"
 inline constexpr std::uint16_t kTraceVersion = 1;
@@ -45,7 +52,11 @@ class TraceFileWriter {
   std::uint64_t last_addr_ = 0;
 };
 
-/// Replays a trace file as a TraceSource.
+/// Replays a trace file as a TraceSource.  Malformed or truncated input
+/// never aborts: the reader goes into a sticky error state (ok() false,
+/// error() explains, produce() returns false) so CLIs and the registry
+/// can diagnose adversarial bytes cleanly — the same contract as
+/// TracePackReader and CheckpointReader.
 class TraceFileReader final : public TraceSource {
  public:
   explicit TraceFileReader(const std::string& path);
@@ -58,16 +69,33 @@ class TraceFileReader final : public TraceSource {
 
   [[nodiscard]] std::uint64_t total_ops() const { return total_; }
 
+  /// False once the header or any record failed to parse; sticky.
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Seekable position contract: save_pos records the byte offset and
+  /// delta-decoder state alongside the op position, and restore_pos
+  /// fseeks there directly instead of the default O(n) reset-and-skip —
+  /// pinned bit-identical to the skip path in trace_conformance_test.
+  /// Checkpoints written by the old position-only layout fail section
+  /// validation and fall back to a cold run (never misread).
+  void save_pos(CheckpointWriter& out) const override;
+  void restore_pos(CheckpointReader& in) override;
+
  protected:
   bool produce(MicroOp& out) override;
   void do_reset() override;
 
  private:
-  [[nodiscard]] std::uint64_t get_varint();
+  [[nodiscard]] bool get_varint(std::uint64_t& value);
+  [[nodiscard]] bool get_byte(std::uint8_t& value);
+  void fail(const std::string& message);
 
   std::string path_;
   std::string name_;
   std::FILE* file_ = nullptr;
+  bool ok_ = true;
+  std::string error_;
   std::uint64_t total_ = 0;
   std::uint64_t consumed_ = 0;
   std::uint64_t last_pc_ = 0;

@@ -61,6 +61,12 @@ class TraceSource {
   /// Subclass rewind implementation (wrapped by reset()).
   virtual void do_reset() = 0;
 
+  /// For seek-based restore_pos overrides: after seeking the backing store
+  /// the override must resynchronize the hand-out counter so the contract
+  /// ("yields exactly what a fresh source yields after position() nexts")
+  /// still holds.
+  void set_position(std::uint64_t position) { position_ = position; }
+
  private:
   std::uint64_t position_ = 0;
 };

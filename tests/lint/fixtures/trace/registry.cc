@@ -1,0 +1,40 @@
+// Seeded violations for the trace module.  This file impersonates
+// src/trace through its fixtures/trace/ path: the pack pipeline and the
+// benchmark registry are simulated-state producers (content digests,
+// block layout, discovery order), so entropy reads and hash-ordered
+// iteration must be flagged there like in any core module.  Never
+// compiled; parsed by tools/lint/ringclu_lint.py's fixture self-test.
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct PackRegistry {
+  // violation: unordered container in simulator code
+  std::unordered_map<std::string, std::string> packs_;
+
+  void scan() {
+    for (const auto& entry : packs_) {  // violation: hash-ordered walk
+      (void)entry;
+    }
+  }
+
+  unsigned long stamp_block() {
+    // violation: wall-clock must not feed pack contents
+    return static_cast<unsigned long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+
+  unsigned shuffle_seed() {
+    return static_cast<unsigned>(std::rand());  // violation: entropy
+  }
+
+  long elapsed_allowed() {
+    // ringclu-lint: allow(wallclock)
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+};
+
+}  // namespace fixture

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "trace/pack/pack_reader.h"
+#include "trace/pack/pack_writer.h"
 #include "trace/synth/suite.h"
 #include "trace/trace_file.h"
 #include "trace/trace_source.h"
@@ -92,6 +94,34 @@ const std::string& shared_trace_file() {
   return path;
 }
 
+/// An RCLP pack of the same 1200 gzip ops, written once.  A small block
+/// size so the 1200 ops span several blocks and the conformance positions
+/// (357, 600) land mid-block, exercising the seek-restore index walk.
+const std::string& shared_pack_file() {
+  static const std::string path = [] {
+    const std::filesystem::path file =
+        std::filesystem::path(::testing::TempDir()) / "ringclu_conf.rclp";
+    std::filesystem::remove(file);
+    auto source = make_benchmark_trace("gzip", kSeed);
+    TracePackWriter writer(file.string(), /*block_ops=*/256);
+    MicroOp op;
+    for (int i = 0; i < 1200 && source->next(op); ++i) writer.append(op);
+    std::string error;
+    if (!writer.close(&error)) {
+      ADD_FAILURE() << "pack write failed: " << error;
+    }
+    return file.string();
+  }();
+  return path;
+}
+
+std::unique_ptr<TracePackReader> open_shared_pack() {
+  std::string error;
+  auto reader = TracePackReader::open(shared_pack_file(), &error);
+  EXPECT_NE(reader, nullptr) << error;
+  return reader;
+}
+
 struct SourceCase {
   std::string label;
   std::function<std::unique_ptr<TraceSource>()> make;  ///< fresh instance
@@ -124,6 +154,10 @@ std::vector<SourceCase> all_sources() {
                          shared_trace_file());
                    },
                    true});
+  cases.push_back(
+      {"trace_pack",
+       []() -> std::unique_ptr<TraceSource> { return open_shared_pack(); },
+       true});
   return cases;
 }
 
@@ -205,6 +239,92 @@ TEST_P(TraceConformance, RestorePosYieldsIdenticalRemainder) {
   // Both sources must agree on end-of-stream from here on.
   MicroOp op;
   EXPECT_EQ(original->next(op), fresh->next(op));
+}
+
+// ---------------------------------------------------------------------------
+// Seek-vs-skip pins.  Both file-backed readers override restore_pos with a
+// seek (fseek for v1, block-index jump for packs) instead of the base
+// class's reset-and-skip replay.  These tests pin the optimized path
+// bit-identical to the skip path at every interesting position — including
+// block boundaries and end-of-stream — because a seek that lands one op
+// off silently corrupts every checkpoint resume.
+
+/// Positions worth pinning for a 1200-op stream in 256-op blocks.
+std::vector<std::uint64_t> pin_positions() {
+  return {0, 1, 255, 256, 257, 511, 512, 700, 1199, 1200};
+}
+
+/// Restores \p saved into a fresh source and checks the remainder matches
+/// \p skip (a same-config source advanced purely via next()).
+void expect_seek_matches_skip(TraceSource& seeked, TraceSource& skip,
+                              std::uint64_t position) {
+  SCOPED_TRACE("position " + std::to_string(position));
+  EXPECT_EQ(seeked.position(), skip.position());
+  const std::vector<MicroOp> tail_seek = pull(seeked, 300);
+  const std::vector<MicroOp> tail_skip = pull(skip, 300);
+  ASSERT_EQ(tail_seek.size(), tail_skip.size());
+  for (std::size_t i = 0; i < tail_seek.size(); ++i) {
+    expect_same_op(tail_seek[i], tail_skip[i], i);
+  }
+}
+
+TEST(TraceSeekPin, PackRestoreMatchesSkipAtEveryBoundary) {
+  for (const std::uint64_t position : pin_positions()) {
+    auto walker = open_shared_pack();
+    ASSERT_NE(walker, nullptr);
+    MicroOp op;
+    for (std::uint64_t i = 0; i < position; ++i) ASSERT_TRUE(walker->next(op));
+
+    CheckpointWriter writer;
+    walker->save_pos(writer);
+
+    auto seeked = open_shared_pack();
+    ASSERT_NE(seeked, nullptr);
+    CheckpointReader reader(writer.bytes());
+    seeked->restore_pos(reader);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+
+    // The skip path: a fresh reader advanced with plain next() calls.
+    auto skip = open_shared_pack();
+    ASSERT_NE(skip, nullptr);
+    for (std::uint64_t i = 0; i < position; ++i) ASSERT_TRUE(skip->next(op));
+
+    expect_seek_matches_skip(*seeked, *skip, position);
+  }
+}
+
+TEST(TraceSeekPin, TraceFileRestoreMatchesSkipAtEveryBoundary) {
+  for (const std::uint64_t position : pin_positions()) {
+    TraceFileReader walker(shared_trace_file());
+    ASSERT_TRUE(walker.ok()) << walker.error();
+    MicroOp op;
+    for (std::uint64_t i = 0; i < position; ++i) ASSERT_TRUE(walker.next(op));
+
+    CheckpointWriter writer;
+    walker.save_pos(writer);
+
+    TraceFileReader seeked(shared_trace_file());
+    CheckpointReader reader(writer.bytes());
+    seeked.restore_pos(reader);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+
+    TraceFileReader skip(shared_trace_file());
+    for (std::uint64_t i = 0; i < position; ++i) ASSERT_TRUE(skip.next(op));
+
+    expect_seek_matches_skip(seeked, skip, position);
+  }
+}
+
+/// Restoring past the end of the stream must fail the checkpoint read
+/// (sticky), not crash or yield ops.
+TEST(TraceSeekPin, PackRestoreBeyondEndFailsCleanly) {
+  CheckpointWriter writer;
+  writer.u64(5000);  // > 1200 total ops
+  auto reader_source = open_shared_pack();
+  ASSERT_NE(reader_source, nullptr);
+  CheckpointReader reader(writer.bytes());
+  reader_source->restore_pos(reader);
+  EXPECT_FALSE(reader.ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,199 @@
+// RITL text-log frontend suite: the mnemonic decoder table, full-line
+// parsing of every field combination, the cat -> ingest digest round trip
+// (format_text_log_line must emit exactly what TextLogParser accepts), and
+// line-numbered diagnostics for malformed input.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/ingest/text_log.h"
+#include "trace/pack/pack_format.h"
+#include "trace/synth/suite.h"
+#include "trace/trace_source.h"
+
+namespace ringclu {
+namespace {
+
+MicroOp parse_one(const std::string& line) {
+  TextLogParser parser;
+  MicroOp op;
+  const TextLogParser::Line kind = parser.parse(line, op);
+  EXPECT_EQ(kind, TextLogParser::Line::Op) << line << ": " << parser.error();
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+// Mnemonic decoder table.
+
+TEST(ClassifyMnemonic, CanonicalClassNames) {
+  const auto alu = classify_mnemonic("int_alu");
+  ASSERT_TRUE(alu.has_value());
+  EXPECT_EQ(alu->cls, OpClass::IntAlu);
+
+  const auto load = classify_mnemonic("load");
+  ASSERT_TRUE(load.has_value());
+  EXPECT_EQ(load->cls, OpClass::Load);
+
+  const auto branch = classify_mnemonic("branch");
+  ASSERT_TRUE(branch.has_value());
+  EXPECT_EQ(branch->cls, OpClass::Branch);
+}
+
+TEST(ClassifyMnemonic, RealIsaSpellings) {
+  struct Case {
+    const char* mnemonic;
+    OpClass cls;
+    BranchKind kind;
+  };
+  const std::vector<Case> cases = {
+      {"add", OpClass::IntAlu, BranchKind::None},
+      {"imul", OpClass::IntMult, BranchKind::None},
+      {"idiv", OpClass::IntDiv, BranchKind::None},
+      {"mov", OpClass::IntAlu, BranchKind::None},
+      {"ldr", OpClass::Load, BranchKind::None},       // AArch64
+      {"lw", OpClass::Load, BranchKind::None},        // RISC-V
+      {"str", OpClass::Store, BranchKind::None},      // AArch64
+      {"sd", OpClass::Store, BranchKind::None},       // RISC-V
+      {"addsd", OpClass::FpAdd, BranchKind::None},    // x86 SSE
+      {"fmul", OpClass::FpMult, BranchKind::None},
+      {"fdiv", OpClass::FpDiv, BranchKind::None},
+      {"jne", OpClass::Branch, BranchKind::Conditional},
+      {"beq", OpClass::Branch, BranchKind::Conditional},  // RISC-V
+      {"b.ne", OpClass::Branch, BranchKind::Conditional},  // AArch64
+      {"jmp", OpClass::Branch, BranchKind::Jump},
+      {"call", OpClass::Branch, BranchKind::Call},
+      {"bl", OpClass::Branch, BranchKind::Call},
+      {"ret", OpClass::Branch, BranchKind::Return},
+      {"nop", OpClass::Nop, BranchKind::None},
+  };
+  for (const Case& c : cases) {
+    const auto info = classify_mnemonic(c.mnemonic);
+    ASSERT_TRUE(info.has_value()) << c.mnemonic;
+    EXPECT_EQ(info->cls, c.cls) << c.mnemonic;
+    EXPECT_EQ(info->branch_kind, c.kind) << c.mnemonic;
+  }
+}
+
+TEST(ClassifyMnemonic, CaseInsensitiveAndUnknown) {
+  const auto upper = classify_mnemonic("ADD");
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(upper->cls, OpClass::IntAlu);
+  EXPECT_FALSE(classify_mnemonic("definitely_not_an_op").has_value());
+  EXPECT_FALSE(classify_mnemonic("").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Line parsing.
+
+TEST(TextLogParser, FullAluLine) {
+  const MicroOp op = parse_one("0x401000 add d=i3 s=i1,i2");
+  EXPECT_EQ(op.pc, 0x401000u);
+  EXPECT_EQ(op.cls, OpClass::IntAlu);
+  EXPECT_EQ(op.dst, RegId::int_reg(3));
+  EXPECT_EQ(op.src[0], RegId::int_reg(1));
+  EXPECT_EQ(op.src[1], RegId::int_reg(2));
+}
+
+TEST(TextLogParser, LoadWithMemoryOperand) {
+  const MicroOp op = parse_one("401010 load d=i4 s=i5 m=7fff0010:8");
+  EXPECT_EQ(op.cls, OpClass::Load);
+  EXPECT_EQ(op.mem_addr, 0x7fff0010u);
+  EXPECT_EQ(op.mem_size, 8);
+}
+
+TEST(TextLogParser, TakenConditionalBranchWithTarget) {
+  const MicroOp op = parse_one("401020 jne s=i1 b=cond:t:401000");
+  EXPECT_EQ(op.cls, OpClass::Branch);
+  EXPECT_EQ(op.branch_kind, BranchKind::Conditional);
+  EXPECT_TRUE(op.taken);
+  EXPECT_EQ(op.target, 0x401000u);
+}
+
+TEST(TextLogParser, BranchMnemonicImpliesKindNotTakenDefault) {
+  const MicroOp op = parse_one("401030 ret");
+  EXPECT_EQ(op.cls, OpClass::Branch);
+  EXPECT_EQ(op.branch_kind, BranchKind::Return);
+  EXPECT_FALSE(op.taken);
+}
+
+TEST(TextLogParser, FpRegisters) {
+  const MicroOp op = parse_one("401040 addsd d=f1 s=f2,f3");
+  EXPECT_EQ(op.cls, OpClass::FpAdd);
+  EXPECT_EQ(op.dst, RegId::fp_reg(1));
+  EXPECT_EQ(op.src[0], RegId::fp_reg(2));
+  EXPECT_EQ(op.src[1], RegId::fp_reg(3));
+}
+
+TEST(TextLogParser, SkipsBlankAndCommentLines) {
+  TextLogParser parser;
+  MicroOp op;
+  EXPECT_EQ(parser.parse("", op), TextLogParser::Line::Skip);
+  EXPECT_EQ(parser.parse("   ", op), TextLogParser::Line::Skip);
+  EXPECT_EQ(parser.parse("# a comment", op), TextLogParser::Line::Skip);
+}
+
+TEST(TextLogParser, ErrorsCarryLineNumbersAndDoNotStick) {
+  TextLogParser parser;
+  MicroOp op;
+  EXPECT_EQ(parser.parse("401000 add", op), TextLogParser::Line::Op);
+  EXPECT_EQ(parser.parse("not_hex add", op), TextLogParser::Line::Error);
+  EXPECT_NE(parser.error().find("line 2"), std::string::npos)
+      << parser.error();
+  // The parser stays usable.
+  EXPECT_EQ(parser.parse("401008 sub d=i1 s=i2", op),
+            TextLogParser::Line::Op);
+  EXPECT_EQ(parser.line_number(), 3u);
+}
+
+TEST(TextLogParser, RejectsMalformedFields) {
+  const std::vector<std::string> bad = {
+      "401000 mystery_mnemonic",       // unknown mnemonic
+      "401000 add d=i32",              // register out of range
+      "401000 add d=x3",               // bad register class
+      "401000 add m=1000:4",           // m= on a non-memory op
+      "401000 add b=cond:t",           // b= on a non-branch op
+      "401000 jne b=cond",             // b= missing taken flag
+      "401000 jne b=sideways:t",       // unknown branch kind
+      "401000 load m=zz:4",            // bad hex address
+      "401000 load m=1000:0",          // zero access size
+      "401000 add q=3",                // unknown field
+      "401000 store d=i1 m=1000:8",    // store data goes in s=, not d=
+  };
+  TextLogParser parser;
+  MicroOp op;
+  for (const std::string& line : bad) {
+    EXPECT_EQ(parser.parse(line, op), TextLogParser::Line::Error) << line;
+    EXPECT_FALSE(parser.error().empty()) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cat -> ingest round trip: formatting any op and re-parsing it must
+// reproduce the op exactly (digest equality over a whole synthetic
+// stream pins this for every op shape the simulator generates).
+
+TEST(TextLogRoundTrip, FormatThenParsePreservesDigest) {
+  for (const char* benchmark : {"gzip", "swim", "gcc"}) {
+    auto source = make_benchmark_trace(benchmark, 7);
+    TraceDigest original;
+    TraceDigest reparsed;
+    TextLogParser parser;
+    MicroOp op;
+    for (int i = 0; i < 2000 && source->next(op); ++i) {
+      original.add(op);
+      const std::string line = format_text_log_line(op);
+      MicroOp back;
+      ASSERT_EQ(parser.parse(line, back), TextLogParser::Line::Op)
+          << benchmark << ": " << line << ": " << parser.error();
+      reparsed.add(back);
+    }
+    EXPECT_EQ(reparsed.value(), original.value()) << benchmark;
+    EXPECT_EQ(reparsed.ops(), 2000u) << benchmark;
+  }
+}
+
+}  // namespace
+}  // namespace ringclu

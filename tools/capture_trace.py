@@ -1,0 +1,333 @@
+#!/usr/bin/env python3
+"""Capture real-program instruction streams as RITL text logs.
+
+Stdlib-only frontend for the trace ingestion pipeline: converts the two
+instruction-log shapes most people already have — `objdump -d`
+disassembly and QEMU `-d exec,in_asm` logs — into the RITL line format
+(`src/trace/ingest/text_log.h`) that `ringclu_trace ingest` compiles
+into an `.rclp` trace pack:
+
+    # static linear sweep of a binary's .text (needs objdump on PATH)
+    tools/capture_trace.py objdump ./a.out | \
+        ringclu_trace ingest - prog.rclp
+
+    # a saved disassembly or QEMU log, no toolchain needed
+    tools/capture_trace.py objdump --input prog.dump -o prog.ritl
+    tools/capture_trace.py qemu --input qemu.log -o prog.ritl
+    ringclu_trace ingest prog.ritl prog.rclp
+
+Register mapping: hardware registers are folded onto the simulator's
+abstract i0..i31 / f0..f31 namespace per ISA (x86-64 rax->i0 ... r15->i15,
+xmm0-15 -> f0-f15; AArch64 x0-x30 -> i0-i30, v/d/s/q/h0-31 -> f0-f31;
+RISC-V x/ABI names -> i0-i31, f/ABI names -> f0-f31).  Sub-registers
+(eax/ax/al, w5, ...) map onto their full-width parent so dependency
+chains survive the translation.
+
+Limitations, by design: a static objdump sweep has no dynamic control
+flow or memory addresses, so branches default to not-taken and memory
+operands use the literal displacement as the address.  The result is a
+structurally faithful workload (op mix, register dependencies, PCs),
+not a cycle-accurate replay — good enough to exercise steering, and the
+documented path for plugging real pipelines (DynamoRIO, Pin, QEMU
+plugins) into the same RITL contract.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+# --------------------------------------------------------------------------
+# Register maps: hardware name -> RITL register token.
+
+X86_INT = {
+    "rax": 0, "rcx": 1, "rdx": 2, "rbx": 3, "rsp": 4, "rbp": 5,
+    "rsi": 6, "rdi": 7, "r8": 8, "r9": 9, "r10": 10, "r11": 11,
+    "r12": 12, "r13": 13, "r14": 14, "r15": 15, "rip": 16,
+}
+X86_SUB = {
+    "eax": "rax", "ax": "rax", "al": "rax", "ah": "rax",
+    "ecx": "rcx", "cx": "rcx", "cl": "rcx", "ch": "rcx",
+    "edx": "rdx", "dx": "rdx", "dl": "rdx", "dh": "rdx",
+    "ebx": "rbx", "bx": "rbx", "bl": "rbx", "bh": "rbx",
+    "esp": "rsp", "sp": "rsp", "spl": "rsp",
+    "ebp": "rbp", "bp": "rbp", "bpl": "rbp",
+    "esi": "rsi", "si": "rsi", "sil": "rsi",
+    "edi": "rdi", "di": "rdi", "dil": "rdi",
+    "eip": "rip",
+}
+for _n in range(8, 16):
+    for _suffix in ("d", "w", "b"):
+        X86_SUB[f"r{_n}{_suffix}"] = f"r{_n}"
+
+RISCV_ABI_INT = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+    "s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+RISCV_ABI_FP = {
+    "ft0": 0, "ft1": 1, "ft2": 2, "ft3": 3, "ft4": 4, "ft5": 5,
+    "ft6": 6, "ft7": 7, "fs0": 8, "fs1": 9,
+    "fa0": 10, "fa1": 11, "fa2": 12, "fa3": 13, "fa4": 14, "fa5": 15,
+    "fa6": 16, "fa7": 17, "fs2": 18, "fs3": 19, "fs4": 20, "fs5": 21,
+    "fs6": 22, "fs7": 23, "fs8": 24, "fs9": 25, "fs10": 26, "fs11": 27,
+    "ft8": 28, "ft9": 29, "ft10": 30, "ft11": 31,
+}
+
+
+def map_register(name):
+    """Hardware register name -> RITL token ('i5', 'f2') or None."""
+    reg = name.lstrip("%").lower()
+    reg = X86_SUB.get(reg, reg)
+    if reg in X86_INT:
+        return "i%d" % (X86_INT[reg] % 32)
+    match = re.fullmatch(r"(xmm|ymm|zmm)(\d+)", reg)
+    if match:
+        return "f%d" % (int(match.group(2)) % 32)
+    # AArch64: x0-x30 / w0-w30 integer, v/d/s/q/h/b FP+SIMD.
+    match = re.fullmatch(r"[xw](\d+)", reg)
+    if match:
+        return "i%d" % (int(match.group(1)) % 32)
+    if reg in ("sp", "xzr", "wzr", "lr"):
+        return {"sp": "i31", "lr": "i30"}.get(reg)  # zero regs drop
+    match = re.fullmatch(r"[vdsqhb](\d+)", reg)
+    if match:
+        return "f%d" % (int(match.group(1)) % 32)
+    # RISC-V numeric and ABI names.
+    match = re.fullmatch(r"x(\d+)", reg)
+    if match:
+        return "i%d" % (int(match.group(1)) % 32)
+    match = re.fullmatch(r"f(\d+)", reg)
+    if match:
+        return "f%d" % (int(match.group(1)) % 32)
+    if reg in RISCV_ABI_INT:
+        index = RISCV_ABI_INT[reg]
+        return None if index == 0 else "i%d" % index
+    if reg in RISCV_ABI_FP:
+        return "f%d" % RISCV_ABI_FP[reg]
+    return None
+
+
+# --------------------------------------------------------------------------
+# Operand parsing.
+
+MEM_X86 = re.compile(r"(-?0x[0-9a-f]+|-?\d+)?\(([^)]*)\)")
+MEM_ARM = re.compile(r"\[([^\]]*)\]")
+
+LOAD_HINTS = ("ld", "lw", "lh", "lb", "lr", "pop", "mov")
+STORE_HINTS = ("st", "sw", "sh", "sb", "sd", "push")
+
+# Synthetic stack pointer for push/pop, whose stack operand is implicit in
+# the disassembly.  Descending, 8-byte slots, as on every target we decode.
+_STACK = [0x7FFFFFFFE000]
+
+
+def split_operands(text):
+    """Splits an operand string on commas not inside () or []."""
+    parts, depth, current = [], 0, ""
+    for char in text:
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def classify_memory(mnemonic, operands, att_syntax):
+    """Returns (is_load, is_store, address, regs_in_memory_operand)."""
+    for index, operand in enumerate(operands):
+        match = MEM_X86.search(operand) or MEM_ARM.search(operand)
+        if not match:
+            continue
+        if match.re is MEM_X86:
+            disp = match.group(1) or "0"
+            inner = match.group(2)
+        else:
+            disp = "0"
+            inner = match.group(1)
+        regs = [r for r in (map_register(tok.strip())
+                            for tok in re.split(r"[,+ #]", inner))
+                if r is not None]
+        try:
+            address = int(disp, 0) & 0xFFFFFFFFFFFFFFFF
+        except ValueError:
+            address = 0
+        # AT&T: last operand is the destination; a memory destination is
+        # a store.  Intel/ARM: first operand is the destination.
+        dest_index = len(operands) - 1 if att_syntax else 0
+        is_store = index == dest_index
+        lowered = mnemonic.lower()
+        if any(lowered.startswith(h) for h in STORE_HINTS) and \
+                not lowered.startswith("mov"):
+            is_store = True
+        if lowered.startswith(("push",)):
+            is_store = True
+        if lowered.startswith(("pop",)):
+            is_store = False
+        return (not is_store, is_store, address, regs)
+    return (False, False, 0, [])
+
+
+def emit_ritl(pc, mnemonic, operands, att_syntax, out):
+    """Formats one decoded instruction as an RITL line."""
+    lowered = mnemonic.lower()
+    is_load, is_store, address, mem_regs = classify_memory(
+        lowered, operands, att_syntax)
+
+    # push/pop reference the stack implicitly, so classify_memory cannot
+    # see their memory operand; model it here.  The pushed register is a
+    # *source* (the store-data operand) and the popped one a destination.
+    if lowered.startswith("push"):
+        is_load, is_store = False, True
+        _STACK[0] = (_STACK[0] - 8) & 0xFFFFFFFFFFFFFFFF
+        address = _STACK[0]
+    elif lowered.startswith("pop"):
+        is_load, is_store = True, False
+        address = _STACK[0]
+        _STACK[0] = (_STACK[0] + 8) & 0xFFFFFFFFFFFFFFFF
+
+    regs = []
+    for operand in operands:
+        if MEM_X86.search(operand) or MEM_ARM.search(operand):
+            continue
+        reg = map_register(operand.strip())
+        if reg is not None:
+            regs.append(reg)
+
+    # Destination convention: AT&T last, everything else first.
+    dst = None
+    sources = []
+    if regs:
+        if att_syntax:
+            dst, sources = regs[-1], regs[:-1]
+        else:
+            dst, sources = regs[0], regs[1:]
+    sources += mem_regs
+    branchy = lowered.startswith(("j", "b", "call", "ret", "loop")) or \
+        lowered in ("jal", "jalr")
+    if branchy:
+        dst, sources = None, [r for r in [dst] + sources if r is not None]
+        # Indirect branches load their target through memory, but RITL
+        # reserves m= for load/store op classes; keep the register deps.
+        is_load = is_store = False
+    if is_store and dst is not None:
+        sources = [dst] + sources
+        dst = None
+
+    # Any instruction touching memory becomes the corresponding memory op
+    # class — RITL is one op per line, and the agen/steering behavior is
+    # what matters downstream, not the fused ALU flavor.
+    name = lowered
+    if is_load:
+        name = "load"
+    elif is_store:
+        name = "store"
+
+    fields = ["%x" % pc, name]
+    if dst:
+        fields.append("d=%s" % dst)
+    if sources:
+        fields.append("s=%s" % ",".join(sources[:2]))
+    if is_load or is_store:
+        fields.append("m=%x:8" % address)
+    out.write(" ".join(fields) + "\n")
+    return True
+
+
+# --------------------------------------------------------------------------
+# Input formats.
+
+OBJDUMP_LINE = re.compile(
+    r"^\s*([0-9a-f]+):\s*(?:[0-9a-f]{2}\s)+\s*([a-z][a-z0-9._]*)\s*(.*)$")
+QEMU_TRACE_LINE = re.compile(
+    r"^(?:Trace\s.*\[|0x)([0-9a-f]+)\]?[:\s]+([a-z][a-z0-9._]*)\s*(.*)$")
+
+
+def convert_objdump(lines, out):
+    emitted = 0
+    att = None
+    for line in lines:
+        line = line.rstrip("\n")
+        if att is None and ("%" in line):
+            att = True
+        match = OBJDUMP_LINE.match(line)
+        if not match:
+            continue
+        pc = int(match.group(1), 16)
+        mnemonic = match.group(2)
+        rest = match.group(3).split("#")[0].split("<")[0]
+        if mnemonic in ("data16", "lock", "rep", "repz", "repnz", ".word",
+                        ".inst", ".byte", "hlt", "int3"):
+            continue
+        # objdump decodes data embedded in .text (jump tables, padding) as
+        # bare byte values; they are not executed instructions.
+        if re.fullmatch(r"[0-9a-f]{2}", mnemonic):
+            continue
+        if emit_ritl(pc, mnemonic, split_operands(rest), bool(att), out):
+            emitted += 1
+    return emitted
+
+
+def convert_qemu(lines, out):
+    """QEMU `-d in_asm` blocks: `0x00401000:  addi a0,a0,1`."""
+    emitted = 0
+    for line in lines:
+        line = line.rstrip("\n")
+        match = QEMU_TRACE_LINE.match(line.strip())
+        if not match:
+            continue
+        pc = int(match.group(1), 16)
+        mnemonic = match.group(2)
+        rest = match.group(3).split("#")[0].split("<")[0]
+        if emit_ritl(pc, mnemonic, split_operands(rest), "%" in rest, out):
+            emitted += 1
+    return emitted
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("mode", choices=["objdump", "qemu"],
+                        help="input format")
+    parser.add_argument("binary", nargs="?",
+                        help="binary to disassemble (objdump mode, needs "
+                             "objdump on PATH); omit with --input")
+    parser.add_argument("--input", help="pre-captured log/disassembly file")
+    parser.add_argument("-o", "--output", help="RITL output (default stdout)")
+    args = parser.parse_args()
+
+    if args.input:
+        with open(args.input, "r", errors="replace") as handle:
+            lines = handle.readlines()
+    elif args.mode == "objdump" and args.binary:
+        result = subprocess.run(["objdump", "-d", args.binary],
+                                capture_output=True, text=True, check=True)
+        lines = result.stdout.splitlines(keepends=True)
+    else:
+        lines = sys.stdin.readlines()
+
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        out.write("# RITL capture (%s): see src/trace/ingest/text_log.h\n"
+                  % args.mode)
+        emitted = convert_objdump(lines, out) if args.mode == "objdump" \
+            else convert_qemu(lines, out)
+    finally:
+        if args.output:
+            out.close()
+    print("captured %d instructions" % emitted, file=sys.stderr)
+    return 0 if emitted > 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

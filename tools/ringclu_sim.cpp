@@ -4,9 +4,9 @@
 /// expand and run a declarative sweep spec through the asynchronous
 /// SimService.
 ///
-///   ringclu_sim [--json] <preset|config.json> <benchmark|trace.rct>
+///   ringclu_sim [--json] <preset|config.json> <benchmark|trace.rct|pack.rclp>
 ///       [key=value ...]
-///   ringclu_sim --config <file.json> <benchmark|trace.rct> [key=value ...]
+///   ringclu_sim --config <file.json> <benchmark|trace.rct|pack.rclp> [key=value ...]
 ///   ringclu_sim --dump-config <preset|config.json> [key=value ...]
 ///   ringclu_sim --matrix [key=value ...]
 ///   ringclu_sim --sweep <spec.json> [key=value ...]
@@ -84,6 +84,8 @@
 #include "stats/metrics.h"
 #include "stats/table.h"
 #include "steer/registry.h"
+#include "trace/pack/pack_reader.h"
+#include "trace/registry.h"
 #include "trace/synth/suite.h"
 #include "trace/trace_file.h"
 #include "util/assert.h"
@@ -104,6 +106,16 @@ int list_everything() {
   for (const BenchmarkDesc& desc : spec2000_benchmarks()) {
     std::printf(" %s%s", std::string(desc.name).c_str(),
                 desc.is_fp ? "(fp)" : "");
+  }
+  const std::vector<TraceBenchmarkInfo> traces =
+      TraceBenchmarkRegistry::global().list();
+  if (!traces.empty()) {
+    std::printf("\ntrace benchmarks (RINGCLU_TRACE_DIR / --trace-dir):\n");
+    for (const TraceBenchmarkInfo& info : traces) {
+      std::printf("  %s  (%llu ops, digest %s)\n", info.name.c_str(),
+                  static_cast<unsigned long long>(info.total_ops),
+                  format_digest(info.digest).c_str());
+    }
   }
   std::printf("\nsteering policies:\n  %s\n",
               SteeringRegistry::global().names_joined().c_str());
@@ -156,6 +168,10 @@ bool ends_with(const std::string& name, std::string_view suffix) {
 }
 
 bool is_trace_file(const std::string& name) { return ends_with(name, ".rct"); }
+
+bool is_trace_pack(const std::string& name) {
+  return ends_with(name, ".rclp");
+}
 
 /// Reads a whole file; nullopt (with a diagnostic) when unreadable.
 std::optional<std::string> read_file(const std::string& path) {
@@ -609,23 +625,26 @@ int run_dump_config(const std::string& token, const Config& options) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: ringclu_sim [--json] <preset|config.json> <benchmark|trace.rct> "
+      "usage: ringclu_sim [--json] <preset|config.json> <benchmark|trace.rct|pack.rclp> "
       "[key=value ...]\n"
-      "       ringclu_sim --config <file.json> <benchmark|trace.rct> "
+      "       ringclu_sim --config <file.json> <benchmark|trace.rct|pack.rclp> "
       "[key=value ...]\n"
       "       ringclu_sim --dump-config <preset|config.json> [key=value ...]\n"
       "       ringclu_sim --matrix [key=value ...]\n"
       "       ringclu_sim --sweep <spec.json> [key=value ...]\n"
       "       ringclu_sim --list\n"
       "flags (any mode): --checkpoint-dir=DIR  reuse warmup checkpoints\n"
-      "                  --resume              resume from snapshots\n");
+      "                  --resume              resume from snapshots\n"
+      "                  --trace-dir=DIR       register *.rclp packs as\n"
+      "                                        'trace:<stem>' benchmarks\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Checkpoint flags may appear anywhere; lift them out before dispatch.
+  // Checkpoint and trace-dir flags may appear anywhere; lift them out
+  // before dispatch.
   CheckpointFlags checkpoint_flags;
   std::vector<char*> kept_args;
   kept_args.push_back(argv[0]);
@@ -644,6 +663,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       checkpoint_flags.dir = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
+      if (argv[i][12] == '\0') {
+        std::fprintf(stderr, "--trace-dir needs a directory\n");
+        return 2;
+      }
+      TraceBenchmarkRegistry::global().add_dir(argv[i] + 12);
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace-dir needs a directory\n");
+        return 2;
+      }
+      TraceBenchmarkRegistry::global().add_dir(argv[++i]);
     } else {
       kept_args.push_back(argv[i]);
     }
@@ -748,14 +779,26 @@ int main(int argc, char** argv) {
   const std::string workload = argv[2];
   std::unique_ptr<TraceSource> trace;
   if (is_trace_file(workload)) {
-    trace = std::make_unique<TraceFileReader>(workload);
+    auto reader = std::make_unique<TraceFileReader>(workload);
+    if (!reader->ok()) {
+      std::fprintf(stderr, "%s\n", reader->error().c_str());
+      return 2;
+    }
+    trace = std::move(reader);
+  } else if (is_trace_pack(workload)) {
+    std::string error;
+    trace = TracePackReader::open(workload, &error);
+    if (trace == nullptr) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
   } else {
     if (const std::optional<std::string> error =
             validate_benchmark_names({workload})) {
       std::fprintf(stderr, "%s\n", error->c_str());
       return 2;
     }
-    trace = make_benchmark_trace(workload, seed);
+    trace = make_workload_trace(workload, seed);
   }
 
   SimResult result;
